@@ -1,0 +1,124 @@
+// experiments regenerates every table and figure of the paper's
+// evaluation. With -scale quick (default) the workloads are shrunk to
+// run in seconds; -scale full uses the published trace dimensions.
+//
+// Usage:
+//
+//	experiments                        # all simulation figures, quick
+//	experiments -only fig9,fig10       # a subset
+//	experiments -testbed               # include the prototype (slow)
+//	experiments -scale full            # published scale (minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"saath/internal/experiments"
+	"saath/internal/report"
+)
+
+func main() {
+	var (
+		scale   = flag.String("scale", "quick", `"quick" or "full"`)
+		only    = flag.String("only", "", "comma-separated experiment ids (fig1..fig17, table2, ablations)")
+		testbed = flag.Bool("testbed", false, "also run the prototype-backed Fig 15 / Fig 16 (slow)")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory (for plotting)")
+	)
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	sc := experiments.ScaleQuick
+	if *scale == "full" {
+		sc = experiments.ScaleFull
+	}
+	env := experiments.NewEnv(sc)
+
+	type exp struct {
+		id string
+		fn func() ([]*report.Table, error)
+	}
+	all := []exp{
+		{"fig1", env.Fig1},
+		{"fig2", env.Fig2},
+		{"fig3", env.Fig3},
+		{"fig9", env.Fig9},
+		{"fig10", env.Fig10},
+		{"fig11", env.Fig11},
+		{"fig12", env.Fig12},
+		{"fig13", env.Fig13},
+		{"fig14", env.Fig14},
+		{"table2", env.Table2},
+		{"fig17", env.Fig17},
+		{"ablations", func() ([]*report.Table, error) {
+			var out []*report.Table
+			for _, fn := range []func() ([]*report.Table, error){
+				env.AblationWorkConservation, env.AblationContentionMetric, env.AblationDynamics,
+			} {
+				t, err := fn()
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, t...)
+			}
+			return out, nil
+		}},
+	}
+	if *testbed {
+		cfg := experiments.DefaultTestbedConfig()
+		all = append(all,
+			exp{"fig15", func() ([]*report.Table, error) { return experiments.Fig15(cfg) }},
+			exp{"fig16", func() ([]*report.Table, error) { return experiments.Fig16(cfg) }},
+		)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		tables, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n################ %s (%.1fs) ################\n", e.id, time.Since(start).Seconds())
+		for i, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s_%02d.csv", e.id, i))
+				f, err := os.Create(path)
+				if err == nil {
+					err = t.CSV(f)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments: csv:", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// saath-agent runs one local agent of the Saath prototype (§5): it
+// serves a single cluster port, moves flow bytes to peer agents at
+// coordinator-assigned rates, and reports flow statistics every sync
+// interval.
+//
+// Usage:
+//
+//	saath-agent -port 3 -coordinator 10.0.0.1:7100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"saath/internal/runtime"
+)
+
+func main() {
+	var (
+		port     = flag.Int("port", 0, "the cluster port index this agent serves")
+		coord    = flag.String("coordinator", "127.0.0.1:7100", "coordinator control address")
+		dataAddr = flag.String("data", "127.0.0.1:0", "data-plane listen address")
+		interval = flag.Duration("stats", 20*time.Millisecond, "stats reporting interval")
+	)
+	flag.Parse()
+
+	a, err := runtime.NewAgent(runtime.AgentConfig{
+		Port:            *port,
+		CoordinatorAddr: *coord,
+		DataAddr:        *dataAddr,
+		StatsInterval:   *interval,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saath-agent:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("saath-agent: port=%d coordinator=%s data=%s\n", *port, *coord, a.DataAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("saath-agent: shutting down")
+	a.Close()
+}

@@ -1,0 +1,73 @@
+// saath-coordinator runs the global coordinator daemon of the Saath
+// prototype (§5). Local agents (cmd/saath-agent) connect over TCP;
+// frameworks register CoFlows through the HTTP REST API.
+//
+// Usage:
+//
+//	saath-coordinator -ports 150 -sched saath -ctl :7100 -http :7180
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"saath/internal/coflow"
+	"saath/internal/runtime"
+	"saath/internal/sched"
+
+	_ "saath/internal/core"
+	_ "saath/internal/sched/aalo"
+	_ "saath/internal/sched/clair"
+	_ "saath/internal/sched/uctcp"
+	_ "saath/internal/sched/varys"
+)
+
+func main() {
+	var (
+		ports    = flag.Int("ports", 16, "cluster size (agents identify as ports 0..N-1)")
+		schedStr = flag.String("sched", "saath", "scheduling policy")
+		rate     = flag.Float64("rate-mbps", 100, "per-port rate handed to the scheduler, in MB/s")
+		delta    = flag.Duration("delta", 20*time.Millisecond, "schedule recomputation interval")
+		ctlAddr  = flag.String("ctl", "127.0.0.1:7100", "agent control listen address")
+		httpAddr = flag.String("http", "127.0.0.1:7180", "REST API listen address")
+	)
+	flag.Parse()
+
+	s, err := sched.New(*schedStr, sched.DefaultParams())
+	if err != nil {
+		fatal(err)
+	}
+	coord, err := runtime.NewCoordinator(runtime.CoordinatorConfig{
+		Scheduler:   s,
+		NumPorts:    *ports,
+		PortRate:    coflow.Rate(*rate * 1e6),
+		Delta:       *delta,
+		ControlAddr: *ctlAddr,
+		HTTPAddr:    *httpAddr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saath-coordinator: scheduler=%s ports=%d control=%s http=%s δ=%s\n",
+		s.Name(), *ports, coord.ControlAddr(), coord.HTTPAddr(), *delta)
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("saath-coordinator: shutting down")
+		coord.Close()
+	}()
+	if err := coord.Serve(); err != nil && err.Error() != "http: Server closed" {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "saath-coordinator:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// saath-sim replays a CoFlow trace under one or more scheduling
+// policies and reports per-policy CCT statistics and speedups.
+//
+// Usage:
+//
+//	saath-sim -trace fb -sched saath,aalo
+//	saath-sim -trace path/to/trace.txt -sched saath,varys -delta 8ms
+//
+// The -trace flag accepts "fb" (synthetic Facebook-like), "osp"
+// (synthetic OSP-like), or a path to a file in the coflow-benchmark
+// format. When more than one scheduler is given, the first is the
+// baseline for speedup reporting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"saath/internal/coflow"
+	"saath/internal/report"
+	"saath/internal/sched"
+	"saath/internal/sim"
+	"saath/internal/stats"
+	"saath/internal/trace"
+
+	_ "saath/internal/core"
+	_ "saath/internal/sched/aalo"
+	_ "saath/internal/sched/clair"
+	_ "saath/internal/sched/uctcp"
+	_ "saath/internal/sched/varys"
+)
+
+func main() {
+	var (
+		traceArg = flag.String("trace", "fb", `workload: "fb", "osp", or a coflow-benchmark file path`)
+		seed     = flag.Int64("seed", 1, "seed for synthetic workloads")
+		scheds   = flag.String("sched", "aalo,saath", "comma-separated schedulers; first is the speedup baseline")
+		delta    = flag.Duration("delta", 8*time.Millisecond, "schedule recomputation interval δ")
+		rateGbps = flag.Float64("rate", 1.0, "per-port rate in Gbps")
+		arrival  = flag.Float64("A", 1.0, "arrival-time speedup factor (Fig 14d); 2 = arrivals 2x faster")
+		start    = flag.String("S", "", `start queue threshold, e.g. "100MB" (default 10MB)`)
+		growth   = flag.Float64("E", 10, "queue threshold growth factor")
+		queues   = flag.Int("K", 10, "number of priority queues")
+		deadline = flag.Float64("d", 2, "starvation deadline factor")
+		list     = flag.Bool("list", false, "list registered schedulers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range sched.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	tr, err := loadTrace(*traceArg, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *arrival != 1 {
+		tr.ScaleArrivals(1 / *arrival)
+	}
+
+	params := sched.DefaultParams()
+	params.Queues.NumQueues = *queues
+	params.Queues.Growth = *growth
+	params.DeadlineFactor = *deadline
+	if *start != "" {
+		b, err := parseBytes(*start)
+		if err != nil {
+			fatal(err)
+		}
+		params.Queues.StartThreshold = b
+	}
+	cfg := sim.Config{
+		Delta:    coflow.Time(delta.Microseconds()) * coflow.Microsecond,
+		PortRate: coflow.GbpsRate(*rateGbps),
+	}
+
+	summary := trace.Summarize(tr)
+	fmt.Printf("trace %s: %d coflows, %d ports, %.1f GB total, mean width %.1f\n",
+		tr.Name, summary.NumCoFlows, summary.NumPorts,
+		float64(summary.TotalBytes)/float64(coflow.GB), summary.MeanWidth)
+
+	names := strings.Split(*scheds, ",")
+	results := make(map[string]*sim.Result, len(names))
+	tbl := &report.Table{
+		Title:   "per-scheduler CCT",
+		Headers: []string{"scheduler", "avg cct (s)", "p50 (s)", "p90 (s)", "makespan (s)", "sched mean", "sched p90"},
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		s, err := sched.New(name, params)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sim.Run(tr.Clone(), s, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		results[name] = res
+		ccts := make([]float64, len(res.CoFlows))
+		for i, c := range res.CoFlows {
+			ccts[i] = c.CCT.Seconds()
+		}
+		tbl.AddRow(name,
+			fmt.Sprintf("%.3f", res.AvgCCT()),
+			fmt.Sprintf("%.3f", stats.Percentile(ccts, 50)),
+			fmt.Sprintf("%.3f", stats.Percentile(ccts, 90)),
+			fmt.Sprintf("%.1f", res.Makespan.Seconds()),
+			res.Sched.Mean().String(),
+			res.Sched.P90().String())
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if len(names) > 1 {
+		base := results[strings.TrimSpace(names[0])]
+		sp := &report.Table{
+			Title:   fmt.Sprintf("per-coflow speedup over %s", names[0]),
+			Headers: []string{"scheduler", "p10", "median", "p90", "mean"},
+		}
+		for _, name := range names[1:] {
+			name = strings.TrimSpace(name)
+			s := stats.Summarize(stats.Speedups(base.CCTByID(), results[name].CCTByID()))
+			sp.AddRow(name,
+				fmt.Sprintf("%.2f", s.P10), fmt.Sprintf("%.2f", s.Median),
+				fmt.Sprintf("%.2f", s.P90), fmt.Sprintf("%.2f", s.Mean))
+		}
+		if err := sp.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadTrace(arg string, seed int64) (*trace.Trace, error) {
+	switch arg {
+	case "fb":
+		return trace.SynthFB(seed), nil
+	case "osp":
+		return trace.SynthOSP(seed), nil
+	default:
+		return trace.ParseFile(arg)
+	}
+}
+
+func parseBytes(s string) (coflow.Bytes, error) {
+	var v float64
+	var unit string
+	if _, err := fmt.Sscanf(s, "%f%s", &v, &unit); err != nil {
+		return 0, fmt.Errorf("bad size %q (want e.g. 100MB)", s)
+	}
+	switch strings.ToUpper(unit) {
+	case "KB":
+		return coflow.Bytes(v * float64(coflow.KB)), nil
+	case "MB":
+		return coflow.Bytes(v * float64(coflow.MB)), nil
+	case "GB":
+		return coflow.Bytes(v * float64(coflow.GB)), nil
+	case "TB":
+		return coflow.Bytes(v * float64(coflow.TB)), nil
+	default:
+		return 0, fmt.Errorf("unknown unit %q", unit)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "saath-sim:", err)
+	os.Exit(1)
+}

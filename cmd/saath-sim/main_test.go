@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"saath/internal/coflow"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want coflow.Bytes
+	}{
+		{"10MB", 10 * coflow.MB},
+		{"1.5GB", coflow.Bytes(1.5 * float64(coflow.GB))},
+		{"512KB", 512 * coflow.KB},
+		{"1TB", coflow.TB},
+		{"2mb", 2 * coflow.MB}, // case-insensitive units
+	}
+	for _, tc := range cases {
+		got, err := parseBytes(tc.in)
+		if err != nil {
+			t.Errorf("parseBytes(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "MB", "10", "10XB", "x10MB"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("parseBytes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadTrace(t *testing.T) {
+	fb, err := loadTrace("fb", 1)
+	if err != nil || fb.NumPorts != 150 {
+		t.Fatalf("fb: %v ports=%d", err, fb.NumPorts)
+	}
+	osp, err := loadTrace("osp", 1)
+	if err != nil || osp.NumPorts != 100 {
+		t.Fatalf("osp: %v", err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.txt")
+	if err := os.WriteFile(path, []byte("2 1\n0 0 1 0 1 1:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	file, err := loadTrace(path, 0)
+	if err != nil || len(file.Specs) != 1 {
+		t.Fatalf("file: %v", err)
+	}
+	if _, err := loadTrace(filepath.Join(dir, "missing"), 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

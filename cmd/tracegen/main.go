@@ -1,0 +1,73 @@
+// tracegen synthesizes CoFlow workloads in the coflow-benchmark trace
+// format (the format of the public Facebook trace).
+//
+// Usage:
+//
+//	tracegen -kind fb -seed 1 -out fb.txt
+//	tracegen -kind custom -ports 64 -coflows 300 -gap 50ms -out my.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"saath/internal/coflow"
+	"saath/internal/trace"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "fb", `workload family: "fb", "osp", or "custom"`)
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "-", `output path ("-" for stdout)`)
+		ports   = flag.Int("ports", 64, "[custom] cluster size")
+		coflows = flag.Int("coflows", 200, "[custom] number of coflows")
+		gap     = flag.Duration("gap", 100*time.Millisecond, "[custom] mean inter-arrival")
+		summary = flag.Bool("summary", false, "print workload statistics to stderr")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch *kind {
+	case "fb":
+		tr = trace.SynthFB(*seed)
+	case "osp":
+		tr = trace.SynthOSP(*seed)
+	case "custom":
+		cfg := trace.DefaultFBConfig(*seed)
+		cfg.NumPorts = *ports
+		cfg.NumCoFlows = *coflows
+		cfg.MeanInterArrival = coflow.Time(gap.Microseconds()) * coflow.Microsecond
+		tr = trace.Synthesize(cfg, "custom")
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	if *summary {
+		s := trace.Summarize(tr)
+		fmt.Fprintf(os.Stderr,
+			"%s: %d coflows / %d ports / %.1f GB; single=%.0f%% equal=%.0f%% unequal=%.0f%%; max width %d\n",
+			tr.Name, s.NumCoFlows, s.NumPorts, float64(s.TotalBytes)/float64(coflow.GB),
+			100*s.SingleFrac, 100*s.EqualFrac, 100*s.UnequalFrac, s.MaxWidth)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, tr); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Quickstart: simulate a Facebook-like CoFlow workload under Aalo and
+// Saath and print the paper's headline metric — the per-CoFlow CCT
+// speedup distribution — plus the Fig. 1 out-of-sync micro-example.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"saath"
+)
+
+func main() {
+	// A small FB-mix workload: 30 ports, 100 CoFlows, the published
+	// width and size distribution.
+	cfg := saath.SynthConfig{
+		Seed:             1,
+		NumPorts:         30,
+		NumCoFlows:       100,
+		MeanInterArrival: 40 * saath.Millisecond,
+		SingleFlowFrac:   0.23,
+		EqualLengthFrac:  0.65,
+		WideFracNarrowCF: 0.44,
+		SmallFracNarrow:  0.82,
+		SmallFracWide:    0.41,
+		MinSmall:         saath.MB,
+		MaxSmall:         100 * saath.MB,
+		MinLarge:         100 * saath.MB,
+		MaxLarge:         2 * saath.GB,
+	}
+	tr := saath.Synthesize(cfg, "quickstart")
+	fmt.Printf("workload: %d coflows on %d ports, %.1f GB total\n",
+		len(tr.Specs), tr.NumPorts, float64(tr.TotalBytes())/float64(saath.GB))
+
+	aalo, err := saath.Simulate(tr, "aalo", saath.SimConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sres, err := saath.Simulate(tr, "saath", saath.SimConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("aalo : avg CCT %.3fs over %d coflows\n", aalo.AvgCCT(), len(aalo.CoFlows))
+	fmt.Printf("saath: avg CCT %.3fs over %d coflows\n", sres.AvgCCT(), len(sres.CoFlows))
+	fmt.Printf("speedup using saath: %s\n\n", saath.SummarizeSpeedup(aalo, sres))
+
+	// The Fig. 1 example: four CoFlows on three sender ports. Under
+	// Aalo's per-port FIFO, C2's flows drift apart (out-of-sync) and
+	// block the short CoFlows; Saath's all-or-none + LCoF packs them.
+	fig1 := &saath.Trace{Name: "fig1", NumPorts: 9, Specs: []*saath.Spec{
+		{ID: 1, Arrival: 0, Flows: []saath.FlowSpec{flow(0, 3)}},
+		{ID: 2, Arrival: 1 * saath.Millisecond, Flows: []saath.FlowSpec{
+			flow(0, 4), flow(1, 5), flow(2, 6)}},
+		{ID: 3, Arrival: 2 * saath.Millisecond, Flows: []saath.FlowSpec{flow(1, 7)}},
+		{ID: 4, Arrival: 3 * saath.Millisecond, Flows: []saath.FlowSpec{flow(2, 8)}},
+	}}
+	for _, name := range []string{"aalo", "saath"} {
+		res, err := saath.Simulate(fig1, name, saath.SimConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fig1 under %-5s: ", name)
+		for _, c := range res.CoFlows {
+			fmt.Printf("C%d=%.0fms ", c.ID, c.CCT.Seconds()*1000)
+		}
+		fmt.Printf("(avg %.0fms)\n", res.AvgCCT()*1000)
+	}
+}
+
+// flow returns a 100 ms (12.5 MB at 1 Gbps) unit flow.
+func flow(src, dst saath.PortID) saath.FlowSpec {
+	return saath.FlowSpec{Src: src, Dst: dst, Size: saath.Bytes(12_500_000)}
+}

@@ -1,0 +1,412 @@
+// Package coflow defines the core data model shared by every scheduler,
+// the simulator, and the distributed prototype: flows, CoFlows, ports,
+// byte counts and simulated time.
+//
+// A CoFlow is a set of semantically related flows between cluster nodes
+// (e.g. all shuffle flows of one MapReduce job). Its completion time
+// (CCT) is the span from the arrival of its first flow to the
+// completion of its last flow.
+package coflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Time is simulated time in microseconds. Integer microseconds keep the
+// simulator deterministic across platforms while comfortably resolving
+// the 8 ms scheduling interval used in the paper.
+type Time int64
+
+// Common durations in Time units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond)) }
+
+// Bytes is a byte count. Sizes in the coflow-benchmark trace are
+// megabytes; we store exact bytes.
+type Bytes int64
+
+// Common sizes in Bytes units.
+const (
+	KB Bytes = 1 << 10
+	MB Bytes = 1 << 20
+	GB Bytes = 1 << 30
+	TB Bytes = 1 << 40
+)
+
+// Rate is bandwidth in bytes per second.
+type Rate float64
+
+// GbpsRate converts gigabits per second to a Rate. The paper's fabric
+// provisions 1 Gbps per port.
+func GbpsRate(gbps float64) Rate { return Rate(gbps * 1e9 / 8) }
+
+// Transfer returns the bytes moved at rate r over duration d, rounding
+// down. A zero or negative duration transfers nothing.
+func (r Rate) Transfer(d Time) Bytes {
+	if d <= 0 || r <= 0 {
+		return 0
+	}
+	return Bytes(float64(r) * d.Seconds())
+}
+
+// TimeToSend returns the duration needed to send b bytes at rate r,
+// rounding up to the next microsecond. It returns a very large Time if
+// the rate is not positive.
+func (r Rate) TimeToSend(b Bytes) Time {
+	if b <= 0 {
+		return 0
+	}
+	if r <= 0 {
+		return maxTime
+	}
+	secs := float64(b) / float64(r)
+	t := Time(secs * float64(Second))
+	if t.Seconds() < secs {
+		t++
+	}
+	if t <= 0 {
+		t = Microsecond
+	}
+	return t
+}
+
+// maxTime is an effectively-infinite horizon (about 292 millennia).
+const maxTime = Time(1) << 62
+
+// PortID identifies a cluster node. Each node owns one egress (sender)
+// port and one ingress (receiver) port on the non-blocking fabric.
+type PortID int
+
+// CoFlowID identifies a CoFlow. IDs are unique within a trace.
+type CoFlowID int64
+
+// FlowID identifies a flow within its CoFlow by index.
+type FlowID struct {
+	CoFlow CoFlowID
+	Index  int
+}
+
+func (id FlowID) String() string { return fmt.Sprintf("c%d/f%d", id.CoFlow, id.Index) }
+
+// FlowSpec is the static description of one flow: endpoints and size.
+type FlowSpec struct {
+	Src  PortID // sender node
+	Dst  PortID // receiver node
+	Size Bytes  // total bytes to move
+}
+
+// Spec is the static description of a CoFlow as it appears in a trace.
+type Spec struct {
+	ID      CoFlowID
+	Arrival Time
+	Flows   []FlowSpec
+
+	// Stage and Wave identify the position of this CoFlow inside a
+	// multi-stage DAG query or a multi-wave job (§4.3). Both are zero
+	// for standalone CoFlows.
+	Stage int
+	Wave  int
+
+	// DependsOn lists CoFlows that must complete before this one may
+	// start (DAG scheduling). Empty for standalone CoFlows.
+	DependsOn []CoFlowID
+}
+
+// Width returns the number of flows.
+func (s *Spec) Width() int { return len(s.Flows) }
+
+// TotalSize returns the sum of all flow sizes.
+func (s *Spec) TotalSize() Bytes {
+	var total Bytes
+	for _, f := range s.Flows {
+		total += f.Size
+	}
+	return total
+}
+
+// MaxFlowSize returns the largest flow size, or zero for an empty spec.
+func (s *Spec) MaxFlowSize() Bytes {
+	var m Bytes
+	for _, f := range s.Flows {
+		if f.Size > m {
+			m = f.Size
+		}
+	}
+	return m
+}
+
+// Validate reports structural problems: no flows, negative sizes, or
+// negative port IDs.
+func (s *Spec) Validate() error {
+	if len(s.Flows) == 0 {
+		return fmt.Errorf("coflow %d: no flows", s.ID)
+	}
+	if s.Arrival < 0 {
+		return fmt.Errorf("coflow %d: negative arrival %d", s.ID, s.Arrival)
+	}
+	for i, f := range s.Flows {
+		if f.Size < 0 {
+			return fmt.Errorf("coflow %d flow %d: negative size %d", s.ID, i, f.Size)
+		}
+		if f.Src < 0 || f.Dst < 0 {
+			return fmt.Errorf("coflow %d flow %d: negative port (src=%d dst=%d)", s.ID, i, f.Src, f.Dst)
+		}
+	}
+	return nil
+}
+
+// Flow is the runtime state of one flow during simulation or execution.
+type Flow struct {
+	ID   FlowID
+	Src  PortID
+	Dst  PortID
+	Size Bytes // ground truth; online schedulers must not read it
+
+	Sent      Bytes // bytes moved so far
+	Done      bool
+	DoneAt    Time
+	Available bool // data ready to send (pipelined frameworks, §4.3)
+
+	// Restarted marks a flow whose progress was reset by a node
+	// failure; Slowdown > 1 models a straggler whose achievable rate
+	// is divided by the factor. Both are injected by the simulator's
+	// dynamics layer.
+	Restarted bool
+	Slowdown  float64
+}
+
+// Remaining returns the bytes still to send.
+func (f *Flow) Remaining() Bytes {
+	r := f.Size - f.Sent
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// EffectiveRate caps rate r by the flow's straggler ceiling: a flow
+// slowed by factor k can source data at no more than line/k regardless
+// of the network rate it is granted (slow disk, overloaded host). The
+// ceiling is absolute, as real stragglers are — which is what lets the
+// coordinator's throughput observation (§4.3) converge on it.
+func (f *Flow) EffectiveRate(r, line Rate) Rate {
+	if f.Slowdown > 1 {
+		if ceil := line / Rate(f.Slowdown); r > ceil {
+			return ceil
+		}
+	}
+	return r
+}
+
+// CoFlow is the runtime state of a CoFlow: its spec plus per-flow
+// progress and lifecycle timestamps.
+type CoFlow struct {
+	Spec    *Spec
+	Flows   []*Flow
+	Arrived Time // when it was released to the scheduler
+	Done    bool
+	DoneAt  Time
+}
+
+// New instantiates runtime state for a spec. All flows start available
+// unless the caller marks them otherwise.
+func New(spec *Spec) *CoFlow {
+	c := &CoFlow{Spec: spec, Arrived: spec.Arrival}
+	c.Flows = make([]*Flow, len(spec.Flows))
+	for i, fs := range spec.Flows {
+		c.Flows[i] = &Flow{
+			ID:        FlowID{CoFlow: spec.ID, Index: i},
+			Src:       fs.Src,
+			Dst:       fs.Dst,
+			Size:      fs.Size,
+			Available: true,
+			Slowdown:  1,
+		}
+	}
+	return c
+}
+
+// ID returns the CoFlow's identifier.
+func (c *CoFlow) ID() CoFlowID { return c.Spec.ID }
+
+// Width returns the number of flows.
+func (c *CoFlow) Width() int { return len(c.Flows) }
+
+// CCT returns the completion time span, valid once Done.
+func (c *CoFlow) CCT() Time { return c.DoneAt - c.Arrived }
+
+// MaxSent returns m_c, the maximum bytes sent by any single flow —
+// Saath's queue-assignment signal (Eq. 1).
+func (c *CoFlow) MaxSent() Bytes {
+	var m Bytes
+	for _, f := range c.Flows {
+		if f.Sent > m {
+			m = f.Sent
+		}
+	}
+	return m
+}
+
+// TotalSent returns the sum of bytes sent by all flows — Aalo's
+// queue-assignment signal.
+func (c *CoFlow) TotalSent() Bytes {
+	var total Bytes
+	for _, f := range c.Flows {
+		total += f.Sent
+	}
+	return total
+}
+
+// TotalRemaining sums the unsent bytes across flows (clairvoyant).
+func (c *CoFlow) TotalRemaining() Bytes {
+	var total Bytes
+	for _, f := range c.Flows {
+		total += f.Remaining()
+	}
+	return total
+}
+
+// PendingFlows returns the flows that are not yet done.
+func (c *CoFlow) PendingFlows() []*Flow {
+	var out []*Flow
+	for _, f := range c.Flows {
+		if !f.Done {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FinishedFlowSizes returns the sizes (bytes actually moved) of
+// completed flows, used by the dynamics SRTF approximation (§4.3).
+func (c *CoFlow) FinishedFlowSizes() []Bytes {
+	var out []Bytes
+	for _, f := range c.Flows {
+		if f.Done {
+			out = append(out, f.Sent)
+		}
+	}
+	return out
+}
+
+// RefreshDone recomputes Done/DoneAt from flow state. It returns true
+// if the CoFlow just transitioned to done.
+func (c *CoFlow) RefreshDone() bool {
+	if c.Done {
+		return false
+	}
+	var last Time
+	for _, f := range c.Flows {
+		if !f.Done {
+			return false
+		}
+		if f.DoneAt > last {
+			last = f.DoneAt
+		}
+	}
+	c.Done = true
+	c.DoneAt = last
+	return true
+}
+
+// Sendable reports whether the flow still has bytes to move and its
+// data is available (pipelined frameworks may hold flows back, §4.3).
+func (f *Flow) Sendable() bool { return !f.Done && f.Available }
+
+// SendableFlows returns the flows that can be scheduled right now.
+func (c *CoFlow) SendableFlows() []*Flow {
+	var out []*Flow
+	for _, f := range c.Flows {
+		if f.Sendable() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// PortUse counts, per port, how many of the CoFlow's sendable flows
+// touch it (egress for sources, ingress for destinations).
+type PortUse struct {
+	SrcFlows map[PortID]int // sendable flows sending from each node
+	DstFlows map[PortID]int // sendable flows receiving at each node
+}
+
+// Use computes the current PortUse over sendable flows.
+func (c *CoFlow) Use() PortUse {
+	u := PortUse{SrcFlows: make(map[PortID]int), DstFlows: make(map[PortID]int)}
+	for _, f := range c.Flows {
+		if !f.Sendable() {
+			continue
+		}
+		u.SrcFlows[f.Src]++
+		u.DstFlows[f.Dst]++
+	}
+	return u
+}
+
+// SrcPorts returns the sorted distinct sender nodes of pending flows.
+func (c *CoFlow) SrcPorts() []PortID { return c.ports(true) }
+
+// DstPorts returns the sorted distinct receiver nodes of pending flows.
+func (c *CoFlow) DstPorts() []PortID { return c.ports(false) }
+
+func (c *CoFlow) ports(src bool) []PortID {
+	seen := make(map[PortID]bool)
+	for _, f := range c.Flows {
+		if f.Done {
+			continue
+		}
+		if src {
+			seen[f.Src] = true
+		} else {
+			seen[f.Dst] = true
+		}
+	}
+	out := make([]PortID, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BottleneckRemaining returns Γ, the minimum time to finish the CoFlow
+// if every port ran at full capacity bw dedicated to it: the max over
+// ports of remaining bytes at that port divided by bw. This is the
+// clairvoyant SEBF ordering key (Varys).
+func (c *CoFlow) BottleneckRemaining(bw Rate) Time {
+	if bw <= 0 {
+		return maxTime
+	}
+	srcRem := make(map[PortID]Bytes)
+	dstRem := make(map[PortID]Bytes)
+	for _, f := range c.Flows {
+		if f.Done {
+			continue
+		}
+		srcRem[f.Src] += f.Remaining()
+		dstRem[f.Dst] += f.Remaining()
+	}
+	var worst Bytes
+	for _, b := range srcRem {
+		if b > worst {
+			worst = b
+		}
+	}
+	for _, b := range dstRem {
+		if b > worst {
+			worst = b
+		}
+	}
+	return bw.TimeToSend(worst)
+}

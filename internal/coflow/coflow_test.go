@@ -1,0 +1,287 @@
+package coflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func spec2x2() *Spec {
+	return &Spec{
+		ID:      7,
+		Arrival: 5 * Millisecond,
+		Flows: []FlowSpec{
+			{Src: 0, Dst: 2, Size: 10 * MB},
+			{Src: 0, Dst: 3, Size: 20 * MB},
+			{Src: 1, Dst: 2, Size: 30 * MB},
+			{Src: 1, Dst: 3, Size: 40 * MB},
+		},
+	}
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", got)
+	}
+	if got := Time(0).Seconds(); got != 0 {
+		t.Fatalf("Seconds(0) = %v", got)
+	}
+}
+
+func TestGbpsRate(t *testing.T) {
+	if got := GbpsRate(1); got != 125e6 {
+		t.Fatalf("1 Gbps = %v B/s, want 1.25e8", got)
+	}
+}
+
+func TestRateTransfer(t *testing.T) {
+	r := GbpsRate(1)
+	if got := r.Transfer(8 * Millisecond); got != Bytes(1e6) {
+		t.Fatalf("transfer = %d, want 1e6", got)
+	}
+	if got := r.Transfer(0); got != 0 {
+		t.Fatalf("transfer(0) = %d", got)
+	}
+	if got := r.Transfer(-Second); got != 0 {
+		t.Fatalf("transfer(neg) = %d", got)
+	}
+	if got := Rate(0).Transfer(Second); got != 0 {
+		t.Fatalf("zero-rate transfer = %d", got)
+	}
+}
+
+func TestTimeToSend(t *testing.T) {
+	r := Rate(1e6) // 1 MB/s
+	if got := r.TimeToSend(1e6); got != Second {
+		t.Fatalf("TimeToSend = %v, want 1s", got)
+	}
+	if got := r.TimeToSend(0); got != 0 {
+		t.Fatalf("TimeToSend(0) = %v", got)
+	}
+	if got := Rate(0).TimeToSend(1); got != maxTime {
+		t.Fatalf("TimeToSend at zero rate = %v, want maxTime", got)
+	}
+	// Rounds up: 1 byte at 1 MB/s is 1 µs.
+	if got := r.TimeToSend(1); got != Microsecond {
+		t.Fatalf("TimeToSend(1B) = %v, want 1µs", got)
+	}
+}
+
+func TestTimeToSendTransferRoundTrip(t *testing.T) {
+	// Property: sending for TimeToSend(b) at rate r moves at least b bytes.
+	f := func(rawRate uint32, rawBytes uint32) bool {
+		r := Rate(rawRate%100_000_000 + 1)
+		b := Bytes(rawBytes % 1_000_000_000)
+		d := r.TimeToSend(b)
+		if d >= maxTime {
+			return false
+		}
+		return r.Transfer(d) >= b-1 // allow 1 byte of float slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecAccessors(t *testing.T) {
+	s := spec2x2()
+	if s.Width() != 4 {
+		t.Fatalf("Width = %d", s.Width())
+	}
+	if s.TotalSize() != 100*MB {
+		t.Fatalf("TotalSize = %d", s.TotalSize())
+	}
+	if s.MaxFlowSize() != 40*MB {
+		t.Fatalf("MaxFlowSize = %d", s.MaxFlowSize())
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := spec2x2().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"no flows", func(s *Spec) { s.Flows = nil }},
+		{"negative arrival", func(s *Spec) { s.Arrival = -1 }},
+		{"negative size", func(s *Spec) { s.Flows[0].Size = -1 }},
+		{"negative src", func(s *Spec) { s.Flows[1].Src = -2 }},
+		{"negative dst", func(s *Spec) { s.Flows[2].Dst = -2 }},
+	}
+	for _, tc := range cases {
+		s := spec2x2()
+		tc.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestNewRuntimeState(t *testing.T) {
+	c := New(spec2x2())
+	if c.Width() != 4 {
+		t.Fatalf("Width = %d", c.Width())
+	}
+	if c.Arrived != 5*Millisecond {
+		t.Fatalf("Arrived = %v", c.Arrived)
+	}
+	for i, f := range c.Flows {
+		if !f.Available {
+			t.Errorf("flow %d not available", i)
+		}
+		if f.Slowdown != 1 {
+			t.Errorf("flow %d slowdown = %v", i, f.Slowdown)
+		}
+		if f.ID.CoFlow != 7 || f.ID.Index != i {
+			t.Errorf("flow %d bad id %v", i, f.ID)
+		}
+	}
+}
+
+func TestMaxAndTotalSent(t *testing.T) {
+	c := New(spec2x2())
+	c.Flows[0].Sent = 3 * MB
+	c.Flows[2].Sent = 9 * MB
+	if got := c.MaxSent(); got != 9*MB {
+		t.Fatalf("MaxSent = %d", got)
+	}
+	if got := c.TotalSent(); got != 12*MB {
+		t.Fatalf("TotalSent = %d", got)
+	}
+	if got := c.TotalRemaining(); got != 100*MB-12*MB {
+		t.Fatalf("TotalRemaining = %d", got)
+	}
+}
+
+func TestFlowRemainingClamped(t *testing.T) {
+	f := &Flow{Size: 10, Sent: 15}
+	if got := f.Remaining(); got != 0 {
+		t.Fatalf("Remaining = %d, want 0", got)
+	}
+}
+
+func TestEffectiveRate(t *testing.T) {
+	f := &Flow{Slowdown: 1}
+	if got := f.EffectiveRate(100, 100); got != 100 {
+		t.Fatalf("EffectiveRate = %v", got)
+	}
+	f.Slowdown = 4
+	if got := f.EffectiveRate(100, 100); got != 25 {
+		t.Fatalf("EffectiveRate slowed = %v", got)
+	}
+	// The ceiling is absolute: an allocation already below line/k
+	// passes through untouched.
+	if got := f.EffectiveRate(10, 100); got != 10 {
+		t.Fatalf("EffectiveRate below ceiling = %v", got)
+	}
+}
+
+func TestRefreshDone(t *testing.T) {
+	c := New(spec2x2())
+	if c.RefreshDone() {
+		t.Fatal("fresh coflow reported done")
+	}
+	for i, f := range c.Flows {
+		f.Done = true
+		f.DoneAt = Time(i+1) * Second
+	}
+	if !c.RefreshDone() {
+		t.Fatal("completed coflow not detected")
+	}
+	if c.DoneAt != 4*Second {
+		t.Fatalf("DoneAt = %v, want 4s (last flow)", c.DoneAt)
+	}
+	if c.CCT() != 4*Second-5*Millisecond {
+		t.Fatalf("CCT = %v", c.CCT())
+	}
+	if c.RefreshDone() {
+		t.Fatal("RefreshDone should be false once already done")
+	}
+}
+
+func TestPendingAndFinished(t *testing.T) {
+	c := New(spec2x2())
+	c.Flows[1].Done = true
+	c.Flows[1].Sent = 20 * MB
+	if got := len(c.PendingFlows()); got != 3 {
+		t.Fatalf("pending = %d", got)
+	}
+	sizes := c.FinishedFlowSizes()
+	if len(sizes) != 1 || sizes[0] != 20*MB {
+		t.Fatalf("finished sizes = %v", sizes)
+	}
+}
+
+func TestPortsAndUse(t *testing.T) {
+	c := New(spec2x2())
+	src := c.SrcPorts()
+	dst := c.DstPorts()
+	if len(src) != 2 || src[0] != 0 || src[1] != 1 {
+		t.Fatalf("src ports = %v", src)
+	}
+	if len(dst) != 2 || dst[0] != 2 || dst[1] != 3 {
+		t.Fatalf("dst ports = %v", dst)
+	}
+	u := c.Use()
+	if u.SrcFlows[0] != 2 || u.SrcFlows[1] != 2 || u.DstFlows[2] != 2 || u.DstFlows[3] != 2 {
+		t.Fatalf("use = %+v", u)
+	}
+	// Done flows drop out of port sets.
+	c.Flows[0].Done = true
+	c.Flows[1].Done = true // both flows from src 0
+	if got := c.SrcPorts(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("src ports after done = %v", got)
+	}
+}
+
+func TestBottleneckRemaining(t *testing.T) {
+	c := New(spec2x2())
+	bw := Rate(10 * 1e6) // 10 MB/s
+	// Bottleneck: src 1 sends 30+40 MiB.
+	want := bw.TimeToSend(70 * MB)
+	if got := c.BottleneckRemaining(bw); got != want {
+		t.Fatalf("Γ = %v, want %v", got, want)
+	}
+	if got := c.BottleneckRemaining(0); got != maxTime {
+		t.Fatalf("Γ at zero bw = %v", got)
+	}
+	// Progress reduces the bottleneck.
+	c.Flows[3].Sent = 40 * MB
+	c.Flows[3].Done = true
+	want = bw.TimeToSend(70 * MB) // src 1 now has 30, dst 2 has 40... recompute: src0=30,src1=30,dst2=40,dst3=20
+	_ = want
+	got := c.BottleneckRemaining(bw)
+	if got != bw.TimeToSend(40*MB) {
+		t.Fatalf("Γ after progress = %v, want %v", got, bw.TimeToSend(40*MB))
+	}
+}
+
+func TestBottleneckMonotoneProperty(t *testing.T) {
+	// Property: sending bytes on any flow never increases Γ.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(6) + 1
+		spec := &Spec{ID: CoFlowID(trial)}
+		for i := 0; i < n; i++ {
+			spec.Flows = append(spec.Flows, FlowSpec{
+				Src:  PortID(rng.Intn(4)),
+				Dst:  PortID(rng.Intn(4) + 4),
+				Size: Bytes(rng.Intn(100)+1) * MB,
+			})
+		}
+		c := New(spec)
+		bw := GbpsRate(1)
+		before := c.BottleneckRemaining(bw)
+		f := c.Flows[rng.Intn(n)]
+		f.Sent += Bytes(rng.Intn(int(f.Size)) + 1)
+		if f.Remaining() == 0 {
+			f.Done = true
+		}
+		after := c.BottleneckRemaining(bw)
+		if after > before {
+			t.Fatalf("trial %d: Γ increased %v -> %v", trial, before, after)
+		}
+	}
+}

@@ -1,0 +1,442 @@
+// Package core implements Saath, the paper's online CoFlow scheduler
+// (§3–§4). Saath extends the Aalo priority-queue architecture with
+// three spatially-aware mechanisms:
+//
+//   - all-or-none: either every sendable flow of a CoFlow gets
+//     bandwidth this interval, or none does, eliminating out-of-sync
+//     scheduling across ports;
+//   - per-flow queue thresholds (Eq. 1): a CoFlow demotes as soon as
+//     any single flow crosses its fair share of the queue threshold,
+//     accelerating queue transitions;
+//   - Least-Contention-First (LCoF): within each queue, CoFlows that
+//     block the fewest other CoFlows are scheduled first, with
+//     FIFO-derived deadlines (d·C_q·t) guaranteeing starvation freedom.
+//
+// Work conservation hands ports left idle by all-or-none to the missed
+// CoFlows (Fig. 4(c)), and the cluster-dynamics path (§4.3)
+// approximates SRTF once some flows of a CoFlow have finished.
+//
+// The ablation variants the paper evaluates in Fig. 10–12 (A/N+FIFO
+// and A/N+PF+FIFO) are the same scheduler with features toggled off
+// via sched.Params.
+package core
+
+import (
+	"sort"
+
+	"saath/internal/coflow"
+	"saath/internal/fabric"
+	"saath/internal/sched"
+)
+
+// Saath is the global coordinator's scheduling policy (Fig. 7).
+type Saath struct {
+	params sched.Params
+	name   string
+	state  map[coflow.CoFlowID]*coflowState
+
+	tracks   map[coflow.FlowID]*flowTrack
+	lastTime coflow.Time // previous Schedule invocation, for rate observation
+}
+
+// coflowState is the coordinator's bookkeeping for one live CoFlow.
+type coflowState struct {
+	queue     int
+	enteredAt coflow.Time // when the CoFlow entered its current queue
+	deadline  coflow.Time // absolute starvation deadline for this queue
+}
+
+// flowTrack observes one flow's achieved throughput so the coordinator
+// can detect stragglers: a flow that consistently moves far fewer
+// bytes than its allocation (slowed task, congested host) becomes the
+// CoFlow's MADD bottleneck, and the surplus reservation is released to
+// work conservation instead of idling a port (§4.2 D2, §4.3).
+type flowTrack struct {
+	lastSent  coflow.Bytes
+	lastAlloc coflow.Rate
+	estCap    coflow.Rate // 0 = no cap (flow keeps up with its allocation)
+	lagStreak int         // consecutive intervals below the laggard ratio
+}
+
+// New builds a Saath scheduler. Use sched.DefaultParams for the full
+// design; clear LCoF / PerFlowThresholds / WorkConservation for the
+// paper's ablations.
+func New(p sched.Params) (*Saath, error) {
+	p, err := p.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	name := "saath"
+	switch {
+	case !p.LCoF && !p.PerFlowThresholds:
+		name = "saath/an+fifo"
+	case !p.LCoF:
+		name = "saath/an+pf+fifo"
+	case !p.PerFlowThresholds:
+		name = "saath/an+lcof"
+	}
+	if !p.WorkConservation {
+		name += "+nowc"
+	}
+	return &Saath{
+		params:   p,
+		name:     name,
+		state:    make(map[coflow.CoFlowID]*coflowState),
+		tracks:   make(map[coflow.FlowID]*flowTrack),
+		lastTime: -1,
+	}, nil
+}
+
+func init() {
+	sched.Register("saath", func(p sched.Params) (sched.Scheduler, error) {
+		p.LCoF, p.PerFlowThresholds = true, true
+		return New(p)
+	})
+	sched.Register("saath/an+fifo", func(p sched.Params) (sched.Scheduler, error) {
+		p.LCoF, p.PerFlowThresholds = false, false
+		return New(p)
+	})
+	sched.Register("saath/an+pf+fifo", func(p sched.Params) (sched.Scheduler, error) {
+		p.LCoF, p.PerFlowThresholds = false, true
+		return New(p)
+	})
+	sched.Register("saath/nowc", func(p sched.Params) (sched.Scheduler, error) {
+		p.LCoF, p.PerFlowThresholds = true, true
+		p.WorkConservation = false
+		return New(p)
+	})
+	sched.Register("saath/width-contention", func(p sched.Params) (sched.Scheduler, error) {
+		p.LCoF, p.PerFlowThresholds = true, true
+		p.WidthContentionProxy = true
+		return New(p)
+	})
+}
+
+// Name identifies the configured variant.
+func (s *Saath) Name() string { return s.name }
+
+// Params exposes the normalized configuration (read-only use).
+func (s *Saath) Params() sched.Params { return s.params }
+
+// Arrive registers a CoFlow; every CoFlow starts in the highest
+// priority queue with a fresh FIFO-derived deadline.
+func (s *Saath) Arrive(c *coflow.CoFlow, now coflow.Time) {
+	st := &coflowState{queue: 0, enteredAt: now}
+	s.state[c.ID()] = st
+	// Deadline is set on first Schedule, when the queue population
+	// C_q is known; mark it unset.
+	st.deadline = -1
+}
+
+// Depart forgets a finished or withdrawn CoFlow.
+func (s *Saath) Depart(c *coflow.CoFlow, now coflow.Time) {
+	delete(s.state, c.ID())
+	for _, f := range c.Flows {
+		delete(s.tracks, f.ID)
+	}
+}
+
+// QueueOf reports the CoFlow's current queue (for tests and the
+// prototype's introspection endpoint). Second result is false for
+// unknown CoFlows.
+func (s *Saath) QueueOf(id coflow.CoFlowID) (int, bool) {
+	st, ok := s.state[id]
+	if !ok {
+		return 0, false
+	}
+	return st.queue, true
+}
+
+// Schedule computes the next interval's allocation, following Fig. 7:
+// assign queues, order each queue (deadline-expired first, then LCoF
+// or FIFO), admit all-or-none, then work-conserve leftovers per queue.
+func (s *Saath) Schedule(snap *sched.Snapshot) sched.Allocation {
+	alloc := make(sched.Allocation)
+	if len(snap.Active) == 0 {
+		s.lastTime = snap.Now
+		return alloc
+	}
+	fab := snap.Fabric
+	portRate := fab.PortRate()
+
+	// (0) Observe achieved throughput since the previous interval and
+	// refresh straggler caps (§4.3): a flow that moved well under its
+	// allocation gets its future reservation capped near what it
+	// demonstrably sustains; caps decay quickly once the flow recovers.
+	s.observeProgress(snap)
+
+	// (1) AssignQueue: per-flow thresholds (Eq. 1) or Aalo-style
+	// total bytes for the ablation; the §4.3 dynamics path overrides
+	// with the SRTF estimate when flows have finished.
+	queueCount := make([]int, s.params.Queues.NumQueues)
+	for _, c := range snap.Active {
+		st := s.state[c.ID()]
+		if st == nil { // defensive: simulator always calls Arrive first
+			st = &coflowState{queue: 0, enteredAt: snap.Now, deadline: -1}
+			s.state[c.ID()] = st
+		}
+		q := s.targetQueue(c)
+		if q != st.queue {
+			st.queue = q
+			st.enteredAt = snap.Now
+			st.deadline = -1 // re-derive below with the new queue's population
+		}
+		queueCount[st.queue]++
+	}
+	// Fresh deadlines: d · C_q · t, with C_q the queue population at
+	// entry and t the minimum residence time of that queue (§4.2 D5).
+	for _, c := range snap.Active {
+		st := s.state[c.ID()]
+		if st.deadline < 0 {
+			cq := queueCount[st.queue]
+			if cq < 1 {
+				cq = 1
+			}
+			t := s.params.Queues.MinResidence(st.queue, portRate)
+			st.deadline = st.enteredAt + coflow.Time(s.params.DeadlineFactor*float64(cq))*t
+		}
+	}
+
+	// (2) Bucket by queue.
+	buckets := make([][]*coflow.CoFlow, s.params.Queues.NumQueues)
+	for _, c := range snap.Active {
+		if len(c.SendableFlows()) == 0 {
+			continue // nothing to schedule (all data pending or done)
+		}
+		q := s.state[c.ID()].queue
+		buckets[q] = append(buckets[q], c)
+	}
+
+	// (3) Contention k_c over the live set, computed once per round.
+	// The width-proxy ablation swaps in CoFlow width as a cheaper
+	// stand-in for the blocked-CoFlow count.
+	var contention map[coflow.CoFlowID]int
+	if s.params.LCoF {
+		if s.params.WidthContentionProxy {
+			contention = make(map[coflow.CoFlowID]int, len(snap.Active))
+			for _, c := range snap.Active {
+				contention[c.ID()] = len(c.PendingFlows())
+			}
+		} else {
+			contention = sched.Contention(snap.Active)
+		}
+	}
+
+	// (4) Scan queues from highest priority; within each queue order,
+	// admit all-or-none, then work-conserve that queue's misses.
+	for q := range buckets {
+		bucket := buckets[q]
+		if len(bucket) == 0 {
+			continue
+		}
+		s.orderQueue(bucket, contention, snap.Now)
+
+		var missed []*coflow.CoFlow
+		for _, c := range bucket {
+			if !fab.CoFlowAvailable(c) {
+				missed = append(missed, c)
+				continue
+			}
+			rate := fab.EqualRateForCoFlow(c)
+			// MADD (D2): the slowest flow's achievable rate binds the
+			// CoFlow; straggler caps make that observable online.
+			for _, f := range c.SendableFlows() {
+				if tr := s.tracks[f.ID]; tr != nil && tr.estCap > 0 && tr.estCap < rate {
+					rate = tr.estCap
+				}
+			}
+			if rate <= 0 {
+				missed = append(missed, c)
+				continue
+			}
+			for _, f := range c.SendableFlows() {
+				alloc[f.ID] = rate
+				fab.Allocate(f.Src, f.Dst, rate)
+			}
+		}
+		if s.params.WorkConservation {
+			s.workConserve(fab, missed, alloc)
+		}
+	}
+	s.recordAllocations(snap, alloc)
+	return alloc
+}
+
+// observeProgress compares each flow's bytes moved since the last
+// interval against the rate it was allocated, deriving the straggler
+// cap used by MADD rate assignment. Caps double each interval the flow
+// keeps up, so recovered flows quickly regain their full share.
+func (s *Saath) observeProgress(snap *sched.Snapshot) {
+	dt := snap.Now - s.lastTime
+	if s.lastTime < 0 || dt <= 0 {
+		return
+	}
+	const (
+		laggard  = 0.6 // achieving < 60% of the allocation marks a laggard interval
+		streak   = 3   // consecutive laggard intervals before capping (noise guard)
+		headroom = 1.25
+	)
+	// The cap never drops below a fixed fraction of line rate, so a
+	// mis-measured flow always retains enough allocation to prove
+	// itself and recover (caps double on every kept-up interval).
+	floor := snap.Fabric.PortRate() / 16
+	for _, c := range snap.Active {
+		for _, f := range c.Flows {
+			tr := s.tracks[f.ID]
+			if tr == nil || tr.lastAlloc <= 0 {
+				continue
+			}
+			if f.Done {
+				tr.estCap = 0
+				tr.lagStreak = 0
+				continue
+			}
+			moved := f.Sent - tr.lastSent
+			observed := coflow.Rate(float64(moved) / dt.Seconds())
+			if observed < tr.lastAlloc*laggard {
+				tr.lagStreak++
+				if tr.lagStreak >= streak {
+					cap := observed * headroom
+					if cap < floor {
+						cap = floor
+					}
+					tr.estCap = cap
+				}
+				continue
+			}
+			tr.lagStreak = 0
+			if tr.estCap > 0 {
+				tr.estCap *= 2
+				if tr.estCap >= snap.Fabric.PortRate() {
+					tr.estCap = 0
+				}
+			}
+		}
+	}
+}
+
+// recordAllocations snapshots the progress baseline for the next
+// observation round.
+func (s *Saath) recordAllocations(snap *sched.Snapshot, alloc sched.Allocation) {
+	for _, c := range snap.Active {
+		for _, f := range c.Flows {
+			if f.Done {
+				continue
+			}
+			tr := s.tracks[f.ID]
+			if tr == nil {
+				tr = &flowTrack{}
+				s.tracks[f.ID] = tr
+			}
+			tr.lastSent = f.Sent
+			tr.lastAlloc = alloc[f.ID]
+		}
+	}
+	s.lastTime = snap.Now
+}
+
+// targetQueue returns the queue a CoFlow belongs in right now.
+func (s *Saath) targetQueue(c *coflow.CoFlow) int {
+	if s.params.DynamicsSRTF {
+		if m, ok := srtfEstimate(c); ok {
+			// Map the estimated max remaining flow length onto the
+			// per-flow ladder: a CoFlow with little left rejoins high
+			// priority queues even if it has sent a lot (§4.3).
+			return s.params.Queues.QueueForPerFlow(m, c.Width())
+		}
+	}
+	if s.params.PerFlowThresholds {
+		return s.params.Queues.QueueForPerFlow(c.MaxSent(), c.Width())
+	}
+	return s.params.Queues.QueueForBytes(c.TotalSent())
+}
+
+// srtfEstimate implements the §4.3 heuristic: once some flows of a
+// CoFlow finished, estimate each unfinished flow's remaining length as
+// median(finished lengths) − sent, and return the maximum, m_c.
+//
+// The estimate is only trusted in the CoFlow's tail phase — at least
+// half its flows finished — which is the straggler/failure situation
+// the paper targets. Triggering on the very first completion would let
+// one early small flow of a large unequal-length CoFlow fake a tiny
+// remaining size and hoist the whole CoFlow into the top queue, where
+// it blocks genuinely short CoFlows. The second result is false when
+// the estimate does not apply.
+func srtfEstimate(c *coflow.CoFlow) (coflow.Bytes, bool) {
+	finished := c.FinishedFlowSizes()
+	if len(finished) == 0 {
+		return 0, false
+	}
+	pending := c.PendingFlows()
+	if len(pending) == 0 || len(finished) < len(pending) {
+		return 0, false
+	}
+	fe := median(finished)
+	var worst coflow.Bytes
+	for _, f := range pending {
+		rem := fe - f.Sent
+		if rem < 0 {
+			rem = 0
+		}
+		if rem > worst {
+			worst = rem
+		}
+	}
+	return worst, true
+}
+
+func median(xs []coflow.Bytes) coflow.Bytes {
+	ys := append([]coflow.Bytes(nil), xs...)
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
+// orderQueue sorts one queue's CoFlows for scanning: CoFlows past
+// their starvation deadline first (oldest deadline first), then LCoF
+// by ascending contention (ties FIFO), or pure FIFO when LCoF is off.
+func (s *Saath) orderQueue(bucket []*coflow.CoFlow, contention map[coflow.CoFlowID]int, now coflow.Time) {
+	sort.SliceStable(bucket, func(i, j int) bool {
+		a, b := bucket[i], bucket[j]
+		sa, sb := s.state[a.ID()], s.state[b.ID()]
+		ea, eb := now >= sa.deadline, now >= sb.deadline
+		if ea != eb {
+			return ea // expired first
+		}
+		if ea && eb && sa.deadline != sb.deadline {
+			return sa.deadline < sb.deadline
+		}
+		if s.params.LCoF {
+			ka, kb := contention[a.ID()], contention[b.ID()]
+			if ka != kb {
+				return ka < kb
+			}
+		}
+		if a.Arrived != b.Arrived {
+			return a.Arrived < b.Arrived
+		}
+		return a.ID() < b.ID()
+	})
+}
+
+// workConserve hands residual port bandwidth to the CoFlows that
+// missed all-or-none admission, in their queue order (§4.2 D4): each
+// flow gets min(sender residual, receiver residual), outside
+// all-or-none, so otherwise-idle ports speed CoFlows up without
+// pushing anyone back.
+func (s *Saath) workConserve(fab *fabric.Fabric, missed []*coflow.CoFlow, alloc sched.Allocation) {
+	const eps = 1e-3
+	for _, c := range missed {
+		for _, f := range c.SendableFlows() {
+			r := fab.PathFree(f.Src, f.Dst)
+			if float64(r) <= eps {
+				continue
+			}
+			alloc[f.ID] += r
+			fab.Allocate(f.Src, f.Dst, r)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"saath/internal/report"
+	"saath/internal/stats"
+	"saath/internal/trace"
+)
+
+// tinyEnv is a very small environment so every figure runs in
+// milliseconds; shape assertions use quickEnv below.
+func tinyEnv(t *testing.T) *Env {
+	t.Helper()
+	e := NewEnv(ScaleQuick)
+	fbCfg := QuickFBConfig(1)
+	fbCfg.NumPorts, fbCfg.NumCoFlows = 16, 30
+	ospCfg := QuickOSPConfig(1)
+	ospCfg.NumPorts, ospCfg.NumCoFlows = 12, 40
+	e.FB = trace.Synthesize(fbCfg, "fb-tiny")
+	e.OSP = trace.Synthesize(ospCfg, "osp-tiny")
+	return e
+}
+
+var sharedQuick *Env
+
+// quickEnv memoizes the standard quick environment across tests in
+// this package (simulations dominate the suite's runtime).
+func quickEnv(t *testing.T) *Env {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("quick env skipped in -short mode")
+	}
+	if sharedQuick == nil {
+		sharedQuick = NewEnv(ScaleQuick)
+	}
+	return sharedQuick
+}
+
+func renderAll(t *testing.T, tables []*report.Table) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, tbl := range tables {
+		if err := tbl.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sb.String()
+}
+
+func TestEnvMemoizes(t *testing.T) {
+	e := tinyEnv(t)
+	a, err := e.Run(e.FB, "saath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(e.FB, "saath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Run not memoized")
+	}
+}
+
+func TestFig1ShowsSaathAdvantage(t *testing.T) {
+	e := tinyEnv(t)
+	tables, err := e.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderAll(t, tables)
+	if !strings.Contains(out, "average") || !strings.Contains(out, "C1") {
+		t.Fatalf("fig1 output:\n%s", out)
+	}
+	// The averages row: aalo >= saath (column order: coflow, aalo, saath).
+	rows := tables[0].Rows
+	last := rows[len(rows)-1]
+	if last[1] < last[2] {
+		t.Fatalf("fig1 averages: aalo %s < saath %s", last[1], last[2])
+	}
+}
+
+func TestFig2Tables(t *testing.T) {
+	e := tinyEnv(t)
+	tables, err := e.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("fig2 tables = %d", len(tables))
+	}
+	out := renderAll(t, tables)
+	for _, want := range []string{"Fig 2a", "Fig 2b", "Fig 2c", "workload mix", "single-flow"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFig3LWTFBeatsAalo(t *testing.T) {
+	e := quickEnv(t)
+	tables, err := e.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	overall := tables[len(tables)-1]
+	vals := map[string]string{}
+	for _, row := range overall.Rows {
+		vals[row[0]] = row[1]
+	}
+	if len(vals) != 3 {
+		t.Fatalf("overall rows = %v", overall.Rows)
+	}
+	// LWTF must improve over Aalo overall (positive %), the paper's
+	// headline motivation for contention-awareness.
+	if !positive(vals["lwtf"]) {
+		t.Fatalf("lwtf overall improvement = %s, want positive", vals["lwtf"])
+	}
+}
+
+func positive(s string) bool {
+	return len(s) > 0 && s[0] != '-' && s != "0.0"
+}
+
+func TestFig9SaathBeatsAaloAndUCTCP(t *testing.T) {
+	e := quickEnv(t)
+	tables, err := e.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 { // FB and OSP
+		t.Fatalf("fig9 tables = %d", len(tables))
+	}
+	for _, tbl := range tables {
+		for _, row := range tbl.Rows {
+			series, median := row[0], row[2]
+			switch {
+			case strings.HasPrefix(series, "aalo"):
+				if !atLeast(median, 1.0) {
+					t.Errorf("%s: saath vs aalo median %s < 1", tbl.Title, median)
+				}
+			case strings.HasPrefix(series, "uc-tcp"):
+				if !atLeast(median, 1.2) {
+					t.Errorf("%s: saath vs uc-tcp median %s, want clear win", tbl.Title, median)
+				}
+			}
+		}
+	}
+}
+
+func atLeast(s string, min float64) bool {
+	var v float64
+	if _, err := sscan(s, &v); err != nil {
+		return false
+	}
+	return v >= min
+}
+
+func sscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+func TestFig10BreakdownOrdering(t *testing.T) {
+	e := quickEnv(t)
+	tables, err := e.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("fig10 rows = %v", rows)
+	}
+	// Full Saath (row 3) should not be slower than plain A/N+FIFO
+	// (row 1) on the FB trace median.
+	var anFifo, full float64
+	sscan(rows[0][1], &anFifo)
+	sscan(rows[2][1], &full)
+	if full < anFifo-0.15 {
+		t.Fatalf("fig10: full saath %.2f clearly below A/N+FIFO %.2f", full, anFifo)
+	}
+}
+
+func TestFig11And12Bins(t *testing.T) {
+	e := quickEnv(t)
+	for name, fn := range map[string]func() ([]*report.Table, error){
+		"fig11": e.Fig11, "fig12": e.Fig12,
+	} {
+		tables, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tbl := tables[0]
+		if len(tbl.Rows) != 3 || len(tbl.Headers) != 5 {
+			t.Fatalf("%s shape: %v", name, tbl)
+		}
+	}
+}
+
+func TestFig13SaathReducesDeviation(t *testing.T) {
+	e := quickEnv(t)
+	tables, err := e.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary := tables[len(tables)-1]
+	// Rows: aalo/equal, aalo/unequal, saath/equal, saath/unequal with
+	// columns [sched, class, frac in-sync, frac <=0.10].
+	var aaloSync, saathSync float64
+	for _, row := range summary.Rows {
+		if row[1] != "equal" {
+			continue
+		}
+		if row[0] == "aalo" {
+			sscan(row[3], &aaloSync)
+		} else {
+			sscan(row[3], &saathSync)
+		}
+	}
+	if saathSync < aaloSync {
+		t.Fatalf("fig13: saath ≤0.10 share %.2f < aalo %.2f", saathSync, aaloSync)
+	}
+}
+
+func TestFig17SJFSuboptimal(t *testing.T) {
+	e := tinyEnv(t)
+	tables, err := e.Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	last := rows[len(rows)-1]
+	var sjf, lwtf float64
+	sscan(last[1], &sjf)
+	sscan(last[2], &lwtf)
+	if lwtf >= sjf {
+		t.Fatalf("fig17: lwtf avg %.2f !< sjf avg %.2f", lwtf, sjf)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	e := tinyEnv(t)
+	tables, err := e.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 2 {
+		t.Fatalf("table2 rows = %v", tables[0].Rows)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	e := tinyEnv(t)
+	wc, err := e.AblationWorkConservation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wc[0].Rows) != 2 {
+		t.Fatal("work conservation ablation shape")
+	}
+	dyn, err := e.AblationDynamics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dyn[0].Rows) != 2 {
+		t.Fatal("dynamics ablation shape")
+	}
+}
+
+func TestFig14SweepsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	e := tinyEnv(t)
+	tables, err := e.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("fig14 tables = %d", len(tables))
+	}
+	wantRows := []int{6, 5, 6, 6, 5}
+	for i, tbl := range tables {
+		if len(tbl.Rows) != wantRows[i] {
+			t.Errorf("fig14 table %d rows = %d, want %d", i, len(tbl.Rows), wantRows[i])
+		}
+	}
+}
+
+func TestOSPShowsHigherTailThanFB(t *testing.T) {
+	// The paper's explanation for OSP's P90=37x: busier ports amplify
+	// HoL blocking. Verify the tail (P90) speedup over Aalo is at
+	// least as large on OSP as on FB.
+	e := quickEnv(t)
+	fb, err := e.SpeedupOver(e.FB, "aalo", "saath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	osp, err := e.SpeedupOver(e.OSP, "aalo", "saath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbP90 := stats.Percentile(fb, 90)
+	ospP90 := stats.Percentile(osp, 90)
+	if ospP90 < fbP90*0.8 {
+		t.Fatalf("tail inversion: OSP P90 %.2f << FB P90 %.2f", ospP90, fbP90)
+	}
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"saath/internal/coflow"
+	"saath/internal/report"
+	"saath/internal/runtime"
+	"saath/internal/sched"
+	"saath/internal/stats"
+	"saath/internal/trace"
+)
+
+// TestbedConfig sizes the prototype runs backing Fig. 15 and Fig. 16.
+// The defaults replay a tiny FB-mix trace through real coordinator,
+// agents and sockets on localhost in a few seconds per scheduler.
+type TestbedConfig struct {
+	NumPorts int
+	Coflows  int
+	Seed     int64
+	PortRate coflow.Rate   // localhost-scaled line rate
+	Delta    time.Duration // coordinator sync interval
+	Timeout  time.Duration
+}
+
+// DefaultTestbedConfig returns the quick localhost configuration.
+func DefaultTestbedConfig() TestbedConfig {
+	return TestbedConfig{
+		NumPorts: 6,
+		Coflows:  12,
+		Seed:     3,
+		PortRate: coflow.Rate(25e6), // 200 Mbit-equivalent per port
+		Delta:    10 * time.Millisecond,
+		Timeout:  2 * time.Minute,
+	}
+}
+
+// testbedTrace builds the small FB-mix workload replayed on the
+// prototype: flow sizes in the hundreds of kilobytes so a full replay
+// stays within seconds at localhost rates.
+func testbedTrace(cfg TestbedConfig) *trace.Trace {
+	sc := trace.SynthConfig{
+		Seed:             cfg.Seed,
+		NumPorts:         cfg.NumPorts,
+		NumCoFlows:       cfg.Coflows,
+		MeanInterArrival: 60 * coflow.Millisecond,
+		SingleFlowFrac:   0.25,
+		EqualLengthFrac:  0.5,
+		WideFracNarrowCF: 0.3,
+		SmallFracNarrow:  0.8,
+		SmallFracWide:    0.5,
+		MinSmall:         100 * coflow.KB,
+		MaxSmall:         600 * coflow.KB,
+		MinLarge:         600 * coflow.KB,
+		MaxLarge:         3 * coflow.MB,
+	}
+	return trace.Synthesize(sc, fmt.Sprintf("testbed-%d", cfg.Seed))
+}
+
+// RunTestbed replays the testbed trace through a real coordinator and
+// agents under the named scheduler and returns per-CoFlow results.
+func RunTestbed(schedName string, cfg TestbedConfig) ([]runtime.CoFlowResult, error) {
+	tr := testbedTrace(cfg)
+	s, err := sched.New(schedName, sched.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	coord, err := runtime.NewCoordinator(runtime.CoordinatorConfig{
+		Scheduler: s,
+		NumPorts:  cfg.NumPorts,
+		PortRate:  cfg.PortRate,
+		Delta:     cfg.Delta,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go coord.Serve()
+	defer coord.Close()
+
+	agents := make([]*runtime.Agent, cfg.NumPorts)
+	for i := range agents {
+		agents[i], err = runtime.NewAgent(runtime.AgentConfig{
+			Port:            i,
+			CoordinatorAddr: coord.ControlAddr(),
+			StatsInterval:   cfg.Delta,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer agents[i].Close()
+	}
+	client := runtime.NewClient(coord.HTTPAddr())
+
+	// Replay registrations on the trace's arrival clock.
+	start := time.Now()
+	for _, spec := range tr.Specs {
+		at := time.Duration(spec.Arrival) * time.Microsecond
+		if wait := at - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		if err := client.Register(spec); err != nil {
+			return nil, fmt.Errorf("register coflow %d: %w", spec.ID, err)
+		}
+	}
+	return client.WaitForResults(len(tr.Specs), cfg.Timeout)
+}
+
+// Fig15 reproduces the testbed CCT comparison: the CDF of per-CoFlow
+// speedup of Saath over Aalo on the prototype.
+func Fig15(cfg TestbedConfig) ([]*report.Table, error) {
+	sp, err := testbedSpeedups(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cdf := stats.CDF(sp)
+	t := report.SampledCDFTable("Fig 15 — [testbed] CDF of CCT speedup of Saath over Aalo", "speedup", cdf, cdfPoints)
+	s := stats.Summarize(sp)
+	sum := &report.Table{Title: "Fig 15 — summary", Headers: []string{"median", "mean", "p90", "n"}}
+	sum.AddRow(fmt.Sprintf("%.2f", s.Median), fmt.Sprintf("%.2f", s.Mean), fmt.Sprintf("%.2f", s.P90), s.N)
+	return []*report.Table{t, sum}, nil
+}
+
+// Fig16 maps the testbed CCT improvements to job completion times
+// using the shuffle-fraction model (§7.2): jobs are assigned shuffle
+// fractions deterministically across the Aalo distribution's buckets.
+func Fig16(cfg TestbedConfig) ([]*report.Table, error) {
+	aalo, saath, err := testbedPair(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buckets := []struct {
+		label string
+		frac  float64
+	}{
+		{"<25%", 0.15},
+		{"25-50%", 0.375},
+		{"50-75%", 0.625},
+		{">=75%", 0.85},
+	}
+	t := &report.Table{
+		Title:   "Fig 16 — [testbed] JCT speedup by shuffle fraction",
+		Headers: []string{"shuffle fraction", "p50", "p90", "n"},
+	}
+	var all []float64
+	saathCCT := make(map[coflow.CoFlowID]time.Duration, len(saath))
+	for _, r := range saath {
+		saathCCT[r.ID] = r.CCT
+	}
+	// Deterministic assignment: coflow ID modulo bucket count, the
+	// same distribution for both schedulers.
+	for bi, b := range buckets {
+		model := stats.JCTModel{ShuffleFraction: b.frac}
+		var sp []float64
+		for _, r := range aalo {
+			if int(r.ID)%len(buckets) != bi {
+				continue
+			}
+			sc, ok := saathCCT[r.ID]
+			if !ok || sc <= 0 || r.CCT <= 0 {
+				continue
+			}
+			sp = append(sp, model.JCTSpeedup(
+				coflow.Time(r.CCT/time.Microsecond), coflow.Time(sc/time.Microsecond)))
+		}
+		all = append(all, sp...)
+		if len(sp) == 0 {
+			t.AddRow(b.label, "-", "-", 0)
+			continue
+		}
+		t.AddRow(b.label,
+			fmt.Sprintf("%.2f", stats.Percentile(sp, 50)),
+			fmt.Sprintf("%.2f", stats.Percentile(sp, 90)),
+			len(sp))
+	}
+	if len(all) > 0 {
+		t.AddRow("all",
+			fmt.Sprintf("%.2f", stats.Percentile(all, 50)),
+			fmt.Sprintf("%.2f", stats.Percentile(all, 90)),
+			len(all))
+	}
+	return []*report.Table{t}, nil
+}
+
+func testbedPair(cfg TestbedConfig) (aalo, saath []runtime.CoFlowResult, err error) {
+	aalo, err = RunTestbed("aalo", cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("testbed aalo: %w", err)
+	}
+	saath, err = RunTestbed("saath", cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("testbed saath: %w", err)
+	}
+	return aalo, saath, nil
+}
+
+func testbedSpeedups(cfg TestbedConfig) ([]float64, error) {
+	aalo, saath, err := testbedPair(cfg)
+	if err != nil {
+		return nil, err
+	}
+	am := make(map[coflow.CoFlowID]time.Duration, len(aalo))
+	for _, r := range aalo {
+		am[r.ID] = r.CCT
+	}
+	var sp []float64
+	for _, r := range saath {
+		if b, ok := am[r.ID]; ok && r.CCT > 0 && b > 0 {
+			sp = append(sp, float64(b)/float64(r.CCT))
+		}
+	}
+	sort.Float64s(sp)
+	return sp, nil
+}

@@ -1,0 +1,153 @@
+// Package fabric models the paper's network substrate: a full-bisection
+// "big switch" datacenter fabric in which congestion occurs only at the
+// node ports (§6 Setup). Every node owns one egress (sender) port and
+// one ingress (receiver) port of equal capacity, 1 Gbps by default.
+//
+// The Fabric tracks residual capacity as a scheduler hands out rates;
+// package-level helpers implement max-min fair water-filling, used by
+// the UC-TCP baseline and by work conservation.
+package fabric
+
+import (
+	"fmt"
+
+	"saath/internal/coflow"
+)
+
+// DefaultPortRate is the per-port line rate used throughout the paper.
+var DefaultPortRate = coflow.GbpsRate(1)
+
+// Fabric is the residual-capacity ledger for one scheduling round.
+// It is not safe for concurrent use; the coordinator owns it.
+type Fabric struct {
+	numPorts    int
+	portRate    coflow.Rate
+	egressFree  []coflow.Rate // residual per sender port
+	ingressFree []coflow.Rate // residual per receiver port
+}
+
+// New creates a fabric of numPorts nodes with the given per-port rate.
+func New(numPorts int, rate coflow.Rate) *Fabric {
+	if numPorts <= 0 {
+		panic(fmt.Sprintf("fabric.New: numPorts=%d", numPorts))
+	}
+	if rate <= 0 {
+		panic(fmt.Sprintf("fabric.New: rate=%v", rate))
+	}
+	f := &Fabric{
+		numPorts:    numPorts,
+		portRate:    rate,
+		egressFree:  make([]coflow.Rate, numPorts),
+		ingressFree: make([]coflow.Rate, numPorts),
+	}
+	f.Reset()
+	return f
+}
+
+// NumPorts returns the node count.
+func (f *Fabric) NumPorts() int { return f.numPorts }
+
+// PortRate returns the per-port line rate.
+func (f *Fabric) PortRate() coflow.Rate { return f.portRate }
+
+// Reset restores full capacity at every port, starting a new round.
+func (f *Fabric) Reset() {
+	for i := range f.egressFree {
+		f.egressFree[i] = f.portRate
+		f.ingressFree[i] = f.portRate
+	}
+}
+
+// EgressFree returns residual sender-side capacity at port p.
+func (f *Fabric) EgressFree(p coflow.PortID) coflow.Rate { return f.egressFree[p] }
+
+// IngressFree returns residual receiver-side capacity at port p.
+func (f *Fabric) IngressFree(p coflow.PortID) coflow.Rate { return f.ingressFree[p] }
+
+// PathFree returns the rate available to one flow from src to dst: the
+// minimum of residual egress at src and residual ingress at dst.
+func (f *Fabric) PathFree(src, dst coflow.PortID) coflow.Rate {
+	e, i := f.egressFree[src], f.ingressFree[dst]
+	if e < i {
+		return e
+	}
+	return i
+}
+
+// Allocate reserves rate r on the src→dst path. It panics if the
+// reservation exceeds residual capacity beyond a tiny floating-point
+// tolerance — schedulers must never oversubscribe ports.
+func (f *Fabric) Allocate(src, dst coflow.PortID, r coflow.Rate) {
+	if r < 0 {
+		panic(fmt.Sprintf("fabric: negative allocation %v", r))
+	}
+	const tol = 1e-6
+	if r > f.egressFree[src]+coflow.Rate(tol*float64(f.portRate)) {
+		panic(fmt.Sprintf("fabric: egress port %d oversubscribed: want %v, free %v", src, r, f.egressFree[src]))
+	}
+	if r > f.ingressFree[dst]+coflow.Rate(tol*float64(f.portRate)) {
+		panic(fmt.Sprintf("fabric: ingress port %d oversubscribed: want %v, free %v", dst, r, f.ingressFree[dst]))
+	}
+	f.egressFree[src] -= r
+	f.ingressFree[dst] -= r
+	if f.egressFree[src] < 0 {
+		f.egressFree[src] = 0
+	}
+	if f.ingressFree[dst] < 0 {
+		f.ingressFree[dst] = 0
+	}
+}
+
+// Release returns rate r to the src→dst path, clamped at line rate.
+func (f *Fabric) Release(src, dst coflow.PortID, r coflow.Rate) {
+	if r < 0 {
+		panic(fmt.Sprintf("fabric: negative release %v", r))
+	}
+	f.egressFree[src] += r
+	f.ingressFree[dst] += r
+	if f.egressFree[src] > f.portRate {
+		f.egressFree[src] = f.portRate
+	}
+	if f.ingressFree[dst] > f.portRate {
+		f.ingressFree[dst] = f.portRate
+	}
+}
+
+// CoFlowAvailable reports whether every port a CoFlow's pending flows
+// touch has strictly positive residual capacity — the all-or-none
+// admission test (Fig. 7 line 7).
+func (f *Fabric) CoFlowAvailable(c *coflow.CoFlow) bool {
+	const eps = 1e-3 // below 1 mB/s a port is effectively busy
+	for _, fl := range c.Flows {
+		if fl.Done || !fl.Available {
+			continue
+		}
+		if float64(f.egressFree[fl.Src]) < eps || float64(f.ingressFree[fl.Dst]) < eps {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualRateForCoFlow computes the MADD-style equal per-flow rate for a
+// CoFlow (§4.2 D2): the slowest flow's achievable share governs all
+// flows, where each port's residual capacity is divided by the number
+// of the CoFlow's pending flows at that port.
+func (f *Fabric) EqualRateForCoFlow(c *coflow.CoFlow) coflow.Rate {
+	use := c.Use()
+	rate := f.portRate
+	for p, n := range use.SrcFlows {
+		if share := f.egressFree[p] / coflow.Rate(n); share < rate {
+			rate = share
+		}
+	}
+	for p, n := range use.DstFlows {
+		if share := f.ingressFree[p] / coflow.Rate(n); share < rate {
+			rate = share
+		}
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return rate
+}

@@ -1,0 +1,245 @@
+package fabric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"saath/internal/coflow"
+)
+
+func TestNewAndReset(t *testing.T) {
+	f := New(4, DefaultPortRate)
+	if f.NumPorts() != 4 || f.PortRate() != DefaultPortRate {
+		t.Fatalf("shape: %d ports rate %v", f.NumPorts(), f.PortRate())
+	}
+	f.Allocate(0, 1, DefaultPortRate/2)
+	f.Reset()
+	if f.EgressFree(0) != DefaultPortRate || f.IngressFree(1) != DefaultPortRate {
+		t.Fatal("Reset did not restore capacity")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, tc := range []struct {
+		ports int
+		rate  coflow.Rate
+	}{{0, 1}, {-1, 1}, {4, 0}, {4, -5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %v) did not panic", tc.ports, tc.rate)
+				}
+			}()
+			New(tc.ports, tc.rate)
+		}()
+	}
+}
+
+func TestAllocateRelease(t *testing.T) {
+	f := New(4, 100)
+	f.Allocate(0, 1, 60)
+	if f.EgressFree(0) != 40 || f.IngressFree(1) != 40 {
+		t.Fatalf("free after alloc: %v / %v", f.EgressFree(0), f.IngressFree(1))
+	}
+	if f.PathFree(0, 2) != 40 { // limited by src egress
+		t.Fatalf("PathFree = %v", f.PathFree(0, 2))
+	}
+	if f.PathFree(2, 1) != 40 { // limited by dst ingress
+		t.Fatalf("PathFree = %v", f.PathFree(2, 1))
+	}
+	f.Release(0, 1, 60)
+	if f.EgressFree(0) != 100 || f.IngressFree(1) != 100 {
+		t.Fatal("Release did not restore")
+	}
+	// Release clamps at line rate.
+	f.Release(0, 1, 500)
+	if f.EgressFree(0) != 100 {
+		t.Fatal("Release exceeded line rate")
+	}
+}
+
+func TestAllocateOversubscribePanics(t *testing.T) {
+	f := New(2, 100)
+	f.Allocate(0, 1, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversubscription did not panic")
+		}
+	}()
+	f.Allocate(0, 1, 1)
+}
+
+func TestAllocateNegativePanics(t *testing.T) {
+	f := New(2, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative allocation did not panic")
+		}
+	}()
+	f.Allocate(0, 1, -1)
+}
+
+func coflow2x2() *coflow.CoFlow {
+	return coflow.New(&coflow.Spec{ID: 1, Flows: []coflow.FlowSpec{
+		{Src: 0, Dst: 2, Size: 100},
+		{Src: 0, Dst: 3, Size: 100},
+		{Src: 1, Dst: 2, Size: 100},
+		{Src: 1, Dst: 3, Size: 100},
+	}})
+}
+
+func TestCoFlowAvailable(t *testing.T) {
+	f := New(4, 100)
+	c := coflow2x2()
+	if !f.CoFlowAvailable(c) {
+		t.Fatal("fresh fabric should admit coflow")
+	}
+	f.Allocate(0, 0, 100) // saturate egress 0 (ingress 0 is unused by c)
+	if f.CoFlowAvailable(c) {
+		t.Fatal("coflow admitted with saturated port")
+	}
+	// A coflow whose flows avoid port 0 is still admissible.
+	other := coflow.New(&coflow.Spec{ID: 2, Flows: []coflow.FlowSpec{{Src: 1, Dst: 3, Size: 1}}})
+	if !f.CoFlowAvailable(other) {
+		t.Fatal("unrelated coflow rejected")
+	}
+	// Done flows do not count.
+	c.Flows[0].Done = true
+	c.Flows[1].Done = true
+	if !f.CoFlowAvailable(c) {
+		t.Fatal("coflow with only done flows at busy port rejected")
+	}
+}
+
+func TestCoFlowAvailableSkipsUnavailableFlows(t *testing.T) {
+	f := New(4, 100)
+	f.Allocate(0, 0, 100)
+	c := coflow2x2()
+	for i := range c.Flows {
+		if c.Flows[i].Src == 0 {
+			c.Flows[i].Available = false
+		}
+	}
+	if !f.CoFlowAvailable(c) {
+		t.Fatal("unavailable flows should not block admission")
+	}
+}
+
+func TestEqualRateForCoFlow(t *testing.T) {
+	f := New(4, 100)
+	c := coflow2x2()
+	// Each of ports 0..3 carries 2 flows -> equal rate 100/2 = 50.
+	if got := f.EqualRateForCoFlow(c); got != 50 {
+		t.Fatalf("equal rate = %v, want 50", got)
+	}
+	// Constrain ingress 2 to 40 -> rate 40/2 = 20.
+	f.Allocate(1, 2, 60)
+	// (that also took 60 from egress 1: free 40, 2 flows -> 20)
+	if got := f.EqualRateForCoFlow(c); got != 20 {
+		t.Fatalf("equal rate = %v, want 20", got)
+	}
+}
+
+func TestMaxMinFairSingleBottleneck(t *testing.T) {
+	f := New(4, 100)
+	// Three flows out of port 0: fair share 33.3 each.
+	d := []Demand{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}}
+	rates := f.MaxMinFair(d)
+	for i, r := range rates {
+		if math.Abs(float64(r)-100.0/3) > 1e-6 {
+			t.Fatalf("rate[%d] = %v, want 33.33", i, r)
+		}
+	}
+}
+
+func TestMaxMinFairTwoLevels(t *testing.T) {
+	f := New(4, 100)
+	// Flow A: 0->2, Flow B: 0->3, Flow C: 1->3.
+	// Port 0 egress splits A,B at 50; port 3 ingress has B(50)+C.
+	// C should get the leftover 50 at port 3, then rise to port 1's
+	// free egress... port 3 ingress caps B+C at 100, so C gets 50.
+	d := []Demand{{Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 1, Dst: 3}}
+	rates := f.MaxMinFair(d)
+	want := []float64{50, 50, 50}
+	for i := range rates {
+		if math.Abs(float64(rates[i])-want[i]) > 1e-6 {
+			t.Fatalf("rates = %v, want %v", rates, want)
+		}
+	}
+}
+
+func TestMaxMinFairRespectsCaps(t *testing.T) {
+	f := New(4, 100)
+	d := []Demand{{Src: 0, Dst: 1, Cap: 10}, {Src: 0, Dst: 2}}
+	rates := f.MaxMinFair(d)
+	if math.Abs(float64(rates[0])-10) > 1e-6 {
+		t.Fatalf("capped rate = %v", rates[0])
+	}
+	if math.Abs(float64(rates[1])-90) > 1e-6 {
+		t.Fatalf("uncapped rate = %v, want 90 (reclaims slack)", rates[1])
+	}
+}
+
+func TestMaxMinFairEmptyAndSaturated(t *testing.T) {
+	f := New(2, 100)
+	if got := f.MaxMinFair(nil); len(got) != 0 {
+		t.Fatal("nil demands")
+	}
+	f.Allocate(0, 1, 100)
+	rates := f.MaxMinFair([]Demand{{Src: 0, Dst: 1}})
+	if rates[0] != 0 {
+		t.Fatalf("saturated rate = %v", rates[0])
+	}
+}
+
+// TestMaxMinFairProperties validates the two defining max-min
+// invariants on random instances: feasibility (no port over capacity)
+// and maximality (every flow is stopped by a saturated port or a cap).
+func TestMaxMinFairProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		nPorts := rng.Intn(6) + 2
+		f := New(nPorts, 100)
+		nd := rng.Intn(12) + 1
+		demands := make([]Demand, nd)
+		for i := range demands {
+			demands[i] = Demand{
+				Src: coflow.PortID(rng.Intn(nPorts)),
+				Dst: coflow.PortID(rng.Intn(nPorts)),
+			}
+			if rng.Intn(3) == 0 {
+				demands[i].Cap = coflow.Rate(rng.Intn(80) + 1)
+			}
+		}
+		rates := f.MaxMinFair(demands)
+
+		eg := make([]float64, nPorts)
+		in := make([]float64, nPorts)
+		for i, d := range demands {
+			eg[d.Src] += float64(rates[i])
+			in[d.Dst] += float64(rates[i])
+			if d.Cap > 0 && float64(rates[i]) > float64(d.Cap)+1e-6 {
+				t.Fatalf("trial %d: flow %d exceeds cap: %v > %v", trial, i, rates[i], d.Cap)
+			}
+			if rates[i] < 0 {
+				t.Fatalf("trial %d: negative rate %v", trial, rates[i])
+			}
+		}
+		for p := 0; p < nPorts; p++ {
+			if eg[p] > 100+1e-4 || in[p] > 100+1e-4 {
+				t.Fatalf("trial %d: port %d oversubscribed eg=%v in=%v", trial, p, eg[p], in[p])
+			}
+		}
+		// Maximality: each flow is limited by a saturated src, dst, or cap.
+		for i, d := range demands {
+			satSrc := eg[d.Src] > 100-1e-3
+			satDst := in[d.Dst] > 100-1e-3
+			capped := d.Cap > 0 && float64(rates[i]) >= float64(d.Cap)-1e-3
+			if !satSrc && !satDst && !capped {
+				t.Fatalf("trial %d: flow %d (rate %v) not maximal (eg=%v in=%v cap=%v)",
+					trial, i, rates[i], eg[d.Src], in[d.Dst], d.Cap)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package fabric
+
+import "saath/internal/coflow"
+
+// Demand is one flow competing for bandwidth in a max-min allocation.
+type Demand struct {
+	Src coflow.PortID
+	Dst coflow.PortID
+	// Cap optionally bounds the rate this flow can absorb (e.g. a
+	// straggler's effective ceiling). Zero or negative means uncapped.
+	Cap coflow.Rate
+}
+
+// MaxMinFair computes the max-min fair rate for each demand using
+// progressive filling over the fabric's *residual* capacities: in each
+// round the most contended port saturates first, its flows are frozen
+// at the fair share, and filling continues on the rest.
+//
+// This is the bandwidth allocation a fabric of ideal TCP flows
+// converges to, and implements the UC-TCP baseline (§6.1) as well as
+// fair work-conservation variants. The fabric is left unchanged;
+// callers apply the returned rates with Allocate if desired.
+func (f *Fabric) MaxMinFair(demands []Demand) []coflow.Rate {
+	rates := make([]coflow.Rate, len(demands))
+	if len(demands) == 0 {
+		return rates
+	}
+
+	// Residual port capacity and per-port count of unfrozen flows.
+	egress := append([]coflow.Rate(nil), f.egressFree...)
+	ingress := append([]coflow.Rate(nil), f.ingressFree...)
+	egCount := make([]int, f.numPorts)
+	inCount := make([]int, f.numPorts)
+	active := make([]bool, len(demands))
+	remaining := 0
+	for i := range demands {
+		active[i] = true
+		remaining++
+		egCount[demands[i].Src]++
+		inCount[demands[i].Dst]++
+	}
+
+	for remaining > 0 {
+		// Find the tightest bottleneck: min over contended ports of
+		// residual / active-count, and over capped flows of their cap.
+		level := coflow.Rate(-1)
+		update := func(candidate coflow.Rate) {
+			if candidate < 0 {
+				candidate = 0
+			}
+			if level < 0 || candidate < level {
+				level = candidate
+			}
+		}
+		for p := 0; p < f.numPorts; p++ {
+			if egCount[p] > 0 {
+				update(egress[p] / coflow.Rate(egCount[p]))
+			}
+			if inCount[p] > 0 {
+				update(ingress[p] / coflow.Rate(inCount[p]))
+			}
+		}
+		for i, d := range demands {
+			if active[i] && d.Cap > 0 {
+				update(d.Cap - rates[i])
+			}
+		}
+		if level < 0 {
+			break // no contended ports left (defensive; remaining>0 implies some)
+		}
+
+		// Raise every active flow by the level, then freeze flows at
+		// saturated ports or at their cap.
+		for i, d := range demands {
+			if !active[i] {
+				continue
+			}
+			rates[i] += level
+			egress[d.Src] -= level
+			ingress[d.Dst] -= level
+		}
+		const eps = 1e-6
+		for i, d := range demands {
+			if !active[i] {
+				continue
+			}
+			saturated := float64(egress[d.Src]) <= eps || float64(ingress[d.Dst]) <= eps
+			capped := d.Cap > 0 && rates[i] >= d.Cap-coflow.Rate(eps)
+			if saturated || capped {
+				active[i] = false
+				remaining--
+				egCount[d.Src]--
+				inCount[d.Dst]--
+			}
+		}
+		if level == 0 {
+			// Ports already saturated; the freeze pass above must have
+			// retired every flow touching them. Any flow still active
+			// has free ports and will progress next round; if none
+			// were retired we are done (all residuals zero).
+			allZero := true
+			for i := range demands {
+				if active[i] {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				break
+			}
+		}
+	}
+	return rates
+}

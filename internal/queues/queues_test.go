@@ -1,0 +1,160 @@
+package queues
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"saath/internal/coflow"
+)
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	c := Default()
+	if c.NumQueues != 10 || c.StartThreshold != 10*coflow.MB || c.Growth != 10 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{NumQueues: 0, StartThreshold: 1, Growth: 2},
+		{NumQueues: 2, StartThreshold: 0, Growth: 2},
+		{NumQueues: 2, StartThreshold: 1, Growth: 1},
+		{NumQueues: 2, StartThreshold: 1, Growth: 0.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestThresholdsGrowExponentially(t *testing.T) {
+	c := Default()
+	if got := c.HiThreshold(0); got != 10*coflow.MB {
+		t.Fatalf("Q^hi_0 = %d", got)
+	}
+	if got := c.HiThreshold(1); got != 100*coflow.MB {
+		t.Fatalf("Q^hi_1 = %d", got)
+	}
+	if got := c.HiThreshold(c.NumQueues - 1); got != math.MaxInt64 {
+		t.Fatalf("last queue threshold = %d, want inf", got)
+	}
+	if got := c.LoThreshold(0); got != 0 {
+		t.Fatalf("Q^lo_0 = %d", got)
+	}
+	if got := c.LoThreshold(2); got != c.HiThreshold(1) {
+		t.Fatal("Q^lo_q != Q^hi_{q-1}")
+	}
+	if got := c.HiThreshold(-1); got != 0 {
+		t.Fatalf("negative queue threshold = %d", got)
+	}
+}
+
+func TestThresholdOverflowClamped(t *testing.T) {
+	c := Config{NumQueues: 100, StartThreshold: coflow.TB, Growth: 32}
+	if got := c.HiThreshold(50); got != math.MaxInt64 {
+		t.Fatalf("huge threshold = %d, want clamp", got)
+	}
+}
+
+func TestQueueForBytes(t *testing.T) {
+	c := Default()
+	cases := []struct {
+		b coflow.Bytes
+		q int
+	}{
+		{0, 0},
+		{10*coflow.MB - 1, 0},
+		{10 * coflow.MB, 1},
+		{99 * coflow.MB, 1},
+		{100 * coflow.MB, 2},
+		{coflow.TB, 6}, // 1 TiB sits just above Q^hi_5 = 10MiB·10^5 -> q=6
+		{math.MaxInt64, c.NumQueues - 1},
+	}
+	for _, tc := range cases {
+		if got := c.QueueForBytes(tc.b); got != tc.q {
+			t.Errorf("QueueForBytes(%d) = %d, want %d", tc.b, got, tc.q)
+		}
+	}
+}
+
+func TestQueueForPerFlowMatchesFig5(t *testing.T) {
+	// Fig. 5: queue threshold 200MB, CoFlow with 100 flows has a
+	// per-flow threshold of 2MB.
+	c := Config{NumQueues: 3, StartThreshold: 200 * coflow.MB, Growth: 10}
+	if got := c.QueueForPerFlow(2*coflow.MB-1, 100); got != 0 {
+		t.Fatalf("below per-flow share: q=%d", got)
+	}
+	if got := c.QueueForPerFlow(2*coflow.MB+1, 100); got != 1 {
+		t.Fatalf("above per-flow share: q=%d", got)
+	}
+}
+
+func TestQueueForPerFlowWidthOne(t *testing.T) {
+	c := Default()
+	// Width 1 degenerates to the total-bytes rule.
+	f := func(raw uint32) bool {
+		b := coflow.Bytes(raw) * coflow.KB
+		return c.QueueForPerFlow(b, 1) == c.QueueForBytes(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.QueueForPerFlow(coflow.MB, 0); got != c.QueueForBytes(coflow.MB) {
+		t.Fatal("width 0 should clamp to 1")
+	}
+}
+
+func TestPerFlowDemotesFasterProperty(t *testing.T) {
+	// Property (§3 idea 2): for the same maximum per-flow progress,
+	// wider CoFlows never sit in a *higher*-priority queue than
+	// narrower ones.
+	c := Default()
+	f := func(rawSent uint16, rawW uint8) bool {
+		sent := coflow.Bytes(rawSent) * 100 * coflow.KB
+		w := int(rawW%100) + 1
+		return c.QueueForPerFlow(sent, w+1) >= c.QueueForPerFlow(sent, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueMonotoneInBytes(t *testing.T) {
+	c := Default()
+	f := func(a, b uint32) bool {
+		x, y := coflow.Bytes(a)*coflow.KB, coflow.Bytes(b)*coflow.KB
+		if x > y {
+			x, y = y, x
+		}
+		return c.QueueForBytes(x) <= c.QueueForBytes(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinResidence(t *testing.T) {
+	c := Default()
+	rate := coflow.Rate(10 * 1024 * 1024) // 10 MiB/s
+	// Queue 0 span = 10MB -> 1s.
+	if got := c.MinResidence(0, rate); got != coflow.Second {
+		t.Fatalf("residence q0 = %v", got)
+	}
+	// Queue 1 span = 90MB -> 9s.
+	if got := c.MinResidence(1, rate); got != 9*coflow.Second {
+		t.Fatalf("residence q1 = %v", got)
+	}
+	// Last queue extrapolates; must be positive and larger than q1's.
+	last := c.MinResidence(c.NumQueues-1, rate)
+	if last <= c.MinResidence(1, rate) {
+		t.Fatalf("last-queue residence = %v", last)
+	}
+	if got := c.MinResidence(0, 0); got != 0 {
+		t.Fatalf("zero-rate residence = %v", got)
+	}
+}

@@ -1,0 +1,140 @@
+// Package report renders experiment output: fixed-width ASCII tables
+// for terminal inspection and CSV for plotting, matching the rows and
+// series of the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"saath/internal/stats"
+)
+
+// Table is a simple fixed-width ASCII table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as comma-separated values (quotes cells that
+// contain commas or quotes).
+func (t *Table) CSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CDFTable renders an empirical CDF as a two-column table, the shape
+// of the paper's CDF figures.
+func CDFTable(title, xLabel string, cdf []stats.CDFPoint) *Table {
+	t := &Table{Title: title, Headers: []string{xLabel, "CDF"}}
+	for _, p := range cdf {
+		t.AddRow(fmt.Sprintf("%.4g", p.X), fmt.Sprintf("%.4f", p.F))
+	}
+	return t
+}
+
+// SampledCDFTable downsamples a CDF to at most n points (always
+// keeping the first and last), keeping figure output readable.
+func SampledCDFTable(title, xLabel string, cdf []stats.CDFPoint, n int) *Table {
+	if n <= 0 || len(cdf) <= n {
+		return CDFTable(title, xLabel, cdf)
+	}
+	sampled := make([]stats.CDFPoint, 0, n)
+	step := float64(len(cdf)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		sampled = append(sampled, cdf[int(float64(i)*step+0.5)])
+	}
+	sampled[n-1] = cdf[len(cdf)-1]
+	return CDFTable(title, xLabel, sampled)
+}
+
+// SpeedupBar renders the paper's bar-with-error-bars presentation:
+// one row per series with P10/median/P90.
+func SpeedupBar(title string, series map[string]stats.SpeedupSummary, order []string) *Table {
+	t := &Table{Title: title, Headers: []string{"series", "p10", "median", "p90", "mean", "n"}}
+	for _, name := range order {
+		s, ok := series[name]
+		if !ok {
+			continue
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.2f", s.P10),
+			fmt.Sprintf("%.2f", s.Median),
+			fmt.Sprintf("%.2f", s.P90),
+			fmt.Sprintf("%.2f", s.Mean),
+			s.N)
+	}
+	return t
+}

@@ -1,0 +1,293 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// AgentConfig configures one local agent (§5): it serves a single
+// cluster port, receives flow bytes from peers on its data listener,
+// sends its own flows at coordinator-assigned rates, and reports flow
+// statistics every sync interval.
+type AgentConfig struct {
+	Port            int    // the node/port index this agent serves
+	CoordinatorAddr string // coordinator control address
+	DataAddr        string // data-plane listen address (":0" for any)
+	// StatsInterval is the reporting period (defaults to 20ms, the
+	// prototype's δ; the coordinator schedules on its own δ clock).
+	StatsInterval time.Duration
+	// ChunkBytes is the write granularity on the data plane.
+	ChunkBytes int
+}
+
+func (c AgentConfig) withDefaults() AgentConfig {
+	if c.DataAddr == "" {
+		c.DataAddr = "127.0.0.1:0"
+	}
+	if c.StatsInterval <= 0 {
+		c.StatsInterval = 20 * time.Millisecond
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 16 << 10
+	}
+	return c
+}
+
+// senderState is one outgoing flow owned by this agent.
+type senderState struct {
+	key     flowKey
+	dstAddr string
+	size    int64
+	bucket  *tokenBucket
+
+	mu      sync.Mutex
+	sent    int64
+	done    bool
+	doneAt  time.Time
+	started bool
+}
+
+// Agent is a local Saath agent.
+type Agent struct {
+	cfg      AgentConfig
+	ctl      net.Conn
+	ctlMu    sync.Mutex
+	dataLn   net.Listener
+	stopped  chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	senders map[flowKey]*senderState
+
+	// received counts data-plane bytes per incoming flow (receiver side).
+	recvMu   sync.Mutex
+	received map[flowKey]int64
+}
+
+// NewAgent connects to the coordinator and starts the data listener,
+// stats loop and schedule listener.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CoordinatorAddr == "" {
+		return nil, errors.New("runtime: agent needs CoordinatorAddr")
+	}
+	dataLn, err := net.Listen("tcp", cfg.DataAddr)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: data listen: %w", err)
+	}
+	ctl, err := net.Dial("tcp", cfg.CoordinatorAddr)
+	if err != nil {
+		dataLn.Close()
+		return nil, fmt.Errorf("runtime: dial coordinator: %w", err)
+	}
+	a := &Agent{
+		cfg:      cfg,
+		ctl:      ctl,
+		dataLn:   dataLn,
+		stopped:  make(chan struct{}),
+		senders:  make(map[flowKey]*senderState),
+		received: make(map[flowKey]int64),
+	}
+	hello := &envelope{Kind: kindHello, Hello: &helloMsg{Port: cfg.Port, DataAddr: dataLn.Addr().String()}}
+	if err := writeFrame(ctl, hello); err != nil {
+		a.Close()
+		return nil, fmt.Errorf("runtime: hello: %w", err)
+	}
+	a.wg.Add(3)
+	go func() { defer a.wg.Done(); a.acceptData() }()
+	go func() { defer a.wg.Done(); a.controlLoop() }()
+	go func() { defer a.wg.Done(); a.statsLoop() }()
+	return a, nil
+}
+
+// DataAddr returns the data-plane listen address.
+func (a *Agent) DataAddr() string { return a.dataLn.Addr().String() }
+
+// Close stops the agent.
+func (a *Agent) Close() error {
+	a.stopOnce.Do(func() {
+		close(a.stopped)
+		a.ctl.Close()
+		a.dataLn.Close()
+		a.mu.Lock()
+		a.closed = true // applyOrder must not spawn senders past this point
+		for _, s := range a.senders {
+			s.bucket.Close()
+		}
+		a.mu.Unlock()
+	})
+	a.wg.Wait()
+	return nil
+}
+
+// controlLoop applies schedules pushed by the coordinator.
+func (a *Agent) controlLoop() {
+	for {
+		env, err := readFrame(a.ctl)
+		if err != nil {
+			return
+		}
+		if env.Kind != kindSchedule || env.Schedule == nil {
+			continue
+		}
+		for _, o := range env.Schedule.Orders {
+			a.applyOrder(o)
+		}
+	}
+}
+
+// applyOrder creates or updates the sender for one flow. Agents keep
+// following the last schedule until a new one arrives (§5), which the
+// token bucket realizes by holding its rate.
+func (a *Agent) applyOrder(o flowOrder) {
+	key := flowKey{CoFlow: o.CoFlow, Index: o.Index}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	s, ok := a.senders[key]
+	if !ok {
+		// Burst of one stats interval at the assigned rate, floored so
+		// small rates still move chunk-sized writes.
+		burst := float64(a.cfg.ChunkBytes) * 4
+		s = &senderState{key: key, dstAddr: o.DstAddr, size: o.Size, bucket: newTokenBucket(burst)}
+		a.senders[key] = s
+	}
+	a.mu.Unlock()
+	s.bucket.SetRate(o.RateBps)
+	s.mu.Lock()
+	start := !s.started && !s.done
+	if start {
+		s.started = true
+	}
+	s.mu.Unlock()
+	if start {
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			a.runSender(s)
+		}()
+	}
+}
+
+// runSender moves one flow's bytes to the destination agent at the
+// bucket's (live-updated) rate.
+func (a *Agent) runSender(s *senderState) {
+	conn, err := net.Dial("tcp", s.dstAddr)
+	if err != nil {
+		s.mu.Lock()
+		s.started = false // allow a retry on the next schedule push
+		s.mu.Unlock()
+		return
+	}
+	defer conn.Close()
+	if err := writeDataHeader(conn, dataHeader{CoFlow: s.key.CoFlow, Index: s.key.Index, Size: s.size}); err != nil {
+		return
+	}
+	buf := make([]byte, a.cfg.ChunkBytes)
+	var sent int64
+	for sent < s.size {
+		n := int64(len(buf))
+		if rem := s.size - sent; rem < n {
+			n = rem
+		}
+		if !s.bucket.Take(int(n)) {
+			return // agent closing
+		}
+		if _, err := conn.Write(buf[:n]); err != nil {
+			return
+		}
+		sent += n
+		s.mu.Lock()
+		s.sent = sent
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.done = true
+	s.doneAt = time.Now()
+	s.mu.Unlock()
+}
+
+// acceptData receives peers' flow bytes, counting and discarding.
+func (a *Agent) acceptData() {
+	for {
+		conn, err := a.dataLn.Accept()
+		if err != nil {
+			return
+		}
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			defer conn.Close()
+			h, err := readDataHeader(conn)
+			if err != nil {
+				return
+			}
+			key := flowKey{CoFlow: h.CoFlow, Index: h.Index}
+			buf := make([]byte, 64<<10)
+			for {
+				n, err := conn.Read(buf)
+				if n > 0 {
+					a.recvMu.Lock()
+					a.received[key] += int64(n)
+					a.recvMu.Unlock()
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Received reports bytes received for a flow (receiver-side view).
+func (a *Agent) Received(coflowID int64, index int) int64 {
+	a.recvMu.Lock()
+	defer a.recvMu.Unlock()
+	return a.received[flowKey{CoFlow: coflowID, Index: index}]
+}
+
+// statsLoop reports per-flow progress to the coordinator every
+// interval; completion notifications ride the same channel (§5).
+func (a *Agent) statsLoop() {
+	ticker := time.NewTicker(a.cfg.StatsInterval)
+	defer ticker.Stop()
+	epoch := time.Now()
+	for {
+		select {
+		case <-a.stopped:
+			return
+		case <-ticker.C:
+		}
+		msg := &statsMsg{Port: a.cfg.Port}
+		a.mu.Lock()
+		for _, s := range a.senders {
+			s.mu.Lock()
+			fs := flowStat{
+				CoFlow:    s.key.CoFlow,
+				Index:     s.key.Index,
+				Sent:      s.sent,
+				Done:      s.done,
+				Available: true,
+			}
+			if s.done {
+				fs.DoneAtUS = s.doneAt.Sub(epoch).Microseconds()
+			}
+			s.mu.Unlock()
+			msg.Flows = append(msg.Flows, fs)
+		}
+		a.mu.Unlock()
+		a.ctlMu.Lock()
+		err := writeFrame(a.ctl, &envelope{Kind: kindStats, Stats: msg})
+		a.ctlMu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}

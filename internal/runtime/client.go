@@ -1,0 +1,126 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"saath/internal/coflow"
+)
+
+// Client is the framework-facing REST client for CoFlow operations
+// (register / deregister / update, §5). Compute frameworks like the
+// examples' MapReduce driver use it to bracket their shuffles.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a coordinator's HTTP address ("host:port").
+func NewClient(httpAddr string) *Client {
+	return &Client{
+		base: "http://" + httpAddr,
+		http: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func specToJSON(spec *coflow.Spec) SpecJSON {
+	sj := SpecJSON{ID: int64(spec.ID)}
+	for _, f := range spec.Flows {
+		sj.Flows = append(sj.Flows, struct {
+			Src  int   `json:"src"`
+			Dst  int   `json:"dst"`
+			Size int64 `json:"size"`
+		}{Src: int(f.Src), Dst: int(f.Dst), Size: int64(f.Size)})
+	}
+	return sj
+}
+
+func (c *Client) do(method, path string, body any, wantStatus int) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("runtime: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// Register announces a new CoFlow.
+func (c *Client) Register(spec *coflow.Spec) error {
+	return c.do(http.MethodPost, "/coflows", specToJSON(spec), http.StatusCreated)
+}
+
+// Deregister removes a CoFlow.
+func (c *Client) Deregister(id coflow.CoFlowID) error {
+	return c.do(http.MethodDelete, fmt.Sprintf("/coflows/%d", id), nil, http.StatusNoContent)
+}
+
+// Update replaces a CoFlow's structure (task migration, restarts).
+func (c *Client) Update(spec *coflow.Spec) error {
+	return c.do(http.MethodPut, fmt.Sprintf("/coflows/%d", spec.ID), specToJSON(spec), http.StatusOK)
+}
+
+// Results fetches completed CoFlows.
+func (c *Client) Results() ([]CoFlowResult, error) {
+	resp, err := c.http.Get(c.base + "/results")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("runtime: results: %s", resp.Status)
+	}
+	var out []CoFlowResult
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// Status fetches the coordinator's status summary.
+func (c *Client) Status() (map[string]any, error) {
+	resp, err := c.http.Get(c.base + "/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// WaitForResults polls until n CoFlows have completed or the timeout
+// elapses, returning whatever results exist.
+func (c *Client) WaitForResults(n int, timeout time.Duration) ([]CoFlowResult, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		res, err := c.Results()
+		if err != nil {
+			return nil, err
+		}
+		if len(res) >= n {
+			return res, nil
+		}
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("runtime: timeout: %d of %d coflows completed", len(res), n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,559 @@
+package runtime
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"saath/internal/coflow"
+	"saath/internal/fabric"
+	"saath/internal/sched"
+)
+
+// CoordinatorConfig configures the global coordinator.
+type CoordinatorConfig struct {
+	// Scheduler computes each interval's rates (any registered policy).
+	Scheduler sched.Scheduler
+	// NumPorts is the cluster size; agents identify as ports 0..N-1.
+	NumPorts int
+	// PortRate is the per-port rate the scheduler may hand out. On a
+	// shared localhost testbed this is scaled down from 1 Gbps.
+	PortRate coflow.Rate
+	// Delta is the schedule recomputation/sync interval (default 20ms
+	// on the prototype; the paper uses 8ms on dedicated VMs).
+	Delta time.Duration
+	// ControlAddr and HTTPAddr are listen addresses (host:port);
+	// ":0" picks free ports.
+	ControlAddr string
+	HTTPAddr    string
+}
+
+func (c CoordinatorConfig) withDefaults() (CoordinatorConfig, error) {
+	if c.Scheduler == nil {
+		return c, errors.New("runtime: coordinator needs a scheduler")
+	}
+	if c.NumPorts <= 0 {
+		return c, errors.New("runtime: coordinator needs NumPorts > 0")
+	}
+	if c.PortRate <= 0 {
+		c.PortRate = coflow.Rate(12.5e6) // 100 Mbps-equivalent localhost default
+	}
+	if c.Delta <= 0 {
+		c.Delta = 20 * time.Millisecond
+	}
+	if c.ControlAddr == "" {
+		c.ControlAddr = "127.0.0.1:0"
+	}
+	if c.HTTPAddr == "" {
+		c.HTTPAddr = "127.0.0.1:0"
+	}
+	return c, nil
+}
+
+// CoFlowResult is a completed CoFlow as measured by the coordinator.
+type CoFlowResult struct {
+	ID           coflow.CoFlowID `json:"id"`
+	RegisteredAt time.Time       `json:"registeredAt"`
+	CompletedAt  time.Time       `json:"completedAt"`
+	CCT          time.Duration   `json:"cct"`
+	Width        int             `json:"width"`
+	Bytes        coflow.Bytes    `json:"bytes"`
+}
+
+// liveCoFlow is the coordinator's state for one registered CoFlow.
+type liveCoFlow struct {
+	spec       *coflow.Spec
+	rt         *coflow.CoFlow
+	registered time.Time
+}
+
+// agentConn is one connected local agent.
+type agentConn struct {
+	port     int
+	dataAddr string
+	conn     net.Conn
+	writeMu  sync.Mutex
+}
+
+func (a *agentConn) send(env *envelope) error {
+	a.writeMu.Lock()
+	defer a.writeMu.Unlock()
+	// A stalled agent must not wedge the scheduling loop: bound the
+	// write and let the error path drop the connection.
+	a.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	defer a.conn.SetWriteDeadline(time.Time{})
+	return writeFrame(a.conn, env)
+}
+
+// Coordinator is the global Saath coordinator daemon.
+type Coordinator struct {
+	cfg      CoordinatorConfig
+	ctl      net.Listener
+	httpSrv  *http.Server
+	httpLn   net.Listener
+	stopped  chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	mu      sync.Mutex
+	agents  map[int]*agentConn
+	live    map[coflow.CoFlowID]*liveCoFlow
+	results []CoFlowResult
+	epoch   int64
+
+	// polMu serializes every call into the scheduling policy: Arrive
+	// (REST register), Depart (completion, deregister) and Schedule
+	// (ticker) run on different goroutines, and Scheduler
+	// implementations keep unsynchronized per-CoFlow state.
+	polMu sync.Mutex
+
+	// SchedStats mirrors Table 2: wall-clock cost of Schedule calls.
+	schedMu    sync.Mutex
+	schedCalls int
+	schedTotal time.Duration
+	schedMax   time.Duration
+}
+
+// NewCoordinator validates the config and binds the listeners; call
+// Serve to start the control, HTTP and scheduling loops.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := net.Listen("tcp", cfg.ControlAddr)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: control listen: %w", err)
+	}
+	httpLn, err := net.Listen("tcp", cfg.HTTPAddr)
+	if err != nil {
+		ctl.Close()
+		return nil, fmt.Errorf("runtime: http listen: %w", err)
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		ctl:     ctl,
+		httpLn:  httpLn,
+		stopped: make(chan struct{}),
+		agents:  make(map[int]*agentConn),
+		live:    make(map[coflow.CoFlowID]*liveCoFlow),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/coflows", c.handleCoFlows)
+	mux.HandleFunc("/coflows/", c.handleCoFlowByID)
+	mux.HandleFunc("/results", c.handleResults)
+	mux.HandleFunc("/status", c.handleStatus)
+	c.httpSrv = &http.Server{Handler: mux}
+	return c, nil
+}
+
+// ControlAddr returns the agents' dial address.
+func (c *Coordinator) ControlAddr() string { return c.ctl.Addr().String() }
+
+// HTTPAddr returns the REST API base address.
+func (c *Coordinator) HTTPAddr() string { return c.httpLn.Addr().String() }
+
+// Serve runs the coordinator until Close. It always returns a non-nil
+// error (http.ErrServerClosed on clean shutdown).
+func (c *Coordinator) Serve() error {
+	c.wg.Add(2)
+	go func() {
+		defer c.wg.Done()
+		c.acceptAgents()
+	}()
+	go func() {
+		defer c.wg.Done()
+		c.scheduleLoop()
+	}()
+	return c.httpSrv.Serve(c.httpLn)
+}
+
+// Close stops all loops and closes every connection.
+func (c *Coordinator) Close() error {
+	c.stopOnce.Do(func() {
+		close(c.stopped)
+		c.ctl.Close()
+		c.httpSrv.Close()
+		c.mu.Lock()
+		for _, a := range c.agents {
+			a.conn.Close()
+		}
+		c.mu.Unlock()
+	})
+	c.wg.Wait()
+	return nil
+}
+
+func (c *Coordinator) acceptAgents() {
+	for {
+		conn, err := c.ctl.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.serveAgent(conn)
+		}()
+	}
+}
+
+// serveAgent handles one agent's control connection: a hello frame,
+// then a stream of stats reports.
+func (c *Coordinator) serveAgent(conn net.Conn) {
+	defer conn.Close()
+	env, err := readFrame(conn)
+	if err != nil || env.Kind != kindHello || env.Hello == nil {
+		return
+	}
+	h := env.Hello
+	if h.Port < 0 || h.Port >= c.cfg.NumPorts {
+		return
+	}
+	a := &agentConn{port: h.Port, dataAddr: h.DataAddr, conn: conn}
+	c.mu.Lock()
+	old := c.agents[h.Port]
+	c.agents[h.Port] = a
+	c.mu.Unlock()
+	if old != nil {
+		old.conn.Close()
+	}
+	for {
+		env, err := readFrame(conn)
+		if err != nil {
+			break
+		}
+		if env.Kind == kindStats && env.Stats != nil {
+			c.applyStats(env.Stats)
+		}
+	}
+	c.mu.Lock()
+	if c.agents[h.Port] == a {
+		delete(c.agents, h.Port)
+	}
+	c.mu.Unlock()
+}
+
+// applyStats merges an agent report into coordinator flow state and
+// retires completed CoFlows. It holds polMu because it mutates the
+// CoFlow runtime state the scheduler reads and calls Depart.
+func (c *Coordinator) applyStats(s *statsMsg) {
+	now := time.Now()
+	c.polMu.Lock()
+	defer c.polMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, fs := range s.Flows {
+		lc := c.live[coflow.CoFlowID(fs.CoFlow)]
+		if lc == nil || fs.Index < 0 || fs.Index >= len(lc.rt.Flows) {
+			continue
+		}
+		f := lc.rt.Flows[fs.Index]
+		if coflow.Bytes(fs.Sent) > f.Sent {
+			f.Sent = coflow.Bytes(fs.Sent)
+		}
+		f.Available = fs.Available
+		if fs.Done && !f.Done {
+			f.Done = true
+			f.DoneAt = coflow.Time(now.Sub(lc.registered) / time.Microsecond)
+		}
+	}
+	for id, lc := range c.live {
+		if lc.rt.RefreshDone() {
+			c.results = append(c.results, CoFlowResult{
+				ID:           id,
+				RegisteredAt: lc.registered,
+				CompletedAt:  now,
+				CCT:          now.Sub(lc.registered),
+				Width:        lc.rt.Width(),
+				Bytes:        lc.spec.TotalSize(),
+			})
+			c.cfg.Scheduler.Depart(lc.rt, c.wallTime(now))
+			delete(c.live, id)
+		}
+	}
+}
+
+// wallTime maps wall clock to the scheduler's Time axis (µs since the
+// coordinator started scheduling; only deltas matter to schedulers).
+func (c *Coordinator) wallTime(t time.Time) coflow.Time {
+	return coflow.Time(t.UnixNano() / 1e3)
+}
+
+// scheduleLoop recomputes and pushes the schedule every δ (§5: the
+// coordinator and agents work pipelined — agents follow the previous
+// schedule until a new one arrives).
+func (c *Coordinator) scheduleLoop() {
+	ticker := time.NewTicker(c.cfg.Delta)
+	defer ticker.Stop()
+	fab := fabric.New(c.cfg.NumPorts, c.cfg.PortRate)
+	for {
+		select {
+		case <-c.stopped:
+			return
+		case <-ticker.C:
+		}
+		c.scheduleOnce(fab)
+	}
+}
+
+func (c *Coordinator) scheduleOnce(fab *fabric.Fabric) {
+	now := time.Now()
+	c.polMu.Lock()
+	defer c.polMu.Unlock()
+	c.mu.Lock()
+	active := make([]*coflow.CoFlow, 0, len(c.live))
+	for _, lc := range c.live {
+		active = append(active, lc.rt)
+	}
+	specs := make(map[coflow.CoFlowID]*coflow.Spec, len(c.live))
+	for id, lc := range c.live {
+		specs[id] = lc.spec
+	}
+	agents := make(map[int]*agentConn, len(c.agents))
+	for p, a := range c.agents {
+		agents[p] = a
+	}
+	c.epoch++
+	epoch := c.epoch
+	c.mu.Unlock()
+
+	sched.ByArrival(active)
+	fab.Reset()
+	snap := &sched.Snapshot{Now: c.wallTime(now), Active: active, Fabric: fab}
+	start := time.Now()
+	alloc := c.cfg.Scheduler.Schedule(snap)
+	elapsed := time.Since(start)
+	c.schedMu.Lock()
+	c.schedCalls++
+	c.schedTotal += elapsed
+	if elapsed > c.schedMax {
+		c.schedMax = elapsed
+	}
+	c.schedMu.Unlock()
+
+	// Group orders by sending agent. Every sendable flow gets an
+	// order (rate 0 pauses), so agents always track the newest rates.
+	orders := make(map[int][]flowOrder)
+	for _, cf := range active {
+		spec := specs[cf.ID()]
+		for i, f := range cf.Flows {
+			if f.Done {
+				continue
+			}
+			dst := agents[int(f.Dst)]
+			if dst == nil {
+				continue // receiver not connected yet
+			}
+			orders[int(f.Src)] = append(orders[int(f.Src)], flowOrder{
+				CoFlow:  int64(cf.ID()),
+				Index:   i,
+				DstPort: int(f.Dst),
+				DstAddr: dst.dataAddr,
+				Size:    int64(spec.Flows[i].Size),
+				RateBps: float64(alloc[f.ID]),
+			})
+		}
+	}
+	for port, os := range orders {
+		a := agents[port]
+		if a == nil {
+			continue
+		}
+		msg := &envelope{Kind: kindSchedule, Schedule: &scheduleMsg{Epoch: epoch, Orders: os}}
+		if err := a.send(msg); err != nil {
+			a.conn.Close()
+		}
+	}
+}
+
+// SchedOverhead reports Table-2 style coordinator cost.
+func (c *Coordinator) SchedOverhead() (calls int, mean, max time.Duration) {
+	c.schedMu.Lock()
+	defer c.schedMu.Unlock()
+	if c.schedCalls > 0 {
+		mean = c.schedTotal / time.Duration(c.schedCalls)
+	}
+	return c.schedCalls, mean, c.schedMax
+}
+
+// AgentCount returns the number of connected agents.
+func (c *Coordinator) AgentCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.agents)
+}
+
+// Results returns a snapshot of completed CoFlows.
+func (c *Coordinator) Results() []CoFlowResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]CoFlowResult(nil), c.results...)
+}
+
+// ---- REST API (the CoFlow operations of §5) ----
+
+// SpecJSON is the REST representation of a CoFlow registration.
+type SpecJSON struct {
+	ID    int64 `json:"id"`
+	Flows []struct {
+		Src  int   `json:"src"`
+		Dst  int   `json:"dst"`
+		Size int64 `json:"size"`
+	} `json:"flows"`
+}
+
+func (s SpecJSON) toSpec() (*coflow.Spec, error) {
+	spec := &coflow.Spec{ID: coflow.CoFlowID(s.ID)}
+	for _, f := range s.Flows {
+		spec.Flows = append(spec.Flows, coflow.FlowSpec{
+			Src: coflow.PortID(f.Src), Dst: coflow.PortID(f.Dst), Size: coflow.Bytes(f.Size),
+		})
+	}
+	return spec, spec.Validate()
+}
+
+// handleCoFlows implements POST /coflows — register().
+func (c *Coordinator) handleCoFlows(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var sj SpecJSON
+	if err := json.NewDecoder(r.Body).Decode(&sj); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := sj.toSpec()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	for _, f := range spec.Flows {
+		if int(f.Src) >= c.cfg.NumPorts || int(f.Dst) >= c.cfg.NumPorts {
+			http.Error(w, "port out of range", http.StatusBadRequest)
+			return
+		}
+	}
+	now := time.Now()
+	rt := coflow.New(spec)
+	rt.Arrived = c.wallTime(now)
+	c.polMu.Lock()
+	c.mu.Lock()
+	if _, dup := c.live[spec.ID]; dup {
+		c.mu.Unlock()
+		c.polMu.Unlock()
+		http.Error(w, "coflow already registered", http.StatusConflict)
+		return
+	}
+	c.live[spec.ID] = &liveCoFlow{spec: spec, rt: rt, registered: now}
+	c.mu.Unlock()
+	c.cfg.Scheduler.Arrive(rt, c.wallTime(now))
+	c.polMu.Unlock()
+	w.WriteHeader(http.StatusCreated)
+}
+
+// handleCoFlowByID implements DELETE (deregister) and PUT (update) on
+// /coflows/{id}.
+func (c *Coordinator) handleCoFlowByID(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/coflows/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad coflow id", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodDelete:
+		c.polMu.Lock()
+		c.mu.Lock()
+		lc, ok := c.live[coflow.CoFlowID(id)]
+		if ok {
+			delete(c.live, coflow.CoFlowID(id))
+		}
+		c.mu.Unlock()
+		if ok {
+			c.cfg.Scheduler.Depart(lc.rt, c.wallTime(time.Now()))
+		}
+		c.polMu.Unlock()
+		if !ok {
+			http.Error(w, "unknown coflow", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodPut:
+		// update(): replace the flow structure (task migration /
+		// restart after failure, §5), preserving accumulated progress
+		// by flow index where sizes still match.
+		var sj SpecJSON
+		if err := json.NewDecoder(r.Body).Decode(&sj); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sj.ID = id
+		spec, err := sj.toSpec()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		c.polMu.Lock()
+		defer c.polMu.Unlock()
+		c.mu.Lock()
+		lc, ok := c.live[coflow.CoFlowID(id)]
+		if ok {
+			old := lc.rt
+			lc.spec = spec
+			lc.rt = coflow.New(spec)
+			lc.rt.Arrived = old.Arrived
+			for i, f := range lc.rt.Flows {
+				if i < len(old.Flows) && old.Flows[i].Size == f.Size {
+					f.Sent = old.Flows[i].Sent
+					f.Done = old.Flows[i].Done
+					f.DoneAt = old.Flows[i].DoneAt
+				}
+			}
+		}
+		c.mu.Unlock()
+		if !ok {
+			http.Error(w, "unknown coflow", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(c.Results())
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	status := struct {
+		Agents    int      `json:"agents"`
+		Live      int      `json:"live"`
+		Completed int      `json:"completed"`
+		Scheduler string   `json:"scheduler"`
+		Policies  []string `json:"registeredPolicies"`
+	}{
+		Agents:    len(c.agents),
+		Live:      len(c.live),
+		Completed: len(c.results),
+		Scheduler: c.cfg.Scheduler.Name(),
+		Policies:  sched.Names(),
+	}
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(status)
+}

@@ -1,0 +1,96 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket paces a flow's writes to the coordinator-assigned rate.
+// The rate may be changed at any time by a new schedule; a rate of
+// zero pauses the flow (Take blocks until a positive rate arrives or
+// the bucket is closed).
+type tokenBucket struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	rate   float64 // bytes per second
+	tokens float64
+	burst  float64
+	last   time.Time
+	closed bool
+}
+
+// newTokenBucket creates a paused bucket (rate 0) with the given
+// maximum burst in bytes.
+func newTokenBucket(burst float64) *tokenBucket {
+	b := &tokenBucket{burst: burst, last: time.Now()}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// SetRate updates the pacing rate in bytes per second.
+func (b *tokenBucket) SetRate(bps float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(time.Now())
+	if bps < 0 {
+		bps = 0
+	}
+	b.rate = bps
+	b.cond.Broadcast()
+}
+
+// Close releases all waiters; Take returns false afterwards.
+func (b *tokenBucket) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.cond.Broadcast()
+}
+
+func (b *tokenBucket) refillLocked(now time.Time) {
+	dt := now.Sub(b.last).Seconds()
+	if dt > 0 {
+		b.tokens += b.rate * dt
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+}
+
+// Take blocks until n bytes of budget are available (or the bucket is
+// closed, returning false). Large n are granted in a single wait once
+// the accumulated budget covers them, so n should not exceed burst.
+func (b *tokenBucket) Take(n int) bool {
+	need := float64(n)
+	if need > b.burst {
+		need = b.burst // never wait for more than the bucket can hold
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.closed {
+			return false
+		}
+		b.refillLocked(time.Now())
+		if b.tokens >= need {
+			b.tokens -= float64(n)
+			return true
+		}
+		if b.rate <= 0 {
+			b.cond.Wait() // paused: wait for SetRate or Close
+			continue
+		}
+		// Sleep roughly until enough tokens accrue, then re-check.
+		wait := time.Duration((need - b.tokens) / b.rate * float64(time.Second))
+		if wait < 500*time.Microsecond {
+			wait = 500 * time.Microsecond
+		}
+		if wait > 50*time.Millisecond {
+			wait = 50 * time.Millisecond // stay responsive to rate changes
+		}
+		b.mu.Unlock()
+		time.Sleep(wait)
+		b.mu.Lock()
+	}
+}

@@ -1,0 +1,103 @@
+// Package aalo reimplements the Aalo scheduler (Chowdhury & Stoica,
+// SIGCOMM 2015) as the paper's primary baseline (§2.2).
+//
+// Aalo approximates Shortest-CoFlow-First without prior knowledge
+// using discrete priority queues: the global coordinator places each
+// CoFlow in a queue by the *total* bytes it has sent so far, and each
+// port independently schedules its local flows — strict priority
+// across queues, FIFO (by CoFlow arrival) within a queue. There is no
+// coordination of a CoFlow's flows across ports, which produces the
+// out-of-sync behaviour Saath eliminates.
+package aalo
+
+import (
+	"sort"
+
+	"saath/internal/coflow"
+	"saath/internal/sched"
+)
+
+// Aalo is the baseline scheduler.
+type Aalo struct {
+	params sched.Params
+}
+
+// New builds an Aalo scheduler.
+func New(p sched.Params) (*Aalo, error) {
+	p, err := p.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return &Aalo{params: p}, nil
+}
+
+func init() {
+	sched.Register("aalo", func(p sched.Params) (sched.Scheduler, error) { return New(p) })
+}
+
+// Name implements sched.Scheduler.
+func (a *Aalo) Name() string { return "aalo" }
+
+// Arrive implements sched.Scheduler. Aalo derives queue placement
+// directly from bytes sent, so no per-CoFlow state is needed.
+func (a *Aalo) Arrive(c *coflow.CoFlow, now coflow.Time) {}
+
+// Depart implements sched.Scheduler.
+func (a *Aalo) Depart(c *coflow.CoFlow, now coflow.Time) {}
+
+// localFlow is one sendable flow as seen by its sender port's local
+// scheduler.
+type localFlow struct {
+	f       *coflow.Flow
+	queue   int
+	arrived coflow.Time
+	cid     coflow.CoFlowID
+}
+
+// Schedule emulates Aalo's distributed decision: the coordinator pins
+// every CoFlow to a logical queue; each sender port then walks its
+// local flows from the highest queue in FIFO order, granting each flow
+// the residual min(egress, ingress) capacity. Ports are visited in
+// index order, which stands in for the uncoordinated races of the real
+// distributed system while keeping the simulation deterministic.
+func (a *Aalo) Schedule(snap *sched.Snapshot) sched.Allocation {
+	alloc := make(sched.Allocation)
+	byPort := make(map[coflow.PortID][]localFlow)
+	for _, c := range snap.Active {
+		q := a.params.Queues.QueueForBytes(c.TotalSent())
+		for _, f := range c.SendableFlows() {
+			byPort[f.Src] = append(byPort[f.Src], localFlow{f: f, queue: q, arrived: c.Arrived, cid: c.ID()})
+		}
+	}
+	ports := make([]coflow.PortID, 0, len(byPort))
+	for p := range byPort {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+
+	const eps = 1e-3
+	for _, p := range ports {
+		flows := byPort[p]
+		sort.SliceStable(flows, func(i, j int) bool {
+			if flows[i].queue != flows[j].queue {
+				return flows[i].queue < flows[j].queue
+			}
+			if flows[i].arrived != flows[j].arrived {
+				return flows[i].arrived < flows[j].arrived
+			}
+			if flows[i].cid != flows[j].cid {
+				return flows[i].cid < flows[j].cid
+			}
+			return flows[i].f.ID.Index < flows[j].f.ID.Index
+		})
+		for _, lf := range flows {
+			r := snap.Fabric.PathFree(lf.f.Src, lf.f.Dst)
+			if float64(r) <= eps {
+				continue
+			}
+			alloc[lf.f.ID] = r
+			snap.Fabric.Allocate(lf.f.Src, lf.f.Dst, r)
+		}
+	}
+	return alloc
+}

@@ -1,0 +1,125 @@
+// Package baraat implements Baraat-style decentralized task-aware
+// scheduling (Dogar et al., SIGCOMM 2014), the other online baseline
+// the paper discusses (§8): no global coordinator and no priority
+// queues — each port serves CoFlows in FIFO order of arrival with
+// *limited multiplexing*: the M oldest CoFlows present at a port share
+// it, so one heavy CoFlow cannot monopolize a port, but there is still
+// no coordination of a CoFlow's flows across ports. Like Aalo, Baraat
+// therefore exhibits the out-of-sync problem Saath removes.
+package baraat
+
+import (
+	"fmt"
+	"sort"
+
+	"saath/internal/coflow"
+	"saath/internal/sched"
+)
+
+// DefaultMultiplexing is the FIFO-LM degree: how many of the oldest
+// CoFlows share each port. 1 degenerates to strict per-port FIFO.
+const DefaultMultiplexing = 4
+
+// Baraat is the decentralized FIFO-LM baseline.
+type Baraat struct {
+	m int
+}
+
+// New builds a Baraat scheduler with the given multiplexing level.
+func New(multiplexing int) (*Baraat, error) {
+	if multiplexing < 1 {
+		return nil, fmt.Errorf("baraat: multiplexing %d, need >=1", multiplexing)
+	}
+	return &Baraat{m: multiplexing}, nil
+}
+
+func init() {
+	sched.Register("baraat", func(sched.Params) (sched.Scheduler, error) {
+		return New(DefaultMultiplexing)
+	})
+	sched.Register("baraat/fifo", func(sched.Params) (sched.Scheduler, error) {
+		return New(1)
+	})
+}
+
+// Name implements sched.Scheduler.
+func (b *Baraat) Name() string {
+	if b.m == 1 {
+		return "baraat/fifo"
+	}
+	return "baraat"
+}
+
+// Arrive implements sched.Scheduler.
+func (b *Baraat) Arrive(*coflow.CoFlow, coflow.Time) {}
+
+// Depart implements sched.Scheduler.
+func (b *Baraat) Depart(*coflow.CoFlow, coflow.Time) {}
+
+// Schedule emulates each port's independent FIFO-LM decision: the M
+// oldest CoFlows with flows at the port split its remaining egress
+// capacity evenly (subject to receiver-side residual capacity), in
+// arrival order. Ports are scanned in index order for determinism.
+func (b *Baraat) Schedule(snap *sched.Snapshot) sched.Allocation {
+	alloc := make(sched.Allocation)
+	type entry struct {
+		f       *coflow.Flow
+		arrived coflow.Time
+		cid     coflow.CoFlowID
+	}
+	byPort := make(map[coflow.PortID][]entry)
+	for _, c := range snap.Active {
+		for _, f := range c.SendableFlows() {
+			byPort[f.Src] = append(byPort[f.Src], entry{f: f, arrived: c.Arrived, cid: c.ID()})
+		}
+	}
+	ports := make([]coflow.PortID, 0, len(byPort))
+	for p := range byPort {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+
+	const eps = 1e-3
+	for _, p := range ports {
+		entries := byPort[p]
+		sort.SliceStable(entries, func(i, j int) bool {
+			if entries[i].arrived != entries[j].arrived {
+				return entries[i].arrived < entries[j].arrived
+			}
+			if entries[i].cid != entries[j].cid {
+				return entries[i].cid < entries[j].cid
+			}
+			return entries[i].f.ID.Index < entries[j].f.ID.Index
+		})
+		// The M oldest distinct CoFlows at this port are admitted.
+		admitted := make(map[coflow.CoFlowID]bool, b.m)
+		var live []entry
+		for _, e := range entries {
+			if !admitted[e.cid] {
+				if len(admitted) == b.m {
+					continue
+				}
+				admitted[e.cid] = true
+			}
+			live = append(live, e)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		// Even split of the port's residual egress across admitted
+		// flows; each flow further bounded by receiver residual.
+		share := snap.Fabric.EgressFree(p) / coflow.Rate(len(live))
+		for _, e := range live {
+			r := share
+			if free := snap.Fabric.PathFree(e.f.Src, e.f.Dst); free < r {
+				r = free
+			}
+			if float64(r) <= eps {
+				continue
+			}
+			alloc[e.f.ID] = r
+			snap.Fabric.Allocate(e.f.Src, e.f.Dst, r)
+		}
+	}
+	return alloc
+}

@@ -1,0 +1,116 @@
+package baraat
+
+import (
+	"testing"
+
+	"saath/internal/coflow"
+	"saath/internal/fabric"
+	"saath/internal/sched"
+)
+
+func mk(id coflow.CoFlowID, arrived coflow.Time, flows ...coflow.FlowSpec) *coflow.CoFlow {
+	c := coflow.New(&coflow.Spec{ID: id, Arrival: arrived, Flows: flows})
+	c.Arrived = arrived
+	return c
+}
+
+func snap(ports int, cs ...*coflow.CoFlow) *sched.Snapshot {
+	return &sched.Snapshot{Active: cs, Fabric: fabric.New(ports, 100)}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("multiplexing 0 accepted")
+	}
+	b, err := New(1)
+	if err != nil || b.Name() != "baraat/fifo" {
+		t.Fatalf("fifo variant: %v %q", err, b.Name())
+	}
+	b4, _ := New(4)
+	if b4.Name() != "baraat" {
+		t.Fatalf("name = %q", b4.Name())
+	}
+}
+
+func TestLimitedMultiplexingSharesPort(t *testing.T) {
+	b, _ := New(2)
+	c1 := mk(1, 0, coflow.FlowSpec{Src: 0, Dst: 1, Size: 1000})
+	c2 := mk(2, 1, coflow.FlowSpec{Src: 0, Dst: 2, Size: 1000})
+	c3 := mk(3, 2, coflow.FlowSpec{Src: 0, Dst: 3, Size: 1000})
+	alloc := b.Schedule(snap(4, c1, c2, c3))
+	// M=2: the two oldest coflows split the port; the third waits.
+	if alloc[c1.Flows[0].ID] != 50 || alloc[c2.Flows[0].ID] != 50 {
+		t.Fatalf("alloc = %v", alloc)
+	}
+	if alloc[c3.Flows[0].ID] != 0 {
+		t.Fatalf("third coflow admitted beyond M: %v", alloc)
+	}
+}
+
+func TestStrictFIFOVariant(t *testing.T) {
+	b, _ := New(1)
+	c1 := mk(1, 0, coflow.FlowSpec{Src: 0, Dst: 1, Size: 1000})
+	c2 := mk(2, 1, coflow.FlowSpec{Src: 0, Dst: 2, Size: 1000})
+	alloc := b.Schedule(snap(3, c1, c2))
+	if alloc[c1.Flows[0].ID] != 100 || alloc[c2.Flows[0].ID] != 0 {
+		t.Fatalf("alloc = %v", alloc)
+	}
+}
+
+func TestMultipleFlowsOfAdmittedCoFlowAllRun(t *testing.T) {
+	b, _ := New(1)
+	// One coflow with two flows from the same port: both belong to the
+	// single admitted coflow and split the port.
+	c := mk(1, 0,
+		coflow.FlowSpec{Src: 0, Dst: 1, Size: 1000},
+		coflow.FlowSpec{Src: 0, Dst: 2, Size: 1000},
+	)
+	alloc := b.Schedule(snap(3, c))
+	if alloc[c.Flows[0].ID] != 50 || alloc[c.Flows[1].ID] != 50 {
+		t.Fatalf("alloc = %v", alloc)
+	}
+}
+
+func TestReceiverResidualRespected(t *testing.T) {
+	b, _ := New(4)
+	// Two senders into one receiver: port scan order means sender 0's
+	// flow takes the receiver first; total must not exceed capacity.
+	c1 := mk(1, 0, coflow.FlowSpec{Src: 0, Dst: 2, Size: 1000})
+	c2 := mk(2, 0, coflow.FlowSpec{Src: 1, Dst: 2, Size: 1000})
+	alloc := b.Schedule(snap(3, c1, c2))
+	total := alloc[c1.Flows[0].ID] + alloc[c2.Flows[0].ID]
+	if total > 100 {
+		t.Fatalf("ingress oversubscribed: %v", total)
+	}
+}
+
+func TestOutOfSyncLikeAalo(t *testing.T) {
+	// Baraat shares Aalo's defining limitation: a coflow's flows on
+	// different ports are scheduled independently.
+	b, _ := New(1)
+	c1 := mk(1, 0, coflow.FlowSpec{Src: 0, Dst: 2, Size: 1000})
+	c2 := mk(2, 1,
+		coflow.FlowSpec{Src: 0, Dst: 3, Size: 1000},
+		coflow.FlowSpec{Src: 1, Dst: 4, Size: 1000},
+	)
+	alloc := b.Schedule(snap(5, c1, c2))
+	if alloc[c2.Flows[0].ID] != 0 || alloc[c2.Flows[1].ID] != 100 {
+		t.Fatalf("expected out-of-sync split, got %v", alloc)
+	}
+}
+
+func TestRegistryAndLifecycle(t *testing.T) {
+	s, err := sched.New("baraat", sched.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mk(1, 0, coflow.FlowSpec{Src: 0, Dst: 1, Size: 1})
+	s.Arrive(c, 0)
+	s.Depart(c, 0)
+	if _, err := sched.New("baraat/fifo", sched.Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if alloc := s.Schedule(snap(2)); len(alloc) != 0 {
+		t.Fatal("empty snapshot")
+	}
+}

@@ -1,0 +1,120 @@
+// Package clair implements the clairvoyant ordering policies the paper
+// uses to motivate contention-aware scheduling (§2.4, Fig. 3, Fig. 17):
+//
+//   - SCF  — Shortest CoFlow First, by total (static) CoFlow bytes;
+//   - SRTF — Shortest Remaining Time First, by total remaining bytes;
+//   - SJF-duration — shortest bottleneck duration first, the variant
+//     Appendix A shows is sub-optimal;
+//   - LWTF — Least Waiting Time First, by t·k: bottleneck duration t
+//     times contention k, the spatially-aware key that outperforms
+//     SCF/SRTF and prefigures LCoF.
+//
+// All four read ground-truth sizes (offline setting). Given the global
+// order, allocation is strict priority with built-in work
+// conservation: each flow of each CoFlow, in order, receives the
+// residual min(egress, ingress) bandwidth on its path.
+package clair
+
+import (
+	"fmt"
+	"sort"
+
+	"saath/internal/coflow"
+	"saath/internal/sched"
+)
+
+// Policy selects the clairvoyant ordering key.
+type Policy string
+
+// The supported policies.
+const (
+	SCF         Policy = "scf"
+	SRTF        Policy = "srtf"
+	SJFDuration Policy = "sjf-duration"
+	LWTF        Policy = "lwtf"
+)
+
+// Clair is a clairvoyant global-priority scheduler.
+type Clair struct {
+	policy Policy
+}
+
+// New builds a clairvoyant scheduler for the given policy.
+func New(policy Policy) (*Clair, error) {
+	switch policy {
+	case SCF, SRTF, SJFDuration, LWTF:
+		return &Clair{policy: policy}, nil
+	default:
+		return nil, fmt.Errorf("clair: unknown policy %q", policy)
+	}
+}
+
+func init() {
+	for _, p := range []Policy{SCF, SRTF, SJFDuration, LWTF} {
+		policy := p
+		sched.Register(string(policy), func(sched.Params) (sched.Scheduler, error) {
+			return New(policy)
+		})
+	}
+}
+
+// Name implements sched.Scheduler.
+func (c *Clair) Name() string { return string(c.policy) }
+
+// Arrive implements sched.Scheduler.
+func (c *Clair) Arrive(*coflow.CoFlow, coflow.Time) {}
+
+// Depart implements sched.Scheduler.
+func (c *Clair) Depart(*coflow.CoFlow, coflow.Time) {}
+
+// Schedule orders the active CoFlows by the policy key and allocates
+// greedily in that order.
+func (c *Clair) Schedule(snap *sched.Snapshot) sched.Allocation {
+	order := append([]*coflow.CoFlow(nil), snap.Active...)
+	keys := c.keys(order, snap)
+	sort.SliceStable(order, func(i, j int) bool {
+		ki, kj := keys[order[i].ID()], keys[order[j].ID()]
+		if ki != kj {
+			return ki < kj
+		}
+		return order[i].ID() < order[j].ID()
+	})
+
+	alloc := make(sched.Allocation)
+	const eps = 1e-3
+	for _, cf := range order {
+		for _, f := range cf.SendableFlows() {
+			r := snap.Fabric.PathFree(f.Src, f.Dst)
+			if float64(r) <= eps {
+				continue
+			}
+			alloc[f.ID] = r
+			snap.Fabric.Allocate(f.Src, f.Dst, r)
+		}
+	}
+	return alloc
+}
+
+// keys computes the ordering key for every active CoFlow.
+func (c *Clair) keys(active []*coflow.CoFlow, snap *sched.Snapshot) map[coflow.CoFlowID]float64 {
+	out := make(map[coflow.CoFlowID]float64, len(active))
+	rate := snap.Fabric.PortRate()
+	var contention map[coflow.CoFlowID]int
+	if c.policy == LWTF {
+		contention = sched.Contention(active)
+	}
+	for _, cf := range active {
+		switch c.policy {
+		case SCF:
+			out[cf.ID()] = float64(cf.Spec.TotalSize())
+		case SRTF:
+			out[cf.ID()] = float64(cf.TotalRemaining())
+		case SJFDuration:
+			out[cf.ID()] = cf.BottleneckRemaining(rate).Seconds()
+		case LWTF:
+			t := cf.BottleneckRemaining(rate).Seconds()
+			out[cf.ID()] = t * float64(contention[cf.ID()])
+		}
+	}
+	return out
+}

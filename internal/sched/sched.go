@@ -1,0 +1,211 @@
+// Package sched defines the scheduler contract shared by Saath, the
+// baselines, the simulator and the distributed prototype, plus helpers
+// (contention accounting, deterministic ordering) that several policies
+// share.
+//
+// The model follows the paper's architecture (§4.1): a global
+// coordinator recomputes the full-cluster schedule every δ interval
+// from CoFlow state, and the resulting per-flow rates are enforced
+// until the next schedule arrives.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"saath/internal/coflow"
+	"saath/internal/fabric"
+	"saath/internal/queues"
+)
+
+// Allocation assigns a rate to every flow scheduled in one interval.
+// Flows absent from the map are paused.
+type Allocation map[coflow.FlowID]coflow.Rate
+
+// Snapshot is the cluster state handed to the scheduler each interval.
+type Snapshot struct {
+	Now coflow.Time
+	// Active lists the live (arrived, not finished) CoFlows in
+	// deterministic order: arrival time, then ID.
+	Active []*coflow.CoFlow
+	// Fabric carries full residual capacity; the scheduler draws it
+	// down as it assigns rates.
+	Fabric *fabric.Fabric
+}
+
+// Scheduler is a global CoFlow scheduling policy.
+//
+// Implementations may keep per-CoFlow state keyed by ID; Arrive and
+// Depart bracket a CoFlow's lifetime. Schedule must be deterministic
+// given the same event sequence.
+type Scheduler interface {
+	Name() string
+	Arrive(c *coflow.CoFlow, now coflow.Time)
+	Depart(c *coflow.CoFlow, now coflow.Time)
+	Schedule(snap *Snapshot) Allocation
+}
+
+// Params carries the knobs shared across schedulers. Zero values are
+// replaced by paper defaults via Normalize.
+type Params struct {
+	Queues queues.Config
+
+	// DeadlineFactor is d in the starvation deadline d·C_q·t (§4.2 D5).
+	DeadlineFactor float64
+
+	// WorkConservation toggles scheduling of leftover bandwidth to
+	// CoFlows that failed all-or-none admission (§4.2 D4). On by
+	// default; the ablation bench turns it off.
+	WorkConservation bool
+
+	// PerFlowThresholds selects Saath's Eq. 1 queue placement; when
+	// false the Saath ablations fall back to Aalo's total-bytes rule.
+	PerFlowThresholds bool
+
+	// LCoF selects Least-Contention-First intra-queue ordering; when
+	// false the ablations use FIFO.
+	LCoF bool
+
+	// DynamicsSRTF enables the §4.3 straggler/failure optimization:
+	// once some flows finish, estimate remaining length from the
+	// median finished flow and re-queue the CoFlow accordingly.
+	DynamicsSRTF bool
+
+	// WidthContentionProxy replaces the blocked-CoFlow count k_c with
+	// CoFlow width as the LCoF key — a cheaper proxy evaluated by the
+	// contention-metric ablation bench. Off in the paper's design.
+	WidthContentionProxy bool
+}
+
+// DefaultParams returns the paper's defaults with every Saath feature
+// enabled.
+func DefaultParams() Params {
+	return Params{
+		Queues:            queues.Default(),
+		DeadlineFactor:    2,
+		WorkConservation:  true,
+		PerFlowThresholds: true,
+		LCoF:              true,
+		DynamicsSRTF:      true,
+	}
+}
+
+// Normalize fills zero values with defaults and validates the result.
+func (p Params) Normalize() (Params, error) {
+	if p.Queues.NumQueues == 0 && p.Queues.StartThreshold == 0 && p.Queues.Growth == 0 {
+		p.Queues = queues.Default()
+	}
+	if p.DeadlineFactor == 0 {
+		p.DeadlineFactor = 2
+	}
+	if err := p.Queues.Validate(); err != nil {
+		return p, err
+	}
+	if p.DeadlineFactor < 1 {
+		return p, fmt.Errorf("sched: DeadlineFactor=%v, need >=1", p.DeadlineFactor)
+	}
+	return p, nil
+}
+
+// Contention computes k_c for every active CoFlow: the number of
+// *other* CoFlows with at least one pending flow on any port (sender
+// egress or receiver ingress) that c's pending flows occupy (§3 idea 3).
+func Contention(active []*coflow.CoFlow) map[coflow.CoFlowID]int {
+	// Port occupancy: which coflows touch each egress/ingress port.
+	type portKey struct {
+		p       coflow.PortID
+		ingress bool
+	}
+	occupancy := make(map[portKey][]coflow.CoFlowID)
+	for _, c := range active {
+		seen := make(map[portKey]bool)
+		for _, f := range c.Flows {
+			if !f.Sendable() {
+				continue
+			}
+			for _, k := range [2]portKey{{f.Src, false}, {f.Dst, true}} {
+				if !seen[k] {
+					seen[k] = true
+					occupancy[k] = append(occupancy[k], c.ID())
+				}
+			}
+		}
+	}
+	out := make(map[coflow.CoFlowID]int, len(active))
+	for _, c := range active {
+		blocked := make(map[coflow.CoFlowID]bool)
+		counted := make(map[portKey]bool)
+		for _, f := range c.Flows {
+			if !f.Sendable() {
+				continue
+			}
+			for _, k := range [2]portKey{{f.Src, false}, {f.Dst, true}} {
+				if counted[k] {
+					continue
+				}
+				counted[k] = true
+				for _, id := range occupancy[k] {
+					if id != c.ID() {
+						blocked[id] = true
+					}
+				}
+			}
+		}
+		out[c.ID()] = len(blocked)
+	}
+	return out
+}
+
+// ByArrival sorts CoFlows in place by (arrival, ID): the canonical
+// FIFO order used by Aalo and by Saath's deadline bookkeeping.
+func ByArrival(cs []*coflow.CoFlow) {
+	sort.SliceStable(cs, func(i, j int) bool {
+		if cs[i].Arrived != cs[j].Arrived {
+			return cs[i].Arrived < cs[j].Arrived
+		}
+		return cs[i].ID() < cs[j].ID()
+	})
+}
+
+// Factory builds a scheduler from parameters.
+type Factory func(Params) (Scheduler, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Factory)
+)
+
+// Register adds a named scheduler factory. It panics on duplicates so
+// wiring mistakes fail loudly at init time.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("sched: duplicate scheduler " + name)
+	}
+	registry[name] = f
+}
+
+// New instantiates a registered scheduler.
+func New(name string, p Params) (Scheduler, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown scheduler %q (have %v)", name, Names())
+	}
+	return f(p)
+}
+
+// Names lists the registered schedulers, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"testing"
+
+	"saath/internal/coflow"
+)
+
+func mkCoflow(id coflow.CoFlowID, arrived coflow.Time, flows ...coflow.FlowSpec) *coflow.CoFlow {
+	c := coflow.New(&coflow.Spec{ID: id, Arrival: arrived, Flows: flows})
+	return c
+}
+
+func TestContentionFig1(t *testing.T) {
+	// Fig. 1 topology: senders P1..P3 = 0..2, distinct receivers.
+	// C1@P1, C2@{P1,P2,P3}, C3@P2, C4@P3 => k1=1, k2=3, k3=1, k4=1.
+	c1 := mkCoflow(1, 0, coflow.FlowSpec{Src: 0, Dst: 3, Size: 1})
+	c2 := mkCoflow(2, 0,
+		coflow.FlowSpec{Src: 0, Dst: 4, Size: 1},
+		coflow.FlowSpec{Src: 1, Dst: 5, Size: 1},
+		coflow.FlowSpec{Src: 2, Dst: 6, Size: 1})
+	c3 := mkCoflow(3, 0, coflow.FlowSpec{Src: 1, Dst: 7, Size: 1})
+	c4 := mkCoflow(4, 0, coflow.FlowSpec{Src: 2, Dst: 8, Size: 1})
+	k := Contention([]*coflow.CoFlow{c1, c2, c3, c4})
+	want := map[coflow.CoFlowID]int{1: 1, 2: 3, 3: 1, 4: 1}
+	for id, w := range want {
+		if k[id] != w {
+			t.Errorf("k_%d = %d, want %d (all: %v)", id, k[id], w, k)
+		}
+	}
+}
+
+func TestContentionCountsReceiverPorts(t *testing.T) {
+	// Two coflows sharing only a receiver port still contend.
+	a := mkCoflow(1, 0, coflow.FlowSpec{Src: 0, Dst: 9, Size: 1})
+	b := mkCoflow(2, 0, coflow.FlowSpec{Src: 1, Dst: 9, Size: 1})
+	k := Contention([]*coflow.CoFlow{a, b})
+	if k[1] != 1 || k[2] != 1 {
+		t.Fatalf("receiver-side contention missed: %v", k)
+	}
+}
+
+func TestContentionIgnoresDoneAndUnavailable(t *testing.T) {
+	a := mkCoflow(1, 0, coflow.FlowSpec{Src: 0, Dst: 9, Size: 1})
+	b := mkCoflow(2, 0, coflow.FlowSpec{Src: 0, Dst: 8, Size: 1})
+	c := mkCoflow(3, 0, coflow.FlowSpec{Src: 0, Dst: 7, Size: 1})
+	b.Flows[0].Done = true
+	c.Flows[0].Available = false
+	k := Contention([]*coflow.CoFlow{a, b, c})
+	if k[1] != 0 {
+		t.Fatalf("k_1 = %d, want 0 (competitors done/unavailable)", k[1])
+	}
+}
+
+func TestContentionCountsCoFlowsNotFlows(t *testing.T) {
+	// One competitor with many flows on the same port counts once.
+	a := mkCoflow(1, 0, coflow.FlowSpec{Src: 0, Dst: 5, Size: 1})
+	b := mkCoflow(2, 0,
+		coflow.FlowSpec{Src: 0, Dst: 6, Size: 1},
+		coflow.FlowSpec{Src: 0, Dst: 7, Size: 1},
+		coflow.FlowSpec{Src: 0, Dst: 8, Size: 1})
+	k := Contention([]*coflow.CoFlow{a, b})
+	if k[1] != 1 {
+		t.Fatalf("k_1 = %d, want 1", k[1])
+	}
+}
+
+func TestByArrival(t *testing.T) {
+	a := mkCoflow(3, 10, coflow.FlowSpec{Size: 1})
+	b := mkCoflow(1, 5, coflow.FlowSpec{Size: 1})
+	c := mkCoflow(2, 10, coflow.FlowSpec{Size: 1})
+	cs := []*coflow.CoFlow{a, b, c}
+	ByArrival(cs)
+	if cs[0].ID() != 1 || cs[1].ID() != 2 || cs[2].ID() != 3 {
+		t.Fatalf("order = %d,%d,%d", cs[0].ID(), cs[1].ID(), cs[2].ID())
+	}
+}
+
+func TestParamsNormalize(t *testing.T) {
+	p, err := Params{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Queues.NumQueues != 10 || p.DeadlineFactor != 2 {
+		t.Fatalf("normalized = %+v", p)
+	}
+	if _, err := (Params{DeadlineFactor: 0.5}).Normalize(); err == nil {
+		t.Fatal("deadline < 1 accepted")
+	}
+	bad := Params{}
+	bad.Queues.NumQueues = -1
+	bad.Queues.StartThreshold = 1
+	bad.Queues.Growth = 2
+	if _, err := bad.Normalize(); err == nil {
+		t.Fatal("bad queue config accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	Register("sched-test-dummy", func(p Params) (Scheduler, error) { return nil, nil })
+	found := false
+	for _, n := range Names() {
+		if n == "sched-test-dummy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered scheduler missing from Names")
+	}
+	if _, err := New("no-such-scheduler", Params{}); err == nil {
+		t.Fatal("unknown scheduler did not error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register("sched-test-dummy", func(p Params) (Scheduler, error) { return nil, nil })
+}

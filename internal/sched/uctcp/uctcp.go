@@ -1,0 +1,54 @@
+// Package uctcp implements UC-TCP, the uncoordinated baseline of §6.1:
+// no global coordinator, no priority queues — every flow starts as it
+// arrives and the fabric's bandwidth settles to the max-min fair
+// allocation that competing TCP flows converge to.
+package uctcp
+
+import (
+	"saath/internal/coflow"
+	"saath/internal/fabric"
+	"saath/internal/sched"
+)
+
+// UCTCP is the uncoordinated TCP-fair-sharing baseline.
+type UCTCP struct{}
+
+// New builds a UC-TCP scheduler.
+func New(sched.Params) (*UCTCP, error) { return &UCTCP{}, nil }
+
+func init() {
+	sched.Register("uc-tcp", func(p sched.Params) (sched.Scheduler, error) { return New(p) })
+}
+
+// Name implements sched.Scheduler.
+func (u *UCTCP) Name() string { return "uc-tcp" }
+
+// Arrive implements sched.Scheduler.
+func (u *UCTCP) Arrive(*coflow.CoFlow, coflow.Time) {}
+
+// Depart implements sched.Scheduler.
+func (u *UCTCP) Depart(*coflow.CoFlow, coflow.Time) {}
+
+// Schedule gives every sendable flow its max-min fair share.
+func (u *UCTCP) Schedule(snap *sched.Snapshot) sched.Allocation {
+	var demands []fabric.Demand
+	var flows []*coflow.Flow
+	for _, c := range snap.Active {
+		for _, f := range c.SendableFlows() {
+			demands = append(demands, fabric.Demand{Src: f.Src, Dst: f.Dst})
+			flows = append(flows, f)
+		}
+	}
+	alloc := make(sched.Allocation, len(flows))
+	if len(flows) == 0 {
+		return alloc
+	}
+	rates := snap.Fabric.MaxMinFair(demands)
+	for i, f := range flows {
+		if rates[i] > 0 {
+			alloc[f.ID] = rates[i]
+			snap.Fabric.Allocate(f.Src, f.Dst, rates[i])
+		}
+	}
+	return alloc
+}

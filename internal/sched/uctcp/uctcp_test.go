@@ -1,0 +1,61 @@
+package uctcp
+
+import (
+	"math"
+	"testing"
+
+	"saath/internal/coflow"
+	"saath/internal/fabric"
+	"saath/internal/sched"
+)
+
+func TestFairSharing(t *testing.T) {
+	u, _ := New(sched.Params{})
+	// Three flows out of one port: equal thirds regardless of coflow
+	// identity or size (no queues, no priorities).
+	c1 := coflow.New(&coflow.Spec{ID: 1, Flows: []coflow.FlowSpec{
+		{Src: 0, Dst: 1, Size: coflow.GB},
+		{Src: 0, Dst: 2, Size: coflow.MB},
+	}})
+	c2 := coflow.New(&coflow.Spec{ID: 2, Flows: []coflow.FlowSpec{
+		{Src: 0, Dst: 3, Size: coflow.KB},
+	}})
+	snap := &sched.Snapshot{Active: []*coflow.CoFlow{c1, c2}, Fabric: fabric.New(4, 300)}
+	alloc := u.Schedule(snap)
+	for id, r := range alloc {
+		if math.Abs(float64(r)-100) > 1e-6 {
+			t.Fatalf("flow %v rate %v, want 100", id, r)
+		}
+	}
+	if len(alloc) != 3 {
+		t.Fatalf("alloc size = %d", len(alloc))
+	}
+}
+
+func TestEmptyAndLifecycle(t *testing.T) {
+	u, _ := New(sched.Params{})
+	if u.Name() != "uc-tcp" {
+		t.Fatal("name")
+	}
+	snap := &sched.Snapshot{Fabric: fabric.New(2, 100)}
+	if alloc := u.Schedule(snap); len(alloc) != 0 {
+		t.Fatal("empty snapshot alloc")
+	}
+	c := coflow.New(&coflow.Spec{ID: 1, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: 1}}})
+	u.Arrive(c, 0)
+	u.Depart(c, 0)
+}
+
+func TestSkipsDoneAndUnavailable(t *testing.T) {
+	u, _ := New(sched.Params{})
+	c := coflow.New(&coflow.Spec{ID: 1, Flows: []coflow.FlowSpec{
+		{Src: 0, Dst: 1, Size: 10},
+		{Src: 0, Dst: 2, Size: 10},
+	}})
+	c.Flows[0].Done = true
+	c.Flows[1].Available = false
+	snap := &sched.Snapshot{Active: []*coflow.CoFlow{c}, Fabric: fabric.New(3, 100)}
+	if alloc := u.Schedule(snap); len(alloc) != 0 {
+		t.Fatalf("alloc = %v", alloc)
+	}
+}

@@ -1,0 +1,132 @@
+// Package varys reimplements Varys' SEBF+MADD scheduling (Chowdhury,
+// Zhong & Stoica, SIGCOMM 2014) as the paper's clairvoyant baseline.
+//
+// SEBF (Smallest Effective Bottleneck First) admits CoFlows in order
+// of Γ, the completion time of the CoFlow's bottleneck port if run at
+// full line rate; MADD (Minimum Allocation for Desired Duration) then
+// paces every flow so that all finish together at Γ, wasting no
+// bandwidth on flows that would only wait for the bottleneck. Leftover
+// bandwidth is backfilled max-min fairly (work conservation).
+//
+// Varys is offline: it reads ground-truth flow sizes, which online
+// schedulers like Saath and Aalo never see.
+package varys
+
+import (
+	"sort"
+
+	"saath/internal/coflow"
+	"saath/internal/fabric"
+	"saath/internal/sched"
+)
+
+// Varys is the clairvoyant SEBF+MADD scheduler.
+type Varys struct{}
+
+// New builds a Varys scheduler. Params carry no Varys knobs (it has no
+// queues), but the signature matches the registry factory.
+func New(p sched.Params) (*Varys, error) { return &Varys{}, nil }
+
+func init() {
+	sched.Register("varys", func(p sched.Params) (sched.Scheduler, error) { return New(p) })
+}
+
+// Name implements sched.Scheduler.
+func (v *Varys) Name() string { return "varys" }
+
+// Arrive implements sched.Scheduler.
+func (v *Varys) Arrive(c *coflow.CoFlow, now coflow.Time) {}
+
+// Depart implements sched.Scheduler.
+func (v *Varys) Depart(c *coflow.CoFlow, now coflow.Time) {}
+
+// Schedule admits CoFlows in SEBF order with MADD rates, then
+// backfills residual capacity max-min fairly across unscheduled flows.
+func (v *Varys) Schedule(snap *sched.Snapshot) sched.Allocation {
+	alloc := make(sched.Allocation)
+	fab := snap.Fabric
+	order := append([]*coflow.CoFlow(nil), snap.Active...)
+	rate := fab.PortRate()
+	sort.SliceStable(order, func(i, j int) bool {
+		gi, gj := order[i].BottleneckRemaining(rate), order[j].BottleneckRemaining(rate)
+		if gi != gj {
+			return gi < gj
+		}
+		return order[i].ID() < order[j].ID()
+	})
+
+	var leftovers []*coflow.CoFlow
+	for _, c := range order {
+		if !v.admitMADD(fab, c, alloc) {
+			leftovers = append(leftovers, c)
+		}
+	}
+
+	// Work conservation: the remaining flows share residual capacity
+	// max-min fairly, mirroring Varys' backfilling.
+	var demands []fabric.Demand
+	var flows []*coflow.Flow
+	for _, c := range leftovers {
+		for _, f := range c.SendableFlows() {
+			demands = append(demands, fabric.Demand{Src: f.Src, Dst: f.Dst})
+			flows = append(flows, f)
+		}
+	}
+	if len(demands) > 0 {
+		rates := fab.MaxMinFair(demands)
+		for i, f := range flows {
+			if rates[i] > 0 {
+				alloc[f.ID] += rates[i]
+				fab.Allocate(f.Src, f.Dst, rates[i])
+			}
+		}
+	}
+	return alloc
+}
+
+// admitMADD tries to reserve MADD rates for c: every flow paced to
+// finish at the CoFlow's current bottleneck time Γ. Admission is
+// all-or-nothing per CoFlow, as in Varys.
+func (v *Varys) admitMADD(fab *fabric.Fabric, c *coflow.CoFlow, alloc sched.Allocation) bool {
+	gamma := c.BottleneckRemaining(fab.PortRate())
+	secs := gamma.Seconds()
+	if secs <= 0 {
+		return false
+	}
+	flows := c.SendableFlows()
+	if len(flows) == 0 {
+		return false
+	}
+	rates := make([]coflow.Rate, len(flows))
+	egNeed := make(map[coflow.PortID]coflow.Rate)
+	inNeed := make(map[coflow.PortID]coflow.Rate)
+	for i, f := range flows {
+		r := coflow.Rate(float64(f.Remaining()) / secs)
+		rates[i] = r
+		egNeed[f.Src] += r
+		inNeed[f.Dst] += r
+	}
+	const tol = 1.000001 // float slack on feasibility
+	for p, need := range egNeed {
+		if float64(need) > float64(fab.EgressFree(p))*tol {
+			return false
+		}
+	}
+	for p, need := range inNeed {
+		if float64(need) > float64(fab.IngressFree(p))*tol {
+			return false
+		}
+	}
+	for i, f := range flows {
+		r := rates[i]
+		if r <= 0 {
+			continue
+		}
+		if free := fab.PathFree(f.Src, f.Dst); r > free {
+			r = free // shave float overshoot
+		}
+		alloc[f.ID] = r
+		fab.Allocate(f.Src, f.Dst, r)
+	}
+	return true
+}

@@ -1,0 +1,554 @@
+// Package sim is the discrete-time cluster simulator that replays a
+// CoFlow trace under a scheduling policy, mirroring the paper's
+// simulator (§6 Setup): full bisection bandwidth, congestion only at
+// ports, and a global schedule recomputed every δ interval (default
+// 8 ms). Flow completions inside an interval are credited at their
+// exact time; the freed capacity becomes usable at the next recompute,
+// as in the pipelined prototype (§5).
+//
+// The engine also injects cluster dynamics (stragglers, restarts after
+// failures) and models pipelined data availability, exercising §4.3.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"saath/internal/coflow"
+	"saath/internal/fabric"
+	"saath/internal/sched"
+	"saath/internal/trace"
+)
+
+// Config controls one simulation run. Zero values take paper defaults.
+type Config struct {
+	// Delta is the schedule recomputation interval δ (default 8 ms).
+	Delta coflow.Time
+	// PortRate is per-port line rate (default 1 Gbps).
+	PortRate coflow.Rate
+	// Horizon aborts runaway simulations (default 30 simulated days).
+	Horizon coflow.Time
+	// SkipValidation disables the per-interval allocation audit (no
+	// port oversubscribed, no rate for done/unavailable flows). The
+	// audit is cheap and on by default; benchmarks of raw scheduler
+	// speed may turn it off.
+	SkipValidation bool
+	// Dynamics optionally injects stragglers and flow restarts.
+	Dynamics *Dynamics
+	// Pipelining optionally delays per-flow data availability.
+	Pipelining *Pipelining
+}
+
+func (c Config) withDefaults() Config {
+	if c.Delta <= 0 {
+		c.Delta = 8 * coflow.Millisecond
+	}
+	if c.PortRate <= 0 {
+		c.PortRate = fabric.DefaultPortRate
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 30 * 24 * 3600 * coflow.Second
+	}
+	return c
+}
+
+// Dynamics injects the cluster misbehaviour of §4.3: a fraction of
+// flows straggle (their achievable rate is divided by Slowdown), and a
+// fraction restart from zero once they reach RestartAt progress,
+// modelling task re-execution after a node failure.
+type Dynamics struct {
+	Seed          int64
+	StragglerProb float64 // per-flow probability of straggling
+	Slowdown      float64 // rate divisor for stragglers (>1)
+	RestartProb   float64 // per-flow probability of one mid-life restart
+	RestartAt     float64 // progress fraction triggering the restart (0,1)
+}
+
+// Pipelining delays data availability: each flow becomes sendable only
+// AvailDelay after its CoFlow arrives, for a random Frac of flows,
+// modelling upstream compute stages that have not produced data yet.
+type Pipelining struct {
+	Seed       int64
+	Frac       float64
+	AvailDelay coflow.Time
+}
+
+// FlowResult records one flow's fate.
+type FlowResult struct {
+	ID     coflow.FlowID
+	Size   coflow.Bytes
+	FCT    coflow.Time // DoneAt − CoFlow arrival
+	DoneAt coflow.Time
+}
+
+// CoFlowResult records one CoFlow's fate.
+type CoFlowResult struct {
+	ID      coflow.CoFlowID
+	Arrival coflow.Time
+	DoneAt  coflow.Time
+	CCT     coflow.Time
+	Width   int
+	Bytes   coflow.Bytes
+	Flows   []FlowResult
+}
+
+// ScheduleStats summarizes the coordinator's wall-clock compute cost,
+// the quantity Table 2 reports.
+type ScheduleStats struct {
+	Calls   int
+	Total   time.Duration
+	Max     time.Duration
+	samples []time.Duration
+}
+
+// Mean returns the average schedule computation time.
+func (s ScheduleStats) Mean() time.Duration {
+	if s.Calls == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Calls)
+}
+
+// P90 returns the 90th-percentile schedule computation time.
+func (s ScheduleStats) P90() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	cp := append([]time.Duration(nil), s.samples...)
+	for i := 1; i < len(cp); i++ { // insertion sort; sample counts are modest
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	idx := int(0.9 * float64(len(cp)-1))
+	return cp[idx]
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Scheduler string
+	Trace     string
+	CoFlows   []CoFlowResult
+	Makespan  coflow.Time
+	Intervals int // scheduling rounds executed
+	Sched     ScheduleStats
+
+	// AvgEgressUtilization is the mean fraction of total sender-side
+	// capacity allocated across busy intervals — how well the policy
+	// keeps ports fed (work conservation shows up here).
+	AvgEgressUtilization float64
+}
+
+// CCTByID indexes completion times for speedup computations.
+func (r *Result) CCTByID() map[coflow.CoFlowID]coflow.Time {
+	out := make(map[coflow.CoFlowID]coflow.Time, len(r.CoFlows))
+	for _, c := range r.CoFlows {
+		out[c.ID] = c.CCT
+	}
+	return out
+}
+
+// AvgCCT returns the mean CCT in seconds.
+func (r *Result) AvgCCT() float64 {
+	if len(r.CoFlows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range r.CoFlows {
+		sum += c.CCT.Seconds()
+	}
+	return sum / float64(len(r.CoFlows))
+}
+
+// Run replays tr under scheduler s.
+func Run(tr *trace.Trace, s sched.Scheduler, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:    cfg,
+		sched:  s,
+		fab:    fabric.New(tr.NumPorts, cfg.PortRate),
+		result: &Result{Scheduler: s.Name(), Trace: tr.Name},
+	}
+	if cfg.Dynamics != nil {
+		e.dynRng = rand.New(rand.NewSource(cfg.Dynamics.Seed))
+	}
+	if cfg.Pipelining != nil {
+		e.pipeRng = rand.New(rand.NewSource(cfg.Pipelining.Seed))
+	}
+	e.load(tr)
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return e.result, nil
+}
+
+// pendingSpec is a trace entry not yet released to the scheduler.
+type pendingSpec struct {
+	spec     *coflow.Spec
+	deps     map[coflow.CoFlowID]bool // unfinished dependencies
+	released bool
+}
+
+type engine struct {
+	cfg    Config
+	sched  sched.Scheduler
+	fab    *fabric.Fabric
+	result *Result
+
+	pending []*pendingSpec
+	active  []*coflow.CoFlow
+	doneAt  map[coflow.CoFlowID]coflow.Time
+
+	dynRng  *rand.Rand
+	pipeRng *rand.Rand
+
+	utilSum float64 // accumulated per-interval egress utilization
+
+	// restartPending marks flows rolled for a one-time mid-life restart.
+	restartPending map[coflow.FlowID]bool
+
+	now coflow.Time
+}
+
+func (e *engine) load(tr *trace.Trace) {
+	e.doneAt = make(map[coflow.CoFlowID]coflow.Time)
+	e.restartPending = make(map[coflow.FlowID]bool)
+	for _, spec := range tr.Specs {
+		p := &pendingSpec{spec: spec}
+		if len(spec.DependsOn) > 0 {
+			p.deps = make(map[coflow.CoFlowID]bool, len(spec.DependsOn))
+			for _, id := range spec.DependsOn {
+				p.deps[id] = true
+			}
+		}
+		e.pending = append(e.pending, p)
+	}
+}
+
+// releasable reports whether the spec may enter the cluster now.
+func (e *engine) releasable(p *pendingSpec, now coflow.Time) bool {
+	if p.released || p.spec.Arrival > now {
+		return false
+	}
+	for id := range p.deps {
+		if _, done := e.doneAt[id]; !done {
+			return false
+		}
+	}
+	return true
+}
+
+// admit releases every spec whose arrival time and dependencies allow.
+func (e *engine) admit(now coflow.Time) {
+	for _, p := range e.pending {
+		if !e.releasable(p, now) {
+			continue
+		}
+		p.released = true
+		c := coflow.New(p.spec)
+		c.Arrived = now
+		if p.spec.Arrival > 0 && len(p.deps) == 0 {
+			// Standalone CoFlows are charged from their trace arrival,
+			// even though the coordinator only sees them at the next δ
+			// boundary — the CCT clock starts when the first flow
+			// arrives (§2.1).
+			c.Arrived = p.spec.Arrival
+		}
+		e.applyDynamicsOnArrival(c)
+		e.applyPipelining(c)
+		e.active = append(e.active, c)
+		e.sched.Arrive(c, now)
+	}
+}
+
+func (e *engine) applyDynamicsOnArrival(c *coflow.CoFlow) {
+	d := e.cfg.Dynamics
+	if d == nil {
+		return
+	}
+	for _, f := range c.Flows {
+		if d.StragglerProb > 0 && e.dynRng.Float64() < d.StragglerProb {
+			slow := d.Slowdown
+			if slow <= 1 {
+				slow = 2
+			}
+			f.Slowdown = slow
+		}
+		if d.RestartProb > 0 && e.dynRng.Float64() < d.RestartProb {
+			e.restartPending[f.ID] = true
+		}
+	}
+}
+
+func (e *engine) applyPipelining(c *coflow.CoFlow) {
+	p := e.cfg.Pipelining
+	if p == nil {
+		return
+	}
+	for _, f := range c.Flows {
+		if e.pipeRng.Float64() < p.Frac {
+			f.Available = false
+		}
+	}
+}
+
+// refreshAvailability releases pipelined flows whose delay elapsed.
+func (e *engine) refreshAvailability(now coflow.Time) {
+	p := e.cfg.Pipelining
+	if p == nil {
+		return
+	}
+	for _, c := range e.active {
+		for _, f := range c.Flows {
+			if !f.Available && now >= c.Arrived+p.AvailDelay {
+				f.Available = true
+			}
+		}
+	}
+}
+
+// nextArrival returns the earliest pending release time, or -1.
+func (e *engine) nextArrival() coflow.Time {
+	next := coflow.Time(-1)
+	for _, p := range e.pending {
+		if p.released {
+			continue
+		}
+		t := p.spec.Arrival
+		if len(p.deps) > 0 {
+			ready := true
+			var depDone coflow.Time
+			for id := range p.deps {
+				dt, done := e.doneAt[id]
+				if !done {
+					ready = false
+					break
+				}
+				if dt > depDone {
+					depDone = dt
+				}
+			}
+			if !ready {
+				continue // will be triggered by a completion, not time
+			}
+			if depDone > t {
+				t = depDone
+			}
+		}
+		if next < 0 || t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+var errHorizon = errors.New("sim: horizon exceeded (scheduler livelock or trace too long)")
+
+func (e *engine) run() error {
+	delta := e.cfg.Delta
+	for {
+		// Jump over idle gaps to the next δ boundary at or after the
+		// next release.
+		if len(e.active) == 0 {
+			na := e.nextArrival()
+			if na < 0 {
+				if n := e.unreleasedCount(); n > 0 {
+					return fmt.Errorf("sim: %d coflows unreachable (dependency cycle?)", n)
+				}
+				break // drained
+			}
+			if na > e.now {
+				steps := (na - e.now + delta - 1) / delta
+				e.now += steps * delta
+			}
+		}
+		if e.now > e.cfg.Horizon {
+			return fmt.Errorf("%w at %v", errHorizon, e.now)
+		}
+		e.admit(e.now)
+		e.refreshAvailability(e.now)
+		if len(e.active) == 0 {
+			continue // the top of the loop re-evaluates releases
+		}
+
+		// Compute the schedule for [now, now+δ).
+		e.fab.Reset()
+		snap := &sched.Snapshot{Now: e.now, Active: e.activeSorted(), Fabric: e.fab}
+		start := time.Now()
+		alloc := e.sched.Schedule(snap)
+		elapsed := time.Since(start)
+		e.result.Sched.Calls++
+		e.result.Sched.Total += elapsed
+		if elapsed > e.result.Sched.Max {
+			e.result.Sched.Max = elapsed
+		}
+		e.result.Sched.samples = append(e.result.Sched.samples, elapsed)
+		e.result.Intervals++
+
+		if !e.cfg.SkipValidation {
+			if err := e.validateAllocation(alloc); err != nil {
+				return err
+			}
+		}
+		e.recordUtilization(alloc)
+		e.advance(alloc, delta)
+		e.now += delta
+	}
+	e.result.Makespan = e.now
+	if e.result.Intervals > 0 {
+		e.result.AvgEgressUtilization = e.utilSum / float64(e.result.Intervals)
+	}
+	return nil
+}
+
+// recordUtilization accumulates the fraction of aggregate egress
+// capacity this interval's schedule hands out.
+func (e *engine) recordUtilization(alloc sched.Allocation) {
+	var total float64
+	for _, r := range alloc {
+		total += float64(r)
+	}
+	capTotal := float64(e.cfg.PortRate) * float64(e.fab.NumPorts())
+	if capTotal > 0 {
+		e.utilSum += total / capTotal
+	}
+}
+
+// validateAllocation audits one interval's schedule: every rate maps
+// to a live sendable flow, rates are non-negative, and no port's
+// ingress or egress is oversubscribed beyond float tolerance. This is
+// the engine's guard against scheduler bugs — policies that bypass the
+// fabric ledger are caught here.
+func (e *engine) validateAllocation(alloc sched.Allocation) error {
+	flows := make(map[coflow.FlowID]*coflow.Flow)
+	for _, c := range e.active {
+		for _, f := range c.Flows {
+			flows[f.ID] = f
+		}
+	}
+	egress := make(map[coflow.PortID]float64)
+	ingress := make(map[coflow.PortID]float64)
+	for id, r := range alloc {
+		f, ok := flows[id]
+		if !ok {
+			return fmt.Errorf("sim: schedule names unknown flow %v", id)
+		}
+		if r < 0 {
+			return fmt.Errorf("sim: negative rate %v for flow %v", r, id)
+		}
+		if r > 0 && !f.Sendable() {
+			return fmt.Errorf("sim: rate %v for non-sendable flow %v", r, id)
+		}
+		egress[f.Src] += float64(r)
+		ingress[f.Dst] += float64(r)
+	}
+	limit := float64(e.cfg.PortRate) * 1.0001
+	for p, sum := range egress {
+		if sum > limit {
+			return fmt.Errorf("sim: egress port %d oversubscribed: %.0f > %.0f B/s", p, sum, float64(e.cfg.PortRate))
+		}
+	}
+	for p, sum := range ingress {
+		if sum > limit {
+			return fmt.Errorf("sim: ingress port %d oversubscribed: %.0f > %.0f B/s", p, sum, float64(e.cfg.PortRate))
+		}
+	}
+	return nil
+}
+
+func (e *engine) unreleasedCount() int {
+	n := 0
+	for _, p := range e.pending {
+		if !p.released {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *engine) activeSorted() []*coflow.CoFlow {
+	out := append([]*coflow.CoFlow(nil), e.active...)
+	sched.ByArrival(out)
+	return out
+}
+
+// advance moves bytes for one interval and retires finished coflows.
+func (e *engine) advance(alloc sched.Allocation, dt coflow.Time) {
+	var still []*coflow.CoFlow
+	for _, c := range e.active {
+		for _, f := range c.Flows {
+			if !f.Sendable() {
+				continue
+			}
+			rate, ok := alloc[f.ID]
+			if !ok || rate <= 0 {
+				continue
+			}
+			eff := f.EffectiveRate(rate, e.cfg.PortRate)
+			moved := eff.Transfer(dt)
+			rem := f.Remaining()
+			if moved >= rem {
+				f.Sent = f.Size
+				f.Done = true
+				f.DoneAt = e.now + eff.TimeToSend(rem)
+				if f.DoneAt > e.now+dt {
+					f.DoneAt = e.now + dt
+				}
+			} else {
+				f.Sent += moved
+				e.maybeRestart(f)
+			}
+		}
+		if c.RefreshDone() {
+			e.retire(c)
+		} else {
+			still = append(still, c)
+		}
+	}
+	e.active = still
+}
+
+// maybeRestart applies a rolled one-time failure: the flow loses all
+// progress once it crosses the RestartAt fraction.
+func (e *engine) maybeRestart(f *coflow.Flow) {
+	d := e.cfg.Dynamics
+	if d == nil || !e.restartPending[f.ID] {
+		return
+	}
+	at := d.RestartAt
+	if at <= 0 || at >= 1 {
+		at = 0.5
+	}
+	if float64(f.Sent) >= at*float64(f.Size) {
+		f.Sent = 0
+		f.Restarted = true
+		delete(e.restartPending, f.ID)
+	}
+}
+
+func (e *engine) retire(c *coflow.CoFlow) {
+	e.doneAt[c.ID()] = c.DoneAt
+	e.sched.Depart(c, e.now)
+	res := CoFlowResult{
+		ID:      c.ID(),
+		Arrival: c.Arrived,
+		DoneAt:  c.DoneAt,
+		CCT:     c.CCT(),
+		Width:   c.Width(),
+		Bytes:   c.Spec.TotalSize(),
+	}
+	for _, f := range c.Flows {
+		res.Flows = append(res.Flows, FlowResult{
+			ID:     f.ID,
+			Size:   f.Size,
+			FCT:    f.DoneAt - c.Arrived,
+			DoneAt: f.DoneAt,
+		})
+	}
+	e.result.CoFlows = append(e.result.CoFlows, res)
+}

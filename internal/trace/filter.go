@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"saath/internal/coflow"
+)
+
+// Filter returns a new trace containing only the CoFlows for which
+// keep returns true. Arrivals and IDs are preserved, so results remain
+// comparable across filtered and unfiltered runs.
+func (t *Trace) Filter(keep func(*coflow.Spec) bool) *Trace {
+	out := &Trace{Name: t.Name + "-filtered", NumPorts: t.NumPorts}
+	for _, s := range t.Specs {
+		if keep(s) {
+			cp := *s
+			cp.Flows = append([]coflow.FlowSpec(nil), s.Flows...)
+			cp.DependsOn = append([]coflow.CoFlowID(nil), s.DependsOn...)
+			out.Specs = append(out.Specs, &cp)
+		}
+	}
+	return out
+}
+
+// Window returns the CoFlows arriving in [from, to), rebased so the
+// first kept arrival is at time zero.
+func (t *Trace) Window(from, to coflow.Time) *Trace {
+	out := t.Filter(func(s *coflow.Spec) bool {
+		return s.Arrival >= from && s.Arrival < to
+	})
+	out.Name = fmt.Sprintf("%s-window[%v,%v)", t.Name, from, to)
+	if len(out.Specs) == 0 {
+		return out
+	}
+	out.SortByArrival()
+	base := out.Specs[0].Arrival
+	for _, s := range out.Specs {
+		s.Arrival -= base
+	}
+	return out
+}
+
+// Head returns the first n CoFlows by arrival order.
+func (t *Trace) Head(n int) *Trace {
+	cp := t.Clone()
+	cp.SortByArrival()
+	if n < len(cp.Specs) {
+		cp.Specs = cp.Specs[:n]
+	}
+	cp.Name = fmt.Sprintf("%s-head%d", t.Name, n)
+	return cp
+}
+
+// CompactPorts renumbers ports densely (0..k-1 over the ports actually
+// used) and shrinks NumPorts accordingly. Useful after Filter/Window,
+// and required before replaying a slice on a prototype cluster with
+// fewer agents than the original trace had nodes.
+func (t *Trace) CompactPorts() *Trace {
+	used := make(map[coflow.PortID]bool)
+	for _, s := range t.Specs {
+		for _, f := range s.Flows {
+			used[f.Src] = true
+			used[f.Dst] = true
+		}
+	}
+	ports := make([]coflow.PortID, 0, len(used))
+	for p := range used {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	remap := make(map[coflow.PortID]coflow.PortID, len(ports))
+	for i, p := range ports {
+		remap[p] = coflow.PortID(i)
+	}
+	out := t.Clone()
+	out.Name = t.Name + "-compact"
+	out.NumPorts = len(ports)
+	if out.NumPorts == 0 {
+		out.NumPorts = 1 // a portless trace is still structurally valid
+	}
+	for _, s := range out.Specs {
+		for i := range s.Flows {
+			s.Flows[i].Src = remap[s.Flows[i].Src]
+			s.Flows[i].Dst = remap[s.Flows[i].Dst]
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"testing"
+
+	"saath/internal/coflow"
+)
+
+func filterFixture() *Trace {
+	return &Trace{Name: "fx", NumPorts: 10, Specs: []*coflow.Spec{
+		{ID: 1, Arrival: 0, Flows: []coflow.FlowSpec{{Src: 7, Dst: 9, Size: 10 * coflow.MB}}},
+		{ID: 2, Arrival: coflow.Second, Flows: []coflow.FlowSpec{{Src: 2, Dst: 9, Size: 200 * coflow.MB}}},
+		{ID: 3, Arrival: 2 * coflow.Second, Flows: []coflow.FlowSpec{
+			{Src: 2, Dst: 7, Size: coflow.MB}, {Src: 7, Dst: 2, Size: coflow.MB}}},
+	}}
+}
+
+func TestFilterBySize(t *testing.T) {
+	tr := filterFixture()
+	small := tr.Filter(func(s *coflow.Spec) bool { return s.TotalSize() <= 100*coflow.MB })
+	if len(small.Specs) != 2 {
+		t.Fatalf("kept %d", len(small.Specs))
+	}
+	// Deep copy: mutating the filtered trace leaves the original alone.
+	small.Specs[0].Flows[0].Size = 1
+	if tr.Specs[0].Flows[0].Size == 1 {
+		t.Fatal("Filter shares flow storage")
+	}
+}
+
+func TestWindowRebasesArrivals(t *testing.T) {
+	tr := filterFixture()
+	w := tr.Window(coflow.Second, 3*coflow.Second)
+	if len(w.Specs) != 2 {
+		t.Fatalf("window kept %d", len(w.Specs))
+	}
+	if w.Specs[0].Arrival != 0 {
+		t.Fatalf("first arrival = %v, want rebased 0", w.Specs[0].Arrival)
+	}
+	if w.Specs[1].Arrival != coflow.Second {
+		t.Fatalf("second arrival = %v", w.Specs[1].Arrival)
+	}
+	if empty := tr.Window(50*coflow.Second, 60*coflow.Second); len(empty.Specs) != 0 {
+		t.Fatal("empty window not empty")
+	}
+}
+
+func TestHead(t *testing.T) {
+	tr := filterFixture()
+	h := tr.Head(2)
+	if len(h.Specs) != 2 || h.Specs[0].ID != 1 || h.Specs[1].ID != 2 {
+		t.Fatalf("head = %+v", h.Specs)
+	}
+	if all := tr.Head(99); len(all.Specs) != 3 {
+		t.Fatal("head beyond length should keep all")
+	}
+}
+
+func TestCompactPorts(t *testing.T) {
+	tr := filterFixture()
+	c := tr.CompactPorts()
+	// Used ports {2, 7, 9} -> {0, 1, 2}.
+	if c.NumPorts != 3 {
+		t.Fatalf("NumPorts = %d", c.NumPorts)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Relative structure preserved: coflow 3's two flows still connect
+	// the same pair of (renumbered) nodes in both directions.
+	var c3 *coflow.Spec
+	for _, s := range c.Specs {
+		if s.ID == 3 {
+			c3 = s
+		}
+	}
+	if c3.Flows[0].Src != c3.Flows[1].Dst || c3.Flows[0].Dst != c3.Flows[1].Src {
+		t.Fatalf("compacted flows lost structure: %+v", c3.Flows)
+	}
+	// Sizes and arrivals untouched.
+	if c.Specs[0].Arrival != tr.Specs[0].Arrival || c.TotalBytes() != tr.TotalBytes() {
+		t.Fatal("compaction changed payloads")
+	}
+}
+
+func TestCompactPortsEmptyTrace(t *testing.T) {
+	tr := &Trace{Name: "empty", NumPorts: 5}
+	c := tr.CompactPorts()
+	if c.NumPorts != 1 {
+		t.Fatalf("NumPorts = %d", c.NumPorts)
+	}
+}

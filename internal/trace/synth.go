@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"saath/internal/coflow"
+)
+
+// SynthConfig controls the seeded synthetic workload generators. The
+// zero value is not usable; start from DefaultFBConfig or
+// DefaultOSPConfig.
+type SynthConfig struct {
+	Seed       int64
+	NumPorts   int
+	NumCoFlows int
+
+	// MeanInterArrival is the mean of the exponential arrival gaps.
+	// Real traces span hours; the default compresses time so that the
+	// simulator sustains the same per-port contention the paper
+	// reports without hour-long runs.
+	MeanInterArrival coflow.Time
+
+	// Workload mix, following the published FB-trace marginals.
+	SingleFlowFrac   float64 // CoFlows with exactly one flow (FB: 23%)
+	EqualLengthFrac  float64 // among multi-flow CoFlows: equal flow lengths (FB: 50/77)
+	WideFracNarrowCF float64 // among multi-flow CoFlows: width > 10 (Table 1 bins 2+4)
+
+	// Fraction of CoFlows with total size <= 100 MB, split by width
+	// class, matching Table 1 (bin-1/(bin-1+bin-3), bin-2/(bin-2+bin-4)).
+	SmallFracNarrow float64
+	SmallFracWide   float64
+
+	// Size ranges (log-uniform sampling).
+	MinSmall, MaxSmall coflow.Bytes // total size for "small" CoFlows
+	MinLarge, MaxLarge coflow.Bytes // total size for "large" CoFlows
+}
+
+// DefaultFBConfig mirrors the Facebook Hive/MapReduce trace statistics
+// quoted in §2.3 and Table 1 of the paper: 150 ports, 526 CoFlows, 23%
+// single-flow, 50% multi equal-length, bins (54, 14, 12, 20)%.
+func DefaultFBConfig(seed int64) SynthConfig {
+	return SynthConfig{
+		Seed:             seed,
+		NumPorts:         150,
+		NumCoFlows:       526,
+		MeanInterArrival: 150 * coflow.Millisecond,
+		SingleFlowFrac:   0.23,
+		EqualLengthFrac:  0.50 / 0.77,
+		WideFracNarrowCF: 0.34 / 0.77, // bins 2+4 over multi-flow share
+		SmallFracNarrow:  0.54 / 0.66,
+		SmallFracWide:    0.14 / 0.34,
+		MinSmall:         1 * coflow.MB,
+		MaxSmall:         100 * coflow.MB,
+		MinLarge:         100 * coflow.MB,
+		MaxLarge:         20 * coflow.GB,
+	}
+}
+
+// DefaultOSPConfig models the proprietary online-service-provider
+// trace: O(100) ports, O(1000) jobs, and — the property the paper
+// highlights — busier ports (more CoFlows queued per port), which
+// amplifies FIFO head-of-line blocking of short, narrow CoFlows.
+func DefaultOSPConfig(seed int64) SynthConfig {
+	return SynthConfig{
+		Seed:             seed,
+		NumPorts:         100,
+		NumCoFlows:       1000,
+		MeanInterArrival: 40 * coflow.Millisecond, // denser than FB
+		SingleFlowFrac:   0.30,
+		EqualLengthFrac:  0.55,
+		WideFracNarrowCF: 0.35,
+		SmallFracNarrow:  0.85, // many short narrow jobs...
+		SmallFracWide:    0.30,
+		MinSmall:         512 * coflow.KB,
+		MaxSmall:         100 * coflow.MB,
+		MinLarge:         100 * coflow.MB,
+		MaxLarge:         50 * coflow.GB, // ...sharing ports with a heavy tail
+	}
+}
+
+// SynthFB generates a Facebook-like workload (see DefaultFBConfig).
+func SynthFB(seed int64) *Trace { return Synthesize(DefaultFBConfig(seed), "fb-synth") }
+
+// SynthOSP generates an OSP-like workload (see DefaultOSPConfig).
+func SynthOSP(seed int64) *Trace { return Synthesize(DefaultOSPConfig(seed), "osp-synth") }
+
+// Synthesize generates a trace from cfg. The same (cfg, name) always
+// yields byte-identical traces.
+func Synthesize(cfg SynthConfig, name string) *Trace {
+	if cfg.NumPorts <= 1 || cfg.NumCoFlows <= 0 {
+		panic(fmt.Sprintf("trace.Synthesize: bad config ports=%d coflows=%d", cfg.NumPorts, cfg.NumCoFlows))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Trace{Name: name, NumPorts: cfg.NumPorts}
+	var clock coflow.Time
+	for i := 0; i < cfg.NumCoFlows; i++ {
+		gap := coflow.Time(rng.ExpFloat64() * float64(cfg.MeanInterArrival))
+		clock += gap
+		spec := synthCoflow(rng, cfg, coflow.CoFlowID(i), clock)
+		t.Specs = append(t.Specs, spec)
+	}
+	t.SortByArrival()
+	if err := t.Validate(); err != nil {
+		panic("trace.Synthesize: generated invalid trace: " + err.Error())
+	}
+	return t
+}
+
+func synthCoflow(rng *rand.Rand, cfg SynthConfig, id coflow.CoFlowID, arrival coflow.Time) *coflow.Spec {
+	single := rng.Float64() < cfg.SingleFlowFrac
+
+	var mappers, reducers int
+	wide := false
+	if single {
+		mappers, reducers = 1, 1
+	} else {
+		wide = rng.Float64() < cfg.WideFracNarrowCF
+		if wide {
+			// width in (10, ~600], heavy-tailed via log-uniform area.
+			area := math.Exp(logUniform(rng, math.Log(11), math.Log(600)))
+			reducers = 1 + rng.Intn(int(math.Sqrt(area))+1)
+			mappers = int(area)/reducers + 1
+		} else {
+			// width in [2, 10]
+			w := 2 + rng.Intn(9)
+			mappers = 1 + rng.Intn(min(w, 3))
+			reducers = (w + mappers - 1) / mappers
+		}
+	}
+	if mappers > cfg.NumPorts {
+		mappers = cfg.NumPorts
+	}
+	if reducers > cfg.NumPorts {
+		reducers = cfg.NumPorts
+	}
+	width := mappers * reducers
+
+	smallFrac := cfg.SmallFracNarrow
+	if wide {
+		smallFrac = cfg.SmallFracWide
+	}
+	var total coflow.Bytes
+	if rng.Float64() < smallFrac {
+		total = logUniformBytes(rng, cfg.MinSmall, cfg.MaxSmall)
+	} else {
+		total = logUniformBytes(rng, cfg.MinLarge, cfg.MaxLarge)
+	}
+	if total < coflow.Bytes(width) {
+		total = coflow.Bytes(width) // at least one byte per flow
+	}
+
+	srcs := samplePorts(rng, cfg.NumPorts, mappers)
+	dsts := samplePorts(rng, cfg.NumPorts, reducers)
+
+	equal := single || rng.Float64() < cfg.EqualLengthFrac
+	reducerShare := make([]float64, reducers)
+	if equal {
+		for i := range reducerShare {
+			reducerShare[i] = 1 / float64(reducers)
+		}
+	} else {
+		// Log-normal weights produce skewed per-reducer totals and
+		// hence unequal flow lengths.
+		var sum float64
+		for i := range reducerShare {
+			reducerShare[i] = math.Exp(rng.NormFloat64() * 1.0)
+			sum += reducerShare[i]
+		}
+		for i := range reducerShare {
+			reducerShare[i] /= sum
+		}
+	}
+
+	spec := &coflow.Spec{ID: id, Arrival: arrival}
+	for r := 0; r < reducers; r++ {
+		perFlow := coflow.Bytes(float64(total) * reducerShare[r] / float64(mappers))
+		if perFlow <= 0 {
+			perFlow = 1
+		}
+		for m := 0; m < mappers; m++ {
+			spec.Flows = append(spec.Flows, coflow.FlowSpec{Src: srcs[m], Dst: dsts[r], Size: perFlow})
+		}
+	}
+	return spec
+}
+
+// samplePorts draws n distinct ports uniformly from [0, numPorts).
+func samplePorts(rng *rand.Rand, numPorts, n int) []coflow.PortID {
+	if n > numPorts {
+		n = numPorts
+	}
+	perm := rng.Perm(numPorts)[:n]
+	sort.Ints(perm)
+	out := make([]coflow.PortID, n)
+	for i, p := range perm {
+		out[i] = coflow.PortID(p)
+	}
+	return out
+}
+
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+func logUniformBytes(rng *rand.Rand, lo, hi coflow.Bytes) coflow.Bytes {
+	v := math.Exp(logUniform(rng, math.Log(float64(lo)), math.Log(float64(hi))))
+	b := coflow.Bytes(v)
+	if b < lo {
+		b = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

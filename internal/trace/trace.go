@@ -1,0 +1,287 @@
+// Package trace loads, writes, synthesizes and summarizes CoFlow
+// workloads.
+//
+// The on-disk format is the public coflow-benchmark format used by the
+// Facebook trace the paper replays (github.com/coflow/coflow-benchmark):
+//
+//	<numPorts> <numCoFlows>
+//	<id> <arrivalMillis> <numMappers> <m...> <numReducers> <r:sizeMB ...>
+//
+// Each reducer's size is split equally across the mappers, one flow per
+// (mapper, reducer) pair, exactly as in the reference replayer.
+//
+// Because this build environment is offline, the package also ships
+// seeded synthetic generators whose marginals match the published
+// statistics of the Facebook trace and of the proprietary OSP trace
+// (see DESIGN.md for the substitution argument).
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"saath/internal/coflow"
+)
+
+// Trace is a CoFlow workload over a cluster of NumPorts nodes.
+type Trace struct {
+	Name     string
+	NumPorts int
+	Specs    []*coflow.Spec
+}
+
+// Validate checks the trace's structural invariants: ports in range,
+// valid specs, unique IDs.
+func (t *Trace) Validate() error {
+	if t.NumPorts <= 0 {
+		return fmt.Errorf("trace %q: non-positive port count %d", t.Name, t.NumPorts)
+	}
+	seen := make(map[coflow.CoFlowID]bool, len(t.Specs))
+	for _, s := range t.Specs {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("trace %q: %w", t.Name, err)
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("trace %q: duplicate coflow id %d", t.Name, s.ID)
+		}
+		seen[s.ID] = true
+		for i, f := range s.Flows {
+			if int(f.Src) >= t.NumPorts || int(f.Dst) >= t.NumPorts {
+				return fmt.Errorf("trace %q coflow %d flow %d: port out of range (src=%d dst=%d, ports=%d)",
+					t.Name, s.ID, i, f.Src, f.Dst, t.NumPorts)
+			}
+		}
+	}
+	return nil
+}
+
+// SortByArrival orders specs by arrival time (stable; ties by ID).
+func (t *Trace) SortByArrival() {
+	sort.SliceStable(t.Specs, func(i, j int) bool {
+		a, b := t.Specs[i], t.Specs[j]
+		if a.Arrival != b.Arrival {
+			return a.Arrival < b.Arrival
+		}
+		return a.ID < b.ID
+	})
+}
+
+// ScaleArrivals multiplies every arrival time by factor. The paper's
+// Fig. 14(d) sensitivity knob A speeds arrivals up by dividing times,
+// i.e. A=4 means ScaleArrivals(1/4).
+func (t *Trace) ScaleArrivals(factor float64) {
+	for _, s := range t.Specs {
+		s.Arrival = coflow.Time(float64(s.Arrival) * factor)
+	}
+}
+
+// Clone deep-copies the trace so that callers may mutate arrivals or
+// sizes without affecting the original.
+func (t *Trace) Clone() *Trace {
+	out := &Trace{Name: t.Name, NumPorts: t.NumPorts, Specs: make([]*coflow.Spec, len(t.Specs))}
+	for i, s := range t.Specs {
+		cp := *s
+		cp.Flows = append([]coflow.FlowSpec(nil), s.Flows...)
+		cp.DependsOn = append([]coflow.CoFlowID(nil), s.DependsOn...)
+		out.Specs[i] = &cp
+	}
+	return out
+}
+
+// TotalBytes sums every flow of every CoFlow.
+func (t *Trace) TotalBytes() coflow.Bytes {
+	var total coflow.Bytes
+	for _, s := range t.Specs {
+		total += s.TotalSize()
+	}
+	return total
+}
+
+// Parse reads a trace in coflow-benchmark format.
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24) // wide coflows produce long lines
+	line := 0
+	next := func() ([]string, error) {
+		for sc.Scan() {
+			line++
+			fields := strings.Fields(sc.Text())
+			if len(fields) == 0 {
+				continue
+			}
+			return fields, nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+
+	header, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(header) != 2 {
+		return nil, fmt.Errorf("trace line %d: header needs <ports> <coflows>, got %q", line, strings.Join(header, " "))
+	}
+	numPorts, err := strconv.Atoi(header[0])
+	if err != nil {
+		return nil, fmt.Errorf("trace line %d: bad port count: %w", line, err)
+	}
+	numCoflows, err := strconv.Atoi(header[1])
+	if err != nil {
+		return nil, fmt.Errorf("trace line %d: bad coflow count: %w", line, err)
+	}
+
+	t := &Trace{NumPorts: numPorts, Specs: make([]*coflow.Spec, 0, numCoflows)}
+	for i := 0; i < numCoflows; i++ {
+		fields, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("trace: coflow %d of %d: %w", i+1, numCoflows, err)
+		}
+		spec, err := parseCoflowLine(fields, line)
+		if err != nil {
+			return nil, err
+		}
+		t.Specs = append(t.Specs, spec)
+	}
+	t.SortByArrival()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseCoflowLine(fields []string, line int) (*coflow.Spec, error) {
+	bad := func(msg string, args ...any) error {
+		return fmt.Errorf("trace line %d: %s", line, fmt.Sprintf(msg, args...))
+	}
+	if len(fields) < 4 {
+		return nil, bad("truncated coflow record")
+	}
+	id, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return nil, bad("bad coflow id %q: %v", fields[0], err)
+	}
+	arrivalMS, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, bad("bad arrival %q: %v", fields[1], err)
+	}
+	numMappers, err := strconv.Atoi(fields[2])
+	if err != nil || numMappers <= 0 {
+		return nil, bad("bad mapper count %q", fields[2])
+	}
+	pos := 3
+	if len(fields) < pos+numMappers+1 {
+		return nil, bad("record too short for %d mappers", numMappers)
+	}
+	mappers := make([]coflow.PortID, numMappers)
+	for i := range mappers {
+		p, err := strconv.Atoi(fields[pos+i])
+		if err != nil {
+			return nil, bad("bad mapper port %q: %v", fields[pos+i], err)
+		}
+		mappers[i] = coflow.PortID(p)
+	}
+	pos += numMappers
+	numReducers, err := strconv.Atoi(fields[pos])
+	if err != nil || numReducers <= 0 {
+		return nil, bad("bad reducer count %q", fields[pos])
+	}
+	pos++
+	if len(fields) != pos+numReducers {
+		return nil, bad("expected %d reducer entries, got %d", numReducers, len(fields)-pos)
+	}
+
+	spec := &coflow.Spec{
+		ID:      coflow.CoFlowID(id),
+		Arrival: coflow.Time(arrivalMS) * coflow.Millisecond,
+	}
+	for i := 0; i < numReducers; i++ {
+		entry := fields[pos+i]
+		colon := strings.IndexByte(entry, ':')
+		if colon < 0 {
+			return nil, bad("reducer entry %q missing ':'", entry)
+		}
+		rp, err := strconv.Atoi(entry[:colon])
+		if err != nil {
+			return nil, bad("bad reducer port in %q: %v", entry, err)
+		}
+		sizeMB, err := strconv.ParseFloat(entry[colon+1:], 64)
+		if err != nil || sizeMB < 0 {
+			return nil, bad("bad reducer size in %q", entry)
+		}
+		perFlow := coflow.Bytes(sizeMB * float64(coflow.MB) / float64(numMappers))
+		if perFlow <= 0 {
+			perFlow = 1 // the replayer still opens the flow; keep it observable
+		}
+		for _, mp := range mappers {
+			spec.Flows = append(spec.Flows, coflow.FlowSpec{Src: mp, Dst: coflow.PortID(rp), Size: perFlow})
+		}
+	}
+	return spec, nil
+}
+
+// ParseFile reads a trace file in coflow-benchmark format.
+func ParseFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	t.Name = path
+	return t, nil
+}
+
+// Write serializes the trace in coflow-benchmark format. Flows are
+// grouped back into mapper/reducer structure: the mapper set is the
+// distinct sources and each reducer's size is the sum of its incoming
+// flows. Traces not generated from an m×r grid still round-trip their
+// per-port totals.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", t.NumPorts, len(t.Specs))
+	for _, s := range t.Specs {
+		srcSet := make(map[coflow.PortID]bool)
+		dstBytes := make(map[coflow.PortID]coflow.Bytes)
+		for _, f := range s.Flows {
+			srcSet[f.Src] = true
+			dstBytes[f.Dst] += f.Size
+		}
+		srcs := sortedPorts(srcSet)
+		dsts := make([]coflow.PortID, 0, len(dstBytes))
+		for p := range dstBytes {
+			dsts = append(dsts, p)
+		}
+		sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+
+		fmt.Fprintf(bw, "%d %d %d", s.ID, int64(s.Arrival/coflow.Millisecond), len(srcs))
+		for _, p := range srcs {
+			fmt.Fprintf(bw, " %d", p)
+		}
+		fmt.Fprintf(bw, " %d", len(dsts))
+		for _, p := range dsts {
+			fmt.Fprintf(bw, " %d:%g", p, float64(dstBytes[p])/float64(coflow.MB))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+func sortedPorts(set map[coflow.PortID]bool) []coflow.PortID {
+	out := make([]coflow.PortID, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"saath/internal/coflow"
+)
+
+const sampleTrace = `4 2
+0 100 2 0 1 2 2:8 3:4
+1 250 1 3 1 0:6
+`
+
+func TestParseBasic(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumPorts != 4 || len(tr.Specs) != 2 {
+		t.Fatalf("ports=%d coflows=%d", tr.NumPorts, len(tr.Specs))
+	}
+	c0 := tr.Specs[0]
+	if c0.ID != 0 || c0.Arrival != 100*coflow.Millisecond {
+		t.Fatalf("c0 = %+v", c0)
+	}
+	// 2 mappers × 2 reducers = 4 flows; reducer 2 carries 8 MB split
+	// across 2 mappers -> 4 MB per flow.
+	if c0.Width() != 4 {
+		t.Fatalf("width = %d", c0.Width())
+	}
+	var toPort2 coflow.Bytes
+	for _, f := range c0.Flows {
+		if f.Dst == 2 {
+			toPort2 += f.Size
+			if f.Size != 4*coflow.MB {
+				t.Fatalf("flow to reducer 2 size = %d", f.Size)
+			}
+		}
+	}
+	if toPort2 != 8*coflow.MB {
+		t.Fatalf("reducer 2 total = %d", toPort2)
+	}
+	c1 := tr.Specs[1]
+	if c1.Width() != 1 || c1.Flows[0].Size != 6*coflow.MB {
+		t.Fatalf("c1 = %+v", c1.Flows)
+	}
+}
+
+func TestParseSortsByArrival(t *testing.T) {
+	input := "4 2\n5 900 1 0 1 1:1\n6 100 1 2 1 3:1\n"
+	tr, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Specs[0].ID != 6 || tr.Specs[1].ID != 5 {
+		t.Fatalf("order = %d, %d", tr.Specs[0].ID, tr.Specs[1].ID)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad header", "x y\n"},
+		{"short header", "4\n"},
+		{"missing coflow", "4 1\n"},
+		{"bad id", "4 1\nx 0 1 0 1 1:1\n"},
+		{"bad mapper count", "4 1\n0 0 z 0 1 1:1\n"},
+		{"zero mappers", "4 1\n0 0 0 1 1:1\n"},
+		{"missing reducer", "4 1\n0 0 1 0 2 1:1\n"},
+		{"no colon", "4 1\n0 0 1 0 1 11\n"},
+		{"bad size", "4 1\n0 0 1 0 1 1:x\n"},
+		{"negative size", "4 1\n0 0 1 0 1 1:-3\n"},
+		{"port out of range", "2 1\n0 0 1 0 1 9:1\n"},
+		{"duplicate id", "4 2\n0 0 1 0 1 1:1\n0 0 1 2 1 3:1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if len(back.Specs) != len(orig.Specs) {
+		t.Fatalf("coflows %d != %d", len(back.Specs), len(orig.Specs))
+	}
+	for i := range orig.Specs {
+		a, b := orig.Specs[i], back.Specs[i]
+		if a.ID != b.ID || a.Arrival != b.Arrival || a.Width() != b.Width() {
+			t.Fatalf("coflow %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.TotalSize() != b.TotalSize() {
+			t.Fatalf("coflow %d size %d != %d", i, a.TotalSize(), b.TotalSize())
+		}
+	}
+}
+
+func TestSynthRoundTrip(t *testing.T) {
+	tr := Synthesize(SynthConfig{
+		Seed: 1, NumPorts: 20, NumCoFlows: 40,
+		MeanInterArrival: 50 * coflow.Millisecond,
+		SingleFlowFrac:   0.2, EqualLengthFrac: 0.5, WideFracNarrowCF: 0.3,
+		SmallFracNarrow: 0.8, SmallFracWide: 0.4,
+		MinSmall: coflow.MB, MaxSmall: 100 * coflow.MB,
+		MinLarge: 100 * coflow.MB, MaxLarge: coflow.GB,
+	}, "t")
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Specs) != 40 {
+		t.Fatalf("coflows = %d", len(back.Specs))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr, _ := Parse(strings.NewReader(sampleTrace))
+	cp := tr.Clone()
+	cp.Specs[0].Flows[0].Size = 999
+	cp.Specs[0].Arrival = 0
+	if tr.Specs[0].Flows[0].Size == 999 || tr.Specs[0].Arrival == 0 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestScaleArrivals(t *testing.T) {
+	tr, _ := Parse(strings.NewReader(sampleTrace))
+	tr.ScaleArrivals(0.5)
+	if tr.Specs[0].Arrival != 50*coflow.Millisecond {
+		t.Fatalf("arrival = %v", tr.Specs[0].Arrival)
+	}
+}
+
+func TestSynthDeterministic(t *testing.T) {
+	a := SynthFB(7)
+	b := SynthFB(7)
+	if len(a.Specs) != len(b.Specs) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Specs {
+		if a.Specs[i].Arrival != b.Specs[i].Arrival || a.Specs[i].TotalSize() != b.Specs[i].TotalSize() {
+			t.Fatalf("spec %d differs", i)
+		}
+	}
+	c := SynthFB(8)
+	same := true
+	for i := range a.Specs {
+		if a.Specs[i].TotalSize() != c.Specs[i].TotalSize() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestSynthFBMarginals(t *testing.T) {
+	tr := SynthFB(1)
+	s := Summarize(tr)
+	if s.NumCoFlows != 526 || s.NumPorts != 150 {
+		t.Fatalf("shape: %d coflows %d ports", s.NumCoFlows, s.NumPorts)
+	}
+	// Published marginals: 23% single, 50% equal, 27% unequal, with
+	// sampling slack.
+	if s.SingleFrac < 0.17 || s.SingleFrac > 0.29 {
+		t.Errorf("single fraction = %.2f, want ~0.23", s.SingleFrac)
+	}
+	if s.EqualFrac < 0.40 || s.EqualFrac > 0.60 {
+		t.Errorf("equal fraction = %.2f, want ~0.50", s.EqualFrac)
+	}
+	if s.UnequalFrac < 0.17 || s.UnequalFrac > 0.37 {
+		t.Errorf("unequal fraction = %.2f, want ~0.27", s.UnequalFrac)
+	}
+	if s.MaxWidth <= 10 {
+		t.Errorf("max width = %d, want wide coflows present", s.MaxWidth)
+	}
+}
+
+func TestSynthOSPBusierThanFB(t *testing.T) {
+	fb := Summarize(SynthFB(3))
+	osp := Summarize(SynthOSP(3))
+	if osp.NumCoFlows < 2*fb.NumCoFlows/2 { // O(1000) vs 526
+		t.Fatalf("osp coflows = %d", osp.NumCoFlows)
+	}
+	// The paper attributes OSP's higher P90 speedup to busier ports.
+	fbDensity := fb.PortBusyness / fb.ArrivalSpan.Seconds()
+	ospDensity := osp.PortBusyness / osp.ArrivalSpan.Seconds()
+	if ospDensity <= fbDensity {
+		t.Errorf("OSP port density %.2f/s not busier than FB %.2f/s", ospDensity, fbDensity)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	single := &coflow.Spec{ID: 1, Flows: []coflow.FlowSpec{{Size: 5}}}
+	if Classify(single) != SingleFlow {
+		t.Fatal("single misclassified")
+	}
+	equal := &coflow.Spec{ID: 2, Flows: []coflow.FlowSpec{{Size: 100, Dst: 1}, {Size: 100, Dst: 2}}}
+	if Classify(equal) != EqualLength {
+		t.Fatal("equal misclassified")
+	}
+	unequal := &coflow.Spec{ID: 3, Flows: []coflow.FlowSpec{{Size: 100, Dst: 1}, {Size: 500, Dst: 2}}}
+	if Classify(unequal) != UnequalLength {
+		t.Fatal("unequal misclassified")
+	}
+	if SingleFlow.String() != "single" || EqualLength.String() != "equal" || UnequalLength.String() != "unequal" {
+		t.Fatal("bad class names")
+	}
+}
+
+func TestNormalizedSizeStdDev(t *testing.T) {
+	s := &coflow.Spec{Flows: []coflow.FlowSpec{{Size: 10}, {Size: 10}}}
+	if got := NormalizedSizeStdDev(s); got != 0 {
+		t.Fatalf("equal flows dev = %v", got)
+	}
+	s = &coflow.Spec{Flows: []coflow.FlowSpec{{Size: 0}, {Size: 0}}}
+	if got := NormalizedSizeStdDev(s); got != 0 {
+		t.Fatalf("zero flows dev = %v", got)
+	}
+	s = &coflow.Spec{Flows: []coflow.FlowSpec{{Size: 1}, {Size: 3}}}
+	// mean 2, stddev 1, normalized 0.5
+	if got := NormalizedSizeStdDev(s); got != 0.5 {
+		t.Fatalf("dev = %v, want 0.5", got)
+	}
+}
+
+func TestMicroTraces(t *testing.T) {
+	for _, tr := range []*Trace{Fig1Trace(), Fig4Trace(), Fig8Trace(), Fig17Trace()} {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", tr.Name, err)
+		}
+	}
+	if got := len(Fig1Trace().Specs); got != 4 {
+		t.Fatalf("fig1 coflows = %d", got)
+	}
+	// Fig 17: C1 is two 5-unit flows.
+	c1 := Fig17Trace().Specs[0]
+	if c1.Width() != 2 || c1.Flows[0].Size != 5*MicroUnitBytes {
+		t.Fatalf("fig17 C1 = %+v", c1.Flows)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(&Trace{NumPorts: 4})
+	if s.NumCoFlows != 0 || s.TotalBytes != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}

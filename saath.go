@@ -1,0 +1,193 @@
+// Package saath is a Go implementation of Saath (Jajoo, Gandhi, Hu,
+// Koh — CoNEXT 2017), an online CoFlow scheduler that exploits the
+// spatial dimension of CoFlows: all-or-none scheduling, per-flow
+// queue thresholds, and Least-Contention-First ordering with
+// starvation-free deadlines.
+//
+// The package is the library's public facade. It re-exports the data
+// model (traces, CoFlows, time/byte units), the scheduling policies
+// (Saath and the baselines it is evaluated against: Aalo, Varys'
+// SEBF+MADD, clairvoyant SCF/SRTF/LWTF, UC-TCP), the discrete-time
+// cluster simulator, the statistics helpers behind the paper's
+// figures, and the distributed coordinator/agent prototype.
+//
+// Quick start (see examples/quickstart for a runnable version):
+//
+//	tr := saath.SynthFB(1)                       // FB-like workload
+//	res, _ := saath.Simulate(tr, "saath", saath.SimConfig{})
+//	base, _ := saath.Simulate(tr, "aalo", saath.SimConfig{})
+//	fmt.Println(saath.SummarizeSpeedup(base, res)) // e.g. "1.5x median ..."
+package saath
+
+import (
+	"saath/internal/coflow"
+	"saath/internal/runtime"
+	"saath/internal/sched"
+	"saath/internal/sim"
+	"saath/internal/stats"
+	"saath/internal/trace"
+
+	_ "saath/internal/core"         // register saath + ablation variants
+	_ "saath/internal/sched/aalo"   // register aalo
+	_ "saath/internal/sched/baraat" // register baraat + baraat/fifo
+	_ "saath/internal/sched/clair"  // register scf / srtf / sjf-duration / lwtf
+	_ "saath/internal/sched/uctcp"  // register uc-tcp
+	_ "saath/internal/sched/varys"  // register varys
+)
+
+// Core data-model types.
+type (
+	// Time is simulated time in microseconds.
+	Time = coflow.Time
+	// Bytes is a byte count.
+	Bytes = coflow.Bytes
+	// Rate is bandwidth in bytes per second.
+	Rate = coflow.Rate
+	// PortID identifies a cluster node.
+	PortID = coflow.PortID
+	// CoFlowID identifies a CoFlow.
+	CoFlowID = coflow.CoFlowID
+	// FlowSpec describes one flow: endpoints and size.
+	FlowSpec = coflow.FlowSpec
+	// Spec is a CoFlow's static description.
+	Spec = coflow.Spec
+	// Trace is a CoFlow workload over a cluster.
+	Trace = trace.Trace
+	// SynthConfig controls the synthetic workload generators.
+	SynthConfig = trace.SynthConfig
+)
+
+// Unit constants.
+const (
+	Microsecond = coflow.Microsecond
+	Millisecond = coflow.Millisecond
+	Second      = coflow.Second
+	KB          = coflow.KB
+	MB          = coflow.MB
+	GB          = coflow.GB
+	TB          = coflow.TB
+)
+
+// GbpsRate converts gigabits per second to a Rate.
+func GbpsRate(gbps float64) Rate { return coflow.GbpsRate(gbps) }
+
+// Scheduling types.
+type (
+	// Scheduler is a global CoFlow scheduling policy.
+	Scheduler = sched.Scheduler
+	// Params carries scheduler knobs (queue ladder, deadline factor,
+	// feature toggles); see Params.Queues for the priority-queue
+	// ladder (K, S, E).
+	Params = sched.Params
+)
+
+// Simulation types.
+type (
+	// SimConfig controls a simulation run (δ, port rate, dynamics).
+	SimConfig = sim.Config
+	// SimResult is the outcome of one simulation.
+	SimResult = sim.Result
+	// CoFlowSimResult records one CoFlow's fate in a simulation.
+	CoFlowSimResult = sim.CoFlowResult
+	// Dynamics injects stragglers and restarts (§4.3).
+	Dynamics = sim.Dynamics
+	// Pipelining delays per-flow data availability (§4.3).
+	Pipelining = sim.Pipelining
+)
+
+// Statistics types.
+type (
+	// SpeedupSummary is a median + P10/P90 condensation of a speedup
+	// distribution, the paper's bar-chart presentation.
+	SpeedupSummary = stats.SpeedupSummary
+	// CDFPoint is one point of an empirical CDF.
+	CDFPoint = stats.CDFPoint
+	// JCTModel maps CCT improvements to job completion times (Fig. 16).
+	JCTModel = stats.JCTModel
+)
+
+// Prototype (distributed runtime) types.
+type (
+	// Coordinator is the global coordinator daemon.
+	Coordinator = runtime.Coordinator
+	// CoordinatorConfig configures the coordinator.
+	CoordinatorConfig = runtime.CoordinatorConfig
+	// Agent is a per-node local agent.
+	Agent = runtime.Agent
+	// AgentConfig configures an agent.
+	AgentConfig = runtime.AgentConfig
+	// Client is the framework-facing REST client (register /
+	// deregister / update).
+	Client = runtime.Client
+	// CoFlowRunResult is a completed CoFlow measured by the
+	// coordinator on the prototype.
+	CoFlowRunResult = runtime.CoFlowResult
+)
+
+// DefaultParams returns the paper's default configuration: K=10 queues,
+// S=10MB start threshold, E=10 growth, d=2 deadline factor, and every
+// Saath feature enabled.
+func DefaultParams() Params { return sched.DefaultParams() }
+
+// Schedulers lists the registered scheduling policies: "saath" and its
+// ablation variants, "aalo", "baraat", "varys", "scf", "srtf", "sjf-duration",
+// "lwtf", and "uc-tcp".
+func Schedulers() []string { return sched.Names() }
+
+// NewScheduler instantiates a registered policy.
+func NewScheduler(name string, p Params) (Scheduler, error) { return sched.New(name, p) }
+
+// LoadTrace reads a trace file in the public coflow-benchmark format
+// (the format of the Facebook trace the paper replays).
+func LoadTrace(path string) (*Trace, error) { return trace.ParseFile(path) }
+
+// SynthFB generates the Facebook-like synthetic workload: 150 ports,
+// 526 CoFlows, the published width/length-dispersion mix.
+func SynthFB(seed int64) *Trace { return trace.SynthFB(seed) }
+
+// SynthOSP generates the online-service-provider-like workload:
+// 100 ports, ~1000 CoFlows, busier ports than FB.
+func SynthOSP(seed int64) *Trace { return trace.SynthOSP(seed) }
+
+// Synthesize generates a workload from an explicit configuration.
+func Synthesize(cfg SynthConfig, name string) *Trace { return trace.Synthesize(cfg, name) }
+
+// Simulate replays tr under the named scheduler with the paper's
+// default parameters. Use SimulateWith for custom parameters.
+func Simulate(tr *Trace, scheduler string, cfg SimConfig) (*SimResult, error) {
+	return SimulateWith(tr, scheduler, DefaultParams(), cfg)
+}
+
+// SimulateWith replays tr under the named scheduler with explicit
+// scheduler parameters.
+func SimulateWith(tr *Trace, scheduler string, p Params, cfg SimConfig) (*SimResult, error) {
+	s, err := sched.New(scheduler, p)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(tr.Clone(), s, cfg)
+}
+
+// Speedups computes the per-CoFlow CCT ratio base/target: values above
+// one mean target was faster, the paper's speedup metric (§6.1).
+func Speedups(base, target *SimResult) []float64 {
+	return stats.Speedups(base.CCTByID(), target.CCTByID())
+}
+
+// SummarizeSpeedup condenses Speedups(base, target) into the paper's
+// median + P10/P90 presentation.
+func SummarizeSpeedup(base, target *SimResult) SpeedupSummary {
+	return stats.Summarize(Speedups(base, target))
+}
+
+// NewCoordinator starts the prototype's global coordinator.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	return runtime.NewCoordinator(cfg)
+}
+
+// NewAgent starts a prototype local agent.
+func NewAgent(cfg AgentConfig) (*Agent, error) { return runtime.NewAgent(cfg) }
+
+// NewClient returns a framework-facing REST client for a coordinator's
+// HTTP address.
+func NewClient(httpAddr string) *Client { return runtime.NewClient(httpAddr) }

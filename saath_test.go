@@ -1,0 +1,165 @@
+package saath
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSchedulersRegistered(t *testing.T) {
+	have := map[string]bool{}
+	for _, n := range Schedulers() {
+		have[n] = true
+	}
+	for _, want := range []string{
+		"saath", "saath/an+fifo", "saath/an+pf+fifo", "saath/nowc",
+		"saath/width-contention", "aalo", "baraat", "baraat/fifo", "varys", "scf", "srtf",
+		"sjf-duration", "lwtf", "uc-tcp",
+	} {
+		if !have[want] {
+			t.Errorf("scheduler %q not registered (have %v)", want, Schedulers())
+		}
+	}
+}
+
+func TestNewSchedulerErrors(t *testing.T) {
+	if _, err := NewScheduler("nope", DefaultParams()); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	s, err := NewScheduler("saath", DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "saath" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func TestPublicSimulateFlow(t *testing.T) {
+	cfg := SynthConfig{
+		Seed: 4, NumPorts: 12, NumCoFlows: 25,
+		MeanInterArrival: 20 * Millisecond,
+		SingleFlowFrac:   0.3, EqualLengthFrac: 0.5, WideFracNarrowCF: 0.3,
+		SmallFracNarrow: 0.8, SmallFracWide: 0.5,
+		MinSmall: MB, MaxSmall: 20 * MB,
+		MinLarge: 20 * MB, MaxLarge: 200 * MB,
+	}
+	tr := Synthesize(cfg, "api-test")
+	saathRes, err := Simulate(tr, "saath", SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aaloRes, err := Simulate(tr, "aalo", SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(saathRes.CoFlows) != 25 || len(aaloRes.CoFlows) != 25 {
+		t.Fatalf("completions: %d / %d", len(saathRes.CoFlows), len(aaloRes.CoFlows))
+	}
+	sp := Speedups(aaloRes, saathRes)
+	if len(sp) != 25 {
+		t.Fatalf("speedups = %d", len(sp))
+	}
+	sum := SummarizeSpeedup(aaloRes, saathRes)
+	if sum.N != 25 || sum.Median <= 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if !strings.Contains(sum.String(), "median") {
+		t.Fatal("summary formatting")
+	}
+}
+
+func TestSimulateWithCustomParams(t *testing.T) {
+	tr := Synthesize(SynthConfig{
+		Seed: 1, NumPorts: 4, NumCoFlows: 5,
+		MeanInterArrival: 10 * Millisecond,
+		SingleFlowFrac:   1, EqualLengthFrac: 1, WideFracNarrowCF: 0,
+		SmallFracNarrow: 1, SmallFracWide: 1,
+		MinSmall: MB, MaxSmall: 5 * MB, MinLarge: 5 * MB, MaxLarge: 10 * MB,
+	}, "custom")
+	p := DefaultParams()
+	p.Queues.StartThreshold = 100 * MB
+	p.DeadlineFactor = 4
+	res, err := SimulateWith(tr, "saath", p, SimConfig{Delta: 4 * Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CoFlows) != 5 {
+		t.Fatalf("completions = %d", len(res.CoFlows))
+	}
+}
+
+func TestSimulateDoesNotMutateTrace(t *testing.T) {
+	tr := SynthFB(2)
+	before := tr.Specs[0].Arrival
+	if _, err := Simulate(&Trace{Name: "sub", NumPorts: tr.NumPorts, Specs: tr.Specs[:10]}, "uc-tcp", SimConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Specs[0].Arrival != before {
+		t.Fatal("trace mutated by simulation")
+	}
+}
+
+func TestLoadTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.txt")
+	content := "4 1\n0 5 1 0 1 1:2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Specs) != 1 || tr.Specs[0].TotalSize() != 2*MB {
+		t.Fatalf("trace = %+v", tr.Specs)
+	}
+	if _, err := LoadTrace(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestGbpsRate(t *testing.T) {
+	if GbpsRate(1) != Rate(125e6) {
+		t.Fatal("unit conversion")
+	}
+}
+
+func TestPublicPrototypeEndToEnd(t *testing.T) {
+	s, err := NewScheduler("saath", DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Scheduler: s,
+		NumPorts:  2,
+		PortRate:  Rate(20e6),
+		Delta:     10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go coord.Serve()
+	defer coord.Close()
+	for i := 0; i < 2; i++ {
+		a, err := NewAgent(AgentConfig{Port: i, CoordinatorAddr: coord.ControlAddr(), StatsInterval: 10 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+	}
+	client := NewClient(coord.HTTPAddr())
+	spec := &Spec{ID: 1, Flows: []FlowSpec{{Src: 0, Dst: 1, Size: 200 * KB}}}
+	if err := client.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.WaitForResults(1, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 1 || res[0].CCT <= 0 {
+		t.Fatalf("result = %+v", res[0])
+	}
+}
