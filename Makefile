@@ -1,0 +1,32 @@
+# Local targets mirror the CI jobs (.github/workflows/ci.yml) so a
+# green `make ci` means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 20m ./...
+
+# One iteration of every benchmark: a smoke test that the bench
+# harness still compiles and runs, not a performance measurement.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' -timeout 20m ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check build vet race bench

@@ -8,32 +8,42 @@
 //	experiments -only fig9,fig10       # a subset
 //	experiments -testbed               # include the prototype (slow)
 //	experiments -scale full            # published scale (minutes)
+//	experiments -parallel 16 -progress # fan simulations out, show jobs
+//	experiments -json out/             # also export tables as JSON
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"saath/internal/experiments"
 	"saath/internal/report"
+	"saath/internal/sweep"
 )
 
 func main() {
 	var (
-		scale   = flag.String("scale", "quick", `"quick" or "full"`)
-		only    = flag.String("only", "", "comma-separated experiment ids (fig1..fig17, table2, ablations)")
-		testbed = flag.Bool("testbed", false, "also run the prototype-backed Fig 15 / Fig 16 (slow)")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory (for plotting)")
+		scale    = flag.String("scale", "quick", `"quick" or "full"`)
+		only     = flag.String("only", "", "comma-separated experiment ids (fig1..fig17, table2, ablations)")
+		testbed  = flag.Bool("testbed", false, "also run the prototype-backed Fig 15 / Fig 16 (slow)")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory (for plotting)")
+		jsonDir  = flag.String("json", "", "also write each table as JSON into this directory")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "simulation worker pool size for figure sweeps")
+		progress = flag.Bool("progress", false, "print each sweep job completion to stderr")
 	)
 	flag.Parse()
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+	for _, dir := range []string{*csvDir, *jsonDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -42,6 +52,10 @@ func main() {
 		sc = experiments.ScaleFull
 	}
 	env := experiments.NewEnv(sc)
+	env.Parallel = *parallel
+	if *progress {
+		env.Progress = sweep.ProgressPrinter(os.Stderr)
+	}
 
 	type exp struct {
 		id string
@@ -107,18 +121,31 @@ func main() {
 			fmt.Println()
 			if *csvDir != "" {
 				path := filepath.Join(*csvDir, fmt.Sprintf("%s_%02d.csv", e.id, i))
-				f, err := os.Create(path)
-				if err == nil {
-					err = t.CSV(f)
-					if cerr := f.Close(); err == nil {
-						err = cerr
-					}
-				}
-				if err != nil {
+				if err := writeTable(path, t.CSV); err != nil {
 					fmt.Fprintln(os.Stderr, "experiments: csv:", err)
+					os.Exit(1)
+				}
+			}
+			if *jsonDir != "" {
+				path := filepath.Join(*jsonDir, fmt.Sprintf("%s_%02d.json", e.id, i))
+				if err := writeTable(path, t.JSON); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments: json:", err)
 					os.Exit(1)
 				}
 			}
 		}
 	}
+}
+
+// writeTable creates path and streams one table export into it.
+func writeTable(path string, export func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = export(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -1,29 +1,37 @@
 // saath-sim replays a CoFlow trace under one or more scheduling
-// policies and reports per-policy CCT statistics and speedups.
+// policies and reports per-policy CCT statistics and speedups. The
+// scheduler × seed grid fans out over a bounded worker pool; output is
+// identical at any -parallel setting.
 //
 // Usage:
 //
 //	saath-sim -trace fb -sched saath,aalo
 //	saath-sim -trace path/to/trace.txt -sched saath,varys -delta 8ms
+//	saath-sim -trace osp -sched aalo,saath -seed 1,2,3 -parallel 8
+//	saath-sim -trace fb -json results.json
 //
 // The -trace flag accepts "fb" (synthetic Facebook-like), "osp"
 // (synthetic OSP-like), or a path to a file in the coflow-benchmark
 // format. When more than one scheduler is given, the first is the
-// baseline for speedup reporting.
+// baseline for speedup reporting. -seed takes a comma-separated list:
+// synthetic workloads are regenerated per seed and statistics pool
+// across the draws.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"saath/internal/coflow"
-	"saath/internal/report"
 	"saath/internal/sched"
 	"saath/internal/sim"
-	"saath/internal/stats"
+	"saath/internal/sweep"
 	"saath/internal/trace"
 
 	_ "saath/internal/core"
@@ -36,7 +44,7 @@ import (
 func main() {
 	var (
 		traceArg = flag.String("trace", "fb", `workload: "fb", "osp", or a coflow-benchmark file path`)
-		seed     = flag.Int64("seed", 1, "seed for synthetic workloads")
+		seeds    = flag.String("seed", "1", "comma-separated seeds; each regenerates the synthetic workload")
 		scheds   = flag.String("sched", "aalo,saath", "comma-separated schedulers; first is the speedup baseline")
 		delta    = flag.Duration("delta", 8*time.Millisecond, "schedule recomputation interval δ")
 		rateGbps = flag.Float64("rate", 1.0, "per-port rate in Gbps")
@@ -45,6 +53,9 @@ func main() {
 		growth   = flag.Float64("E", 10, "queue threshold growth factor")
 		queues   = flag.Int("K", 10, "number of priority queues")
 		deadline = flag.Float64("d", 2, "starvation deadline factor")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "simulation worker pool size")
+		jsonPath = flag.String("json", "", `write per-run results as JSON to this file ("-" for stdout)`)
+		progress = flag.Bool("progress", false, "print each job completion to stderr")
 		list     = flag.Bool("list", false, "list registered schedulers and exit")
 	)
 	flag.Parse()
@@ -56,12 +67,9 @@ func main() {
 		return
 	}
 
-	tr, err := loadTrace(*traceArg, *seed)
+	seedList, err := parseSeeds(*seeds)
 	if err != nil {
 		fatal(err)
-	}
-	if *arrival != 1 {
-		tr.ScaleArrivals(1 / *arrival)
 	}
 
 	params := sched.DefaultParams()
@@ -80,61 +88,113 @@ func main() {
 		PortRate: coflow.GbpsRate(*rateGbps),
 	}
 
-	summary := trace.Summarize(tr)
-	fmt.Printf("trace %s: %d coflows, %d ports, %.1f GB total, mean width %.1f\n",
-		tr.Name, summary.NumCoFlows, summary.NumPorts,
-		float64(summary.TotalBytes)/float64(coflow.GB), summary.MeanWidth)
-
-	names := strings.Split(*scheds, ",")
-	results := make(map[string]*sim.Result, len(names))
-	tbl := &report.Table{
-		Title:   "per-scheduler CCT",
-		Headers: []string{"scheduler", "avg cct (s)", "p50 (s)", "p90 (s)", "makespan (s)", "sched mean", "sched p90"},
-	}
-	for _, name := range names {
-		name = strings.TrimSpace(name)
-		s, err := sched.New(name, params)
-		if err != nil {
-			fatal(err)
-		}
-		res, err := sim.Run(tr.Clone(), s, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		results[name] = res
-		ccts := make([]float64, len(res.CoFlows))
-		for i, c := range res.CoFlows {
-			ccts[i] = c.CCT.Seconds()
-		}
-		tbl.AddRow(name,
-			fmt.Sprintf("%.3f", res.AvgCCT()),
-			fmt.Sprintf("%.3f", stats.Percentile(ccts, 50)),
-			fmt.Sprintf("%.3f", stats.Percentile(ccts, 90)),
-			fmt.Sprintf("%.1f", res.Makespan.Seconds()),
-			res.Sched.Mean().String(),
-			res.Sched.P90().String())
-	}
-	if err := tbl.Render(os.Stdout); err != nil {
+	// Describe the workload using the first seed's draw.
+	first, err := loadTrace(*traceArg, seedList[0])
+	if err != nil {
 		fatal(err)
 	}
+	if *arrival != 1 {
+		first.ScaleArrivals(1 / *arrival)
+	}
+	summary := trace.Summarize(first)
+	fmt.Printf("trace %s: %d coflows, %d ports, %.1f GB total, mean width %.1f\n",
+		first.Name, summary.NumCoFlows, summary.NumPorts,
+		float64(summary.TotalBytes)/float64(coflow.GB), summary.MeanWidth)
 
+	var names []string
+	for _, n := range strings.Split(*scheds, ",") {
+		names = append(names, strings.TrimSpace(n))
+	}
+
+	var source sweep.TraceSource
+	if *traceArg == "fb" || *traceArg == "osp" {
+		source = sweep.SynthSource(first.Name, func(seed int64) *trace.Trace {
+			tr, _ := loadTrace(*traceArg, seed) // synthetic: cannot fail
+			if *arrival != 1 {
+				tr.ScaleArrivals(1 / *arrival)
+			}
+			return tr
+		})
+	} else {
+		// A file trace is one fixed workload: extra seeds would just
+		// replay identical simulations and triple-count the pooled
+		// statistics, so collapse the seed list.
+		if len(seedList) > 1 {
+			fmt.Fprintf(os.Stderr, "saath-sim: %s is a fixed trace; ignoring extra seeds %v\n",
+				*traceArg, seedList[1:])
+			seedList = seedList[:1]
+		}
+		source = sweep.FixedTrace(first)
+	}
+	grid := sweep.Grid{
+		Traces:     []sweep.TraceSource{source},
+		Schedulers: names,
+		Seeds:      seedList,
+		Params:     params,
+		Config:     cfg,
+	}
+	jobs := grid.Jobs()
+
+	agg := sweep.NewSummary()
+	opts := sweep.Options{Parallel: *parallel, Collectors: []sweep.Collector{agg}}
+	if *progress {
+		opts.Progress = sweep.ProgressPrinter(os.Stderr)
+	}
+	res := sweep.Run(context.Background(), jobs, opts)
+	fmt.Printf("%d/%d simulations in %.1fs (-parallel %d)\n",
+		res.Completed(), len(jobs), res.Elapsed.Seconds(), *parallel)
+	for _, jr := range res.Failed() {
+		fmt.Fprintln(os.Stderr, "saath-sim:", jr.Err)
+	}
+
+	if err := agg.CCTTable("per-scheduler CCT").Render(os.Stdout); err != nil {
+		fatal(err)
+	}
 	if len(names) > 1 {
-		base := results[strings.TrimSpace(names[0])]
-		sp := &report.Table{
-			Title:   fmt.Sprintf("per-coflow speedup over %s", names[0]),
-			Headers: []string{"scheduler", "p10", "median", "p90", "mean"},
-		}
-		for _, name := range names[1:] {
-			name = strings.TrimSpace(name)
-			s := stats.Summarize(stats.Speedups(base.CCTByID(), results[name].CCTByID()))
-			sp.AddRow(name,
-				fmt.Sprintf("%.2f", s.P10), fmt.Sprintf("%.2f", s.Median),
-				fmt.Sprintf("%.2f", s.P90), fmt.Sprintf("%.2f", s.Mean))
-		}
-		if err := sp.Render(os.Stdout); err != nil {
+		title := fmt.Sprintf("per-coflow speedup over %s", names[0])
+		if err := agg.SpeedupTable(title, names[0]).Render(os.Stdout); err != nil {
 			fatal(err)
 		}
 	}
+
+	if *jsonPath != "" {
+		if err := exportJSON(*jsonPath, agg); err != nil {
+			fatal(err)
+		}
+	}
+	if res.FirstErr() != nil {
+		os.Exit(1)
+	}
+}
+
+// exportJSON writes the aggregate to path ("-" for stdout),
+// propagating the Close error so a failed flush cannot exit 0.
+func exportJSON(path string, agg *sweep.Summary) error {
+	if path == "-" {
+		return agg.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = agg.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// parseSeeds parses a comma-separated seed list.
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func loadTrace(arg string, seed int64) (*trace.Trace, error) {

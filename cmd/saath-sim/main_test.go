@@ -36,6 +36,18 @@ func TestParseBytes(t *testing.T) {
 	}
 }
 
+func TestParseSeeds(t *testing.T) {
+	got, err := parseSeeds("1, 2,3")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parseSeeds = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "1,,2", "x"} {
+		if _, err := parseSeeds(bad); err == nil {
+			t.Errorf("parseSeeds(%q) accepted", bad)
+		}
+	}
+}
+
 func TestLoadTrace(t *testing.T) {
 	fb, err := loadTrace("fb", 1)
 	if err != nil || fb.NumPorts != 150 {

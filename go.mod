@@ -1,0 +1,3 @@
+module saath
+
+go 1.24

@@ -8,6 +8,13 @@
 // scheduler) pair — e.g. Fig. 9 through Fig. 13 all need Aalo and
 // Saath on both traces — pay for each simulation once.
 //
+// Figures that need several simulations fan them out through the
+// internal/sweep worker pool: each figure declares the (trace,
+// scheduler, params) grid it needs, Prime or the sweep engine runs the
+// missing cells on Env.Parallel workers, and the figure assembles its
+// tables from the memoized results. Output is identical at any
+// parallelism (see internal/sweep's determinism contract).
+//
 // Scale: the paper's full traces take hours of simulated time; the
 // default ScaleQuick environment shrinks the cluster and CoFlow count
 // while preserving the workload mix and per-port contention, which is
@@ -16,12 +23,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"saath/internal/coflow"
 	"saath/internal/sched"
 	"saath/internal/sim"
 	"saath/internal/stats"
+	"saath/internal/sweep"
 	"saath/internal/trace"
 
 	_ "saath/internal/core"        // register saath + ablations
@@ -52,6 +63,15 @@ type Env struct {
 	SimCfg sim.Config
 	Params sched.Params
 
+	// Parallel bounds the sweep worker pool used by figure fan-outs
+	// (default runtime.NumCPU()). One worker reproduces the old
+	// serial behaviour — and identical output.
+	Parallel int
+	// Progress, when set, receives a callback after every simulation
+	// a figure sweep completes (for cmd/experiments' -progress).
+	Progress func(done, total int, jr sweep.JobResult)
+
+	mu    sync.Mutex
 	cache map[string]*sim.Result
 }
 
@@ -59,10 +79,11 @@ type Env struct {
 // paper's default parameters (K=10, E=10, S=10MB, δ=8ms, d=2).
 func NewEnv(scale Scale) *Env {
 	e := &Env{
-		Scale:  scale,
-		SimCfg: sim.Config{Delta: 8 * coflow.Millisecond},
-		Params: sched.DefaultParams(),
-		cache:  make(map[string]*sim.Result),
+		Scale:    scale,
+		SimCfg:   sim.Config{Delta: 8 * coflow.Millisecond},
+		Params:   sched.DefaultParams(),
+		Parallel: runtime.NumCPU(),
+		cache:    make(map[string]*sim.Result),
 	}
 	switch scale {
 	case ScaleFull:
@@ -99,18 +120,76 @@ func QuickOSPConfig(seed int64) trace.SynthConfig {
 }
 
 // Run simulates tr under the named scheduler with the Env's default
-// parameters, memoizing by (trace, scheduler).
+// parameters, memoizing by (trace, scheduler). Safe for concurrent
+// use; figures that need several runs should Prime first so the runs
+// fan out instead of serializing here.
 func (e *Env) Run(tr *trace.Trace, scheduler string) (*sim.Result, error) {
 	key := tr.Name + "|" + scheduler
-	if r, ok := e.cache[key]; ok {
+	e.mu.Lock()
+	r, ok := e.cache[key]
+	e.mu.Unlock()
+	if ok {
 		return r, nil
 	}
 	r, err := e.RunWith(tr, scheduler, e.Params, e.SimCfg)
 	if err != nil {
 		return nil, err
 	}
+	e.mu.Lock()
 	e.cache[key] = r
+	e.mu.Unlock()
 	return r, nil
+}
+
+// Prime runs every not-yet-memoized (trace, scheduler) pair of the
+// cross product through the sweep engine on Env.Parallel workers.
+// After Prime returns nil, Run hits the cache for each pair.
+func (e *Env) Prime(traces []*trace.Trace, schedulers ...string) error {
+	var jobs []sweep.Job
+	var keys []string
+	e.mu.Lock()
+	for _, tr := range traces {
+		for _, scheduler := range schedulers {
+			key := tr.Name + "|" + scheduler
+			if _, ok := e.cache[key]; ok {
+				continue
+			}
+			tr := tr
+			jobs = append(jobs, sweep.Job{
+				Index:     len(jobs),
+				Trace:     tr.Name,
+				Scheduler: scheduler,
+				Seed:      1,
+				Params:    e.Params,
+				Config:    e.SimCfg,
+				Gen:       func() *trace.Trace { return tr.Clone() },
+			})
+			keys = append(keys, key)
+		}
+	}
+	e.mu.Unlock()
+	if len(jobs) == 0 {
+		return nil
+	}
+	res := sweep.Run(context.Background(), jobs, sweep.Options{Parallel: e.Parallel, Progress: e.Progress})
+	if err := res.FirstErr(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	for i, jr := range res.Jobs {
+		e.cache[keys[i]] = jr.Res
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// sweepRun executes hand-built jobs with the Env's pool settings.
+func (e *Env) sweepRun(jobs []sweep.Job) (*sweep.Result, error) {
+	res := sweep.Run(context.Background(), jobs, sweep.Options{Parallel: e.Parallel, Progress: e.Progress})
+	if err := res.FirstErr(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // RunWith simulates without memoization, for parameter sweeps.

@@ -287,6 +287,32 @@ func TestFig14SweepsTiny(t *testing.T) {
 	}
 }
 
+// TestFigureOutputParallelInvariant: the figures must not depend on
+// the sweep pool's worker count — serial and 8-way parallel envs
+// render byte-identical tables.
+func TestFigureOutputParallelInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	render := func(parallel int) string {
+		e := tinyEnv(t)
+		e.Parallel = parallel
+		var sb strings.Builder
+		for _, fn := range []func() ([]*report.Table, error){e.Fig9, e.Fig14, e.AblationDynamics} {
+			tables, err := fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb.WriteString(renderAll(t, tables))
+		}
+		return sb.String()
+	}
+	serial, parallel := render(1), render(8)
+	if serial != parallel {
+		t.Errorf("figure output depends on parallelism:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
 func TestOSPShowsHigherTailThanFB(t *testing.T) {
 	// The paper's explanation for OSP's P90=37x: busier ports amplify
 	// HoL blocking. Verify the tail (P90) speedup over Aalo is at

@@ -5,8 +5,10 @@ import (
 
 	"saath/internal/coflow"
 	"saath/internal/report"
+	"saath/internal/sched"
 	"saath/internal/sim"
 	"saath/internal/stats"
+	"saath/internal/sweep"
 	"saath/internal/trace"
 )
 
@@ -20,6 +22,9 @@ func (e *Env) Fig1() ([]*report.Table, error) {
 	t := &report.Table{
 		Title:   "Fig 1 — out-of-sync example (CCT in units of t=100ms)",
 		Headers: []string{"coflow", "aalo", "saath"},
+	}
+	if err := e.Prime([]*trace.Trace{tr}, "aalo", "saath"); err != nil {
+		return nil, err
 	}
 	aalo, err := e.Run(tr, "aalo")
 	if err != nil {
@@ -80,6 +85,9 @@ func (e *Env) Fig2() ([]*report.Table, error) {
 // Aalo: (a) the per-CoFlow speedup CDF, (b) the overall average-CCT
 // improvement in percent.
 func (e *Env) Fig3() ([]*report.Table, error) {
+	if err := e.Prime([]*trace.Trace{e.FB}, "aalo", "scf", "srtf", "lwtf"); err != nil {
+		return nil, err
+	}
 	aalo, err := e.Run(e.FB, "aalo")
 	if err != nil {
 		return nil, err
@@ -103,6 +111,9 @@ func (e *Env) Fig3() ([]*report.Table, error) {
 // over SEBF (Varys, offline), Aalo and UC-TCP, for both traces, shown
 // as median with P10/P90.
 func (e *Env) Fig9() ([]*report.Table, error) {
+	if err := e.Prime([]*trace.Trace{e.FB, e.OSP}, "varys", "aalo", "uc-tcp", "saath"); err != nil {
+		return nil, err
+	}
 	var tables []*report.Table
 	for _, tr := range []*trace.Trace{e.FB, e.OSP} {
 		series := make(map[string]stats.SpeedupSummary)
@@ -130,8 +141,21 @@ var ablations = []struct{ name, label string }{
 	{"saath", "A/N + PF + LCoF (Saath)"},
 }
 
+// primeAblations fans out Aalo plus every ablation variant on the
+// given traces before the figure assembles its rows serially.
+func (e *Env) primeAblations(traces ...*trace.Trace) error {
+	names := []string{"aalo"}
+	for _, ab := range ablations {
+		names = append(names, ab.name)
+	}
+	return e.Prime(traces, names...)
+}
+
 // Fig10 breaks the speedup over Aalo down by design component.
 func (e *Env) Fig10() ([]*report.Table, error) {
+	if err := e.primeAblations(e.FB, e.OSP); err != nil {
+		return nil, err
+	}
 	t := &report.Table{
 		Title:   "Fig 10 — speedup over Aalo by design component (median, P90)",
 		Headers: []string{"variant", "fb median", "fb p90", "osp median", "osp p90"},
@@ -158,6 +182,9 @@ func (e *Env) Fig11() ([]*report.Table, error) { return e.binBreakdown(e.FB, "Fi
 func (e *Env) Fig12() ([]*report.Table, error) { return e.binBreakdown(e.OSP, "Fig 12") }
 
 func (e *Env) binBreakdown(tr *trace.Trace, figure string) ([]*report.Table, error) {
+	if err := e.primeAblations(tr); err != nil {
+		return nil, err
+	}
 	aalo, err := e.Run(tr, "aalo")
 	if err != nil {
 		return nil, err
@@ -206,6 +233,9 @@ func binLabel(b stats.Bin, count map[stats.Bin]int, total int) string {
 // of normalized FCT stddev for multi-flow CoFlows, split by flow-length
 // class, on the FB trace.
 func (e *Env) Fig13() ([]*report.Table, error) {
+	if err := e.Prime([]*trace.Trace{e.FB}, "aalo", "saath"); err != nil {
+		return nil, err
+	}
 	var tables []*report.Table
 	summary := &report.Table{
 		Title:   "Fig 13 — out-of-sync reduction (FB): share of CoFlows with norm. FCT stddev ≤ x",
@@ -233,100 +263,127 @@ func (e *Env) Fig13() ([]*report.Table, error) {
 	return append(tables, summary), nil
 }
 
+// fig14Point is one sensitivity point: a parameter variant plus the
+// schedulers evaluated at it. The five §6.3 sub-sweeps expand into one
+// job list executed by a single worker pool, instead of the hand-rolled
+// serial loops this function started as.
+type fig14Point struct {
+	table  string // which sub-sweep table the point belongs to ("a".."e")
+	label  string // row label (the swept value)
+	scheds []string
+	params sched.Params
+	cfg    sim.Config
+	mutate func(*trace.Trace)
+}
+
+func (pt fig14Point) variant() string { return pt.table + "|" + pt.label }
+
+// fig14Points declares the full §6.3 sensitivity grid.
+func (e *Env) fig14Points() []fig14Point {
+	both := []string{"saath", "aalo"}
+	var points []fig14Point
+
+	// (a) start queue threshold S.
+	for _, s := range []coflow.Bytes{10 * coflow.MB, 100 * coflow.MB, coflow.GB, 10 * coflow.GB, 100 * coflow.GB, coflow.TB} {
+		p := e.Params
+		p.Queues.StartThreshold = s
+		points = append(points, fig14Point{
+			table: "a", label: fmt.Sprintf("%dMB", s/coflow.MB), scheds: both, params: p, cfg: e.SimCfg})
+	}
+	// (b) exponential growth factor E.
+	for _, g := range []float64{2, 5, 10, 16, 32} {
+		p := e.Params
+		p.Queues.Growth = g
+		points = append(points, fig14Point{
+			table: "b", label: fmt.Sprintf("%g", g), scheds: both, params: p, cfg: e.SimCfg})
+	}
+	// (c) synchronization interval δ.
+	for _, d := range []coflow.Time{2, 4, 8, 12, 16, 20} {
+		cfg := e.SimCfg
+		cfg.Delta = d * coflow.Millisecond
+		points = append(points, fig14Point{
+			table: "c", label: fmt.Sprintf("%d", d), scheds: both, params: e.Params, cfg: cfg})
+	}
+	// (d) arrival-time scaling A (A>1 = arrivals A× faster).
+	for _, a := range []float64{0.25, 0.5, 1, 2, 4, 5} {
+		a := a
+		points = append(points, fig14Point{
+			table: "d", label: fmt.Sprintf("%g", a), scheds: both, params: e.Params, cfg: e.SimCfg,
+			mutate: func(tr *trace.Trace) { tr.ScaleArrivals(1 / a) }})
+	}
+	// (e) starvation deadline factor d (Saath only).
+	for _, d := range []float64{1, 2, 4, 8, 16} {
+		p := e.Params
+		p.DeadlineFactor = d
+		points = append(points, fig14Point{
+			table: "e", label: fmt.Sprintf("%gx", d), scheds: []string{"saath"}, params: p, cfg: e.SimCfg})
+	}
+	return points
+}
+
 // Fig14 runs the five sensitivity sweeps of §6.3. Each point reports
 // the median per-CoFlow speedup of the varied scheduler over Aalo at
-// default parameters, matching the paper's y-axis.
+// default parameters, matching the paper's y-axis. All points fan out
+// through one sweep over Env.Parallel workers.
 func (e *Env) Fig14() ([]*report.Table, error) {
-	defaultAalo := func(tr *trace.Trace) (*sim.Result, error) { return e.Run(tr, "aalo") }
 	tr := e.FB
-	base, err := defaultAalo(tr)
+	base, err := e.Run(tr, "aalo") // default-parameter baseline
 	if err != nil {
 		return nil, err
 	}
 	baseCCT := base.CCTByID()
 
-	median := func(res *sim.Result) string {
-		return fmt.Sprintf("%.2f", stats.Median(stats.Speedups(baseCCT, res.CCTByID())))
+	points := e.fig14Points()
+	var jobs []sweep.Job
+	for _, pt := range points {
+		pt := pt
+		for _, sn := range pt.scheds {
+			jobs = append(jobs, sweep.Job{
+				Index:     len(jobs),
+				Trace:     tr.Name,
+				Scheduler: sn,
+				Seed:      1,
+				Variant:   pt.variant(),
+				Params:    pt.params,
+				Config:    pt.cfg,
+				Gen: func() *trace.Trace {
+					t2 := tr.Clone()
+					if pt.mutate != nil {
+						pt.mutate(t2)
+					}
+					return t2
+				},
+			})
+		}
+	}
+	res, err := e.sweepRun(jobs)
+	if err != nil {
+		return nil, err
+	}
+	type cellKey struct{ variant, sched string }
+	byCell := make(map[cellKey]*sim.Result, len(jobs))
+	for _, jr := range res.Jobs {
+		byCell[cellKey{jr.Job.Variant, jr.Job.Scheduler}] = jr.Res
+	}
+	median := func(variant, sn string) string {
+		return fmt.Sprintf("%.2f", stats.Median(stats.Speedups(baseCCT, byCell[cellKey{variant, sn}].CCTByID())))
 	}
 
-	// (a) start queue threshold S.
-	ta := &report.Table{Title: "Fig 14a — sensitivity to start threshold S", Headers: []string{"S", "saath", "aalo"}}
-	for _, s := range []coflow.Bytes{10 * coflow.MB, 100 * coflow.MB, coflow.GB, 10 * coflow.GB, 100 * coflow.GB, coflow.TB} {
-		p := e.Params
-		p.Queues.StartThreshold = s
-		rs, err := e.RunWith(tr, "saath", p, e.SimCfg)
-		if err != nil {
-			return nil, err
-		}
-		ra, err := e.RunWith(tr, "aalo", p, e.SimCfg)
-		if err != nil {
-			return nil, err
-		}
-		ta.AddRow(fmt.Sprintf("%dMB", s/coflow.MB), median(rs), median(ra))
+	tables := map[string]*report.Table{
+		"a": {Title: "Fig 14a — sensitivity to start threshold S", Headers: []string{"S", "saath", "aalo"}},
+		"b": {Title: "Fig 14b — sensitivity to growth factor E", Headers: []string{"E", "saath", "aalo"}},
+		"c": {Title: "Fig 14c — sensitivity to sync interval δ", Headers: []string{"δ (ms)", "saath", "aalo"}},
+		"d": {Title: "Fig 14d — sensitivity to arrival scaling A", Headers: []string{"A", "saath", "aalo"}},
+		"e": {Title: "Fig 14e — sensitivity to deadline factor d", Headers: []string{"d", "saath"}},
 	}
-
-	// (b) exponential growth factor E.
-	tb := &report.Table{Title: "Fig 14b — sensitivity to growth factor E", Headers: []string{"E", "saath", "aalo"}}
-	for _, g := range []float64{2, 5, 10, 16, 32} {
-		p := e.Params
-		p.Queues.Growth = g
-		rs, err := e.RunWith(tr, "saath", p, e.SimCfg)
-		if err != nil {
-			return nil, err
+	for _, pt := range points {
+		row := []any{pt.label}
+		for _, sn := range pt.scheds {
+			row = append(row, median(pt.variant(), sn))
 		}
-		ra, err := e.RunWith(tr, "aalo", p, e.SimCfg)
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(fmt.Sprintf("%g", g), median(rs), median(ra))
+		tables[pt.table].AddRow(row...)
 	}
-
-	// (c) synchronization interval δ.
-	tc := &report.Table{Title: "Fig 14c — sensitivity to sync interval δ", Headers: []string{"δ (ms)", "saath", "aalo"}}
-	for _, d := range []coflow.Time{2, 4, 8, 12, 16, 20} {
-		cfg := e.SimCfg
-		cfg.Delta = d * coflow.Millisecond
-		rs, err := e.RunWith(tr, "saath", e.Params, cfg)
-		if err != nil {
-			return nil, err
-		}
-		ra, err := e.RunWith(tr, "aalo", e.Params, cfg)
-		if err != nil {
-			return nil, err
-		}
-		tc.AddRow(fmt.Sprintf("%d", d), median(rs), median(ra))
-	}
-
-	// (d) arrival-time scaling A (A>1 = arrivals A× faster). Baseline
-	// stays Aalo at A=1.
-	td := &report.Table{Title: "Fig 14d — sensitivity to arrival scaling A", Headers: []string{"A", "saath", "aalo"}}
-	for _, a := range []float64{0.25, 0.5, 1, 2, 4, 5} {
-		scaled := tr.Clone()
-		scaled.Name = fmt.Sprintf("%s-A%g", tr.Name, a)
-		scaled.ScaleArrivals(1 / a)
-		rs, err := e.RunWith(scaled, "saath", e.Params, e.SimCfg)
-		if err != nil {
-			return nil, err
-		}
-		ra, err := e.RunWith(scaled, "aalo", e.Params, e.SimCfg)
-		if err != nil {
-			return nil, err
-		}
-		td.AddRow(fmt.Sprintf("%g", a), median(rs), median(ra))
-	}
-
-	// (e) starvation deadline factor d.
-	te := &report.Table{Title: "Fig 14e — sensitivity to deadline factor d", Headers: []string{"d", "saath"}}
-	for _, d := range []float64{1, 2, 4, 8, 16} {
-		p := e.Params
-		p.DeadlineFactor = d
-		rs, err := e.RunWith(tr, "saath", p, e.SimCfg)
-		if err != nil {
-			return nil, err
-		}
-		te.AddRow(fmt.Sprintf("%gx", d), median(rs))
-	}
-	return []*report.Table{ta, tb, tc, td, te}, nil
+	return []*report.Table{tables["a"], tables["b"], tables["c"], tables["d"], tables["e"]}, nil
 }
 
 // Table2 reports the coordinator's scheduling cost for Saath and Aalo:
@@ -336,6 +393,9 @@ func (e *Env) Table2() ([]*report.Table, error) {
 	t := &report.Table{
 		Title:   "Table 2 — coordinator schedule computation cost",
 		Headers: []string{"scheduler", "calls", "mean", "p90", "max"},
+	}
+	if err := e.Prime([]*trace.Trace{e.FB}, "saath", "aalo"); err != nil {
+		return nil, err
 	}
 	for _, sn := range []string{"saath", "aalo"} {
 		res, err := e.Run(e.FB, sn)
@@ -355,6 +415,9 @@ func (e *Env) Fig17() ([]*report.Table, error) {
 	t := &report.Table{
 		Title:   "Fig 17 — SJF sub-optimality (CCT in units of t=100ms)",
 		Headers: []string{"coflow", "sjf-duration", "lwtf"},
+	}
+	if err := e.Prime([]*trace.Trace{tr}, "sjf-duration", "lwtf"); err != nil {
+		return nil, err
 	}
 	sjf, err := e.Run(tr, "sjf-duration")
 	if err != nil {
@@ -384,6 +447,9 @@ func (e *Env) AblationWorkConservation() ([]*report.Table, error) {
 		Title:   "Ablation — work conservation",
 		Headers: []string{"variant", "fb median speedup over aalo"},
 	}
+	if err := e.Prime([]*trace.Trace{e.FB}, "aalo", "saath", "saath/nowc"); err != nil {
+		return nil, err
+	}
 	for _, sn := range []string{"saath", "saath/nowc"} {
 		sp, err := e.SpeedupOver(e.FB, "aalo", sn)
 		if err != nil {
@@ -402,6 +468,9 @@ func (e *Env) AblationContentionMetric() ([]*report.Table, error) {
 	t := &report.Table{
 		Title:   "Ablation — LCoF contention metric",
 		Headers: []string{"metric", "fb median speedup over aalo", "fb p90"},
+	}
+	if err := e.Prime([]*trace.Trace{e.FB}, "aalo", "saath", "saath/width-contention"); err != nil {
+		return nil, err
 	}
 	for _, v := range []struct{ name, label string }{
 		{"saath", "blocked-coflow count k_c (paper)"},
@@ -427,16 +496,17 @@ func (e *Env) AblationDynamics() ([]*report.Table, error) {
 		Title:   "Ablation — cluster-dynamics SRTF approximation (stragglers injected)",
 		Headers: []string{"variant", "avg CCT (s)", "p10", "median", "p90 (tail gain)"},
 	}
-	p := e.Params
-	withDyn, err := e.RunWith(e.FB, "saath", p, cfg)
+	pOff := e.Params
+	pOff.DynamicsSRTF = false
+	gen := func() *trace.Trace { return e.FB.Clone() }
+	res, err := e.sweepRun([]sweep.Job{
+		{Index: 0, Trace: e.FB.Name, Scheduler: "saath", Seed: 1, Variant: "srtf=on", Params: e.Params, Config: cfg, Gen: gen},
+		{Index: 1, Trace: e.FB.Name, Scheduler: "saath", Seed: 1, Variant: "srtf=off", Params: pOff, Config: cfg, Gen: gen},
+	})
 	if err != nil {
 		return nil, err
 	}
-	p.DynamicsSRTF = false
-	s, err := e.RunWith(e.FB, "saath", p, cfg)
-	if err != nil {
-		return nil, err
-	}
+	withDyn, s := res.Jobs[0].Res, res.Jobs[1].Res
 	sum := stats.Summarize(stats.Speedups(s.CCTByID(), withDyn.CCTByID()))
 	t.AddRow("dynamics SRTF on", fmt.Sprintf("%.3f", withDyn.AvgCCT()),
 		fmt.Sprintf("%.2f", sum.P10), fmt.Sprintf("%.2f", sum.Median), fmt.Sprintf("%.2f", sum.P90))

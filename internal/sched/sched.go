@@ -27,7 +27,9 @@ type Allocation map[coflow.FlowID]coflow.Rate
 type Snapshot struct {
 	Now coflow.Time
 	// Active lists the live (arrived, not finished) CoFlows in
-	// deterministic order: arrival time, then ID.
+	// deterministic order: arrival time, then ID. The slice is only
+	// valid for the duration of the Schedule call — the engine reuses
+	// its backing array across intervals; copy it to retain it.
 	Active []*coflow.CoFlow
 	// Fabric carries full residual capacity; the scheduler draws it
 	// down as it assigns rates.

@@ -212,6 +212,14 @@ type engine struct {
 	// restartPending marks flows rolled for a one-time mid-life restart.
 	restartPending map[coflow.FlowID]bool
 
+	// Per-interval scratch state, reused across ticks so the hot loop
+	// allocates nothing: the sorted snapshot handed to the scheduler
+	// and the three validation ledgers.
+	snapScratch []*coflow.CoFlow
+	valFlows    map[coflow.FlowID]*coflow.Flow
+	valEgress   map[coflow.PortID]float64
+	valIngress  map[coflow.PortID]float64
+
 	now coflow.Time
 }
 
@@ -407,11 +415,18 @@ func (e *engine) run() error {
 }
 
 // recordUtilization accumulates the fraction of aggregate egress
-// capacity this interval's schedule hands out.
+// capacity this interval's schedule hands out. Rates are summed in
+// deterministic flow order — float addition is not associative, and
+// ranging over the allocation map would let iteration order perturb
+// the low bits of the reported utilization across runs.
 func (e *engine) recordUtilization(alloc sched.Allocation) {
 	var total float64
-	for _, r := range alloc {
-		total += float64(r)
+	for _, c := range e.active {
+		for _, f := range c.Flows {
+			if r, ok := alloc[f.ID]; ok {
+				total += float64(r)
+			}
+		}
 	}
 	capTotal := float64(e.cfg.PortRate) * float64(e.fab.NumPorts())
 	if capTotal > 0 {
@@ -425,14 +440,20 @@ func (e *engine) recordUtilization(alloc sched.Allocation) {
 // the engine's guard against scheduler bugs — policies that bypass the
 // fabric ledger are caught here.
 func (e *engine) validateAllocation(alloc sched.Allocation) error {
-	flows := make(map[coflow.FlowID]*coflow.Flow)
+	if e.valFlows == nil {
+		e.valFlows = make(map[coflow.FlowID]*coflow.Flow)
+		e.valEgress = make(map[coflow.PortID]float64)
+		e.valIngress = make(map[coflow.PortID]float64)
+	}
+	flows, egress, ingress := e.valFlows, e.valEgress, e.valIngress
+	clear(flows)
+	clear(egress)
+	clear(ingress)
 	for _, c := range e.active {
 		for _, f := range c.Flows {
 			flows[f.ID] = f
 		}
 	}
-	egress := make(map[coflow.PortID]float64)
-	ingress := make(map[coflow.PortID]float64)
 	for id, r := range alloc {
 		f, ok := flows[id]
 		if !ok {
@@ -471,15 +492,19 @@ func (e *engine) unreleasedCount() int {
 	return n
 }
 
+// activeSorted snapshots the active set in arrival order for the
+// scheduler, reusing one scratch slice across intervals.
 func (e *engine) activeSorted() []*coflow.CoFlow {
-	out := append([]*coflow.CoFlow(nil), e.active...)
-	sched.ByArrival(out)
-	return out
+	e.snapScratch = append(e.snapScratch[:0], e.active...)
+	sched.ByArrival(e.snapScratch)
+	return e.snapScratch
 }
 
 // advance moves bytes for one interval and retires finished coflows.
+// Survivors are compacted into the active slice in place (writes trail
+// reads), so steady-state ticks reuse its backing array.
 func (e *engine) advance(alloc sched.Allocation, dt coflow.Time) {
-	var still []*coflow.CoFlow
+	still := e.active[:0]
 	for _, c := range e.active {
 		for _, f := range c.Flows {
 			if !f.Sendable() {

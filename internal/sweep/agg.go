@@ -1,0 +1,224 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"saath/internal/coflow"
+	"saath/internal/report"
+	"saath/internal/stats"
+)
+
+// JobMetrics is the deterministic per-job digest the Summary keeps:
+// only simulation outcomes, never wall-clock measurements, so encoded
+// summaries are byte-identical across worker counts and machines.
+type JobMetrics struct {
+	Trace       string  `json:"trace"`
+	Variant     string  `json:"variant,omitempty"`
+	Scheduler   string  `json:"scheduler"`
+	Seed        int64   `json:"seed"`
+	Error       string  `json:"error,omitempty"`
+	CoFlows     int     `json:"coflows"`
+	Intervals   int     `json:"intervals"`
+	AvgCCT      float64 `json:"avg_cct_s"`
+	P50CCT      float64 `json:"p50_cct_s"`
+	P90CCT      float64 `json:"p90_cct_s"`
+	Makespan    float64 `json:"makespan_s"`
+	Utilization float64 `json:"avg_egress_utilization"`
+}
+
+type jobEntry struct {
+	metrics JobMetrics
+	ccts    []float64                       // per-coflow CCT seconds, result order
+	byID    map[coflow.CoFlowID]coflow.Time // for cross-scheduler speedup matching
+}
+
+// Summary is a thread-safe Collector that aggregates sweep results
+// into CCT/utilization tables, speedup-vs-baseline distributions and a
+// JSON export. All derived output iterates jobs in grid-index order,
+// so it is independent of execution interleaving.
+type Summary struct {
+	mu      sync.Mutex
+	entries map[int]*jobEntry
+}
+
+// NewSummary returns an empty Summary.
+func NewSummary() *Summary {
+	return &Summary{entries: make(map[int]*jobEntry)}
+}
+
+// Add digests one completed job. Safe for concurrent use.
+func (s *Summary) Add(jr JobResult) {
+	e := &jobEntry{metrics: JobMetrics{
+		Trace:     jr.Job.Trace,
+		Variant:   jr.Job.Variant,
+		Scheduler: jr.Job.Scheduler,
+		Seed:      jr.Job.Seed,
+	}}
+	if jr.Err != nil {
+		e.metrics.Error = jr.Err.Error()
+	} else if r := jr.Res; r != nil {
+		e.ccts = make([]float64, len(r.CoFlows))
+		for i, c := range r.CoFlows {
+			e.ccts[i] = c.CCT.Seconds()
+		}
+		e.byID = r.CCTByID()
+		e.metrics.CoFlows = len(r.CoFlows)
+		e.metrics.Intervals = r.Intervals
+		e.metrics.AvgCCT = r.AvgCCT()
+		e.metrics.P50CCT = stats.Percentile(e.ccts, 50)
+		e.metrics.P90CCT = stats.Percentile(e.ccts, 90)
+		e.metrics.Makespan = r.Makespan.Seconds()
+		e.metrics.Utilization = r.AvgEgressUtilization
+	}
+	s.mu.Lock()
+	s.entries[jr.Job.Index] = e
+	s.mu.Unlock()
+}
+
+// sorted returns the entries in grid order.
+func (s *Summary) sorted() []*jobEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := make([]int, 0, len(s.entries))
+	for i := range s.entries {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	out := make([]*jobEntry, len(idx))
+	for i, j := range idx {
+		out[i] = s.entries[j]
+	}
+	return out
+}
+
+// Metrics returns every job's digest in grid order.
+func (s *Summary) Metrics() []JobMetrics {
+	entries := s.sorted()
+	out := make([]JobMetrics, len(entries))
+	for i, e := range entries {
+		out[i] = e.metrics
+	}
+	return out
+}
+
+// WriteJSON exports the per-job metrics as indented JSON. Output is
+// deterministic for a given grid.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Jobs []JobMetrics `json:"jobs"`
+	}{Jobs: s.Metrics()})
+}
+
+// cell groups jobs sharing (trace, variant, scheduler); seeds pool.
+type cell struct {
+	trace, variant, scheduler string
+	ccts                      []float64
+	utilSum, makespanSum      float64
+	n                         int
+}
+
+func (s *Summary) cells() []*cell {
+	var order []*cell
+	index := make(map[string]*cell)
+	for _, e := range s.sorted() {
+		m := e.metrics
+		if m.Error != "" {
+			continue
+		}
+		key := m.Trace + "|" + m.Variant + "|" + m.Scheduler
+		c, ok := index[key]
+		if !ok {
+			c = &cell{trace: m.Trace, variant: m.Variant, scheduler: m.Scheduler}
+			index[key] = c
+			order = append(order, c)
+		}
+		c.ccts = append(c.ccts, e.ccts...)
+		c.utilSum += m.Utilization
+		c.makespanSum += m.Makespan
+		c.n++
+	}
+	return order
+}
+
+// cellLabel renders the grouping columns, omitting the variant column
+// entirely when no job used one.
+func (c *cell) label() string {
+	if c.variant == "" {
+		return c.trace
+	}
+	return c.trace + " " + c.variant
+}
+
+// CCTTable renders per-(trace, variant, scheduler) CCT statistics with
+// seeds pooled: the per-scheduler comparison table of cmd/saath-sim.
+func (s *Summary) CCTTable(title string) *report.Table {
+	t := &report.Table{
+		Title:   title,
+		Headers: []string{"workload", "scheduler", "runs", "coflows", "avg cct (s)", "p50 (s)", "p90 (s)", "makespan (s)", "egress util"},
+	}
+	for _, c := range s.cells() {
+		t.AddRow(c.label(), c.scheduler, c.n, len(c.ccts),
+			fmt.Sprintf("%.3f", stats.Mean(c.ccts)),
+			fmt.Sprintf("%.3f", stats.Percentile(c.ccts, 50)),
+			fmt.Sprintf("%.3f", stats.Percentile(c.ccts, 90)),
+			fmt.Sprintf("%.1f", c.makespanSum/float64(c.n)),
+			fmt.Sprintf("%.2f", c.utilSum/float64(c.n)))
+	}
+	return t
+}
+
+// SpeedupTable renders the per-CoFlow speedup of every non-baseline
+// scheduler over baseline, matched per (trace, variant, seed) so each
+// CoFlow is compared against itself under the same workload draw.
+func (s *Summary) SpeedupTable(title, baseline string) *report.Table {
+	t := &report.Table{
+		Title:   title,
+		Headers: []string{"workload", "scheduler", "p10", "median", "p90", "mean", "n"},
+	}
+	entries := s.sorted()
+	// baseline runs keyed by (trace, variant, seed)
+	base := make(map[string]*jobEntry)
+	for _, e := range entries {
+		if e.metrics.Scheduler == baseline && e.metrics.Error == "" {
+			base[fmt.Sprintf("%s|%s|%d", e.metrics.Trace, e.metrics.Variant, e.metrics.Seed)] = e
+		}
+	}
+	type group struct {
+		label, scheduler string
+		speedups         []float64
+	}
+	var order []*group
+	index := make(map[string]*group)
+	for _, e := range entries {
+		m := e.metrics
+		if m.Error != "" || m.Scheduler == baseline {
+			continue
+		}
+		b, ok := base[fmt.Sprintf("%s|%s|%d", m.Trace, m.Variant, m.Seed)]
+		if !ok {
+			continue
+		}
+		key := m.Trace + "|" + m.Variant + "|" + m.Scheduler
+		g, gok := index[key]
+		if !gok {
+			c := &cell{trace: m.Trace, variant: m.Variant}
+			g = &group{label: c.label(), scheduler: m.Scheduler}
+			index[key] = g
+			order = append(order, g)
+		}
+		g.speedups = append(g.speedups, stats.Speedups(b.byID, e.byID)...)
+	}
+	for _, g := range order {
+		sum := stats.Summarize(g.speedups)
+		t.AddRow(g.label, g.scheduler,
+			fmt.Sprintf("%.2f", sum.P10), fmt.Sprintf("%.2f", sum.Median),
+			fmt.Sprintf("%.2f", sum.P90), fmt.Sprintf("%.2f", sum.Mean), sum.N)
+	}
+	return t
+}

@@ -1,0 +1,32 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+)
+
+// benchJobs is a 24-job grid sized so one job takes a few milliseconds
+// — enough work for the pool's speedup to be visible without making
+// `go test -bench` minutes long.
+func benchJobs() []Job {
+	return testGrid().Jobs()
+}
+
+func benchSweep(b *testing.B, parallel int) {
+	jobs := benchJobs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(context.Background(), jobs, Options{Parallel: parallel})
+		if err := res.FirstErr(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the baseline the parallel engine is measured
+// against: the same grid on one worker (the old serial-loop behaviour).
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel8 runs the identical grid on 8 workers;
+// compare ns/op against BenchmarkSweepSerial for the pool's speedup.
+func BenchmarkSweepParallel8(b *testing.B) { benchSweep(b, 8) }

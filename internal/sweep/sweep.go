@@ -1,0 +1,346 @@
+// Package sweep is the parallel experiment engine behind the paper's
+// evaluation: it expands a declarative grid (trace × scheduler × seed ×
+// parameter variant) into simulation jobs, executes them on a bounded
+// worker pool, and streams completed runs into thread-safe aggregation.
+//
+// Determinism is a design requirement — the figures must not depend on
+// how many workers happen to run them. Every job is self-contained
+// (its trace is generated or cloned inside the job, its dynamics RNG
+// seeds are derived from the job identity), results land in a slice
+// slot keyed by job index, and aggregation iterates jobs in index
+// order. A grid executed with Parallel=1 therefore produces output
+// byte-identical to the same grid with Parallel=N.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"saath/internal/sched"
+	"saath/internal/sim"
+	"saath/internal/trace"
+)
+
+// TraceSource names a workload and knows how to build a fresh instance
+// of it for a given seed. Gen must return a trace the job may mutate
+// (the engine never shares the returned value across jobs).
+type TraceSource struct {
+	Name string
+	Gen  func(seed int64) *trace.Trace
+}
+
+// FixedTrace wraps an already-built trace: every job gets its own
+// clone and the grid's seeds only vary cluster dynamics, not the
+// workload itself.
+func FixedTrace(tr *trace.Trace) TraceSource {
+	return TraceSource{Name: tr.Name, Gen: func(int64) *trace.Trace { return tr.Clone() }}
+}
+
+// SynthSource builds a synthetic workload per seed, so a multi-seed
+// grid averages over workload draws.
+func SynthSource(name string, gen func(seed int64) *trace.Trace) TraceSource {
+	return TraceSource{Name: name, Gen: gen}
+}
+
+// Variant is one point of a parameter sweep: a scheduler/simulator
+// configuration and an optional trace transform (e.g. arrival
+// scaling). An empty Name labels the grid's default configuration.
+type Variant struct {
+	Name   string
+	Params sched.Params
+	Config sim.Config
+	// Mutate, if set, transforms the job's private trace copy before
+	// simulation (Fig 14d's arrival scaling is expressed this way).
+	Mutate func(tr *trace.Trace)
+}
+
+// Grid declares a sweep: the cross product of traces, parameter
+// variants, seeds and schedulers. Zero-value fields take defaults
+// (one seed, one variant built from Params/Config).
+type Grid struct {
+	Traces     []TraceSource
+	Schedulers []string
+	// Seeds defaults to {1}. Each seed is passed to the trace source
+	// and used to derive per-job dynamics/pipelining seeds.
+	Seeds []int64
+	// Variants defaults to a single unnamed variant using Params and
+	// Config below.
+	Variants []Variant
+	Params   sched.Params
+	Config   sim.Config
+}
+
+// Jobs expands the grid in deterministic order: trace-major, then
+// variant, seed, scheduler.
+func (g Grid) Jobs() []Job {
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	variants := g.Variants
+	if len(variants) == 0 {
+		variants = []Variant{{Params: g.Params, Config: g.Config}}
+	}
+	var jobs []Job
+	for _, ts := range g.Traces {
+		for _, v := range variants {
+			for _, seed := range seeds {
+				for _, sn := range g.Schedulers {
+					jobs = append(jobs, Job{
+						Index:     len(jobs),
+						Trace:     ts.Name,
+						Scheduler: sn,
+						Seed:      seed,
+						Variant:   v.Name,
+						Params:    v.Params,
+						Config:    v.Config,
+						Gen:       bindGen(ts, v, seed),
+					})
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+func bindGen(ts TraceSource, v Variant, seed int64) func() *trace.Trace {
+	return func() *trace.Trace {
+		tr := ts.Gen(seed)
+		if v.Mutate != nil {
+			v.Mutate(tr)
+		}
+		return tr
+	}
+}
+
+// Job is one simulation to run: a scheduler on a trace under a
+// parameter variant. Jobs built by Grid.Jobs are self-contained;
+// hand-built jobs must set Gen to return a private trace copy.
+type Job struct {
+	Index     int
+	Trace     string
+	Scheduler string
+	Seed      int64
+	Variant   string
+	Params    sched.Params
+	Config    sim.Config
+	Gen       func() *trace.Trace
+}
+
+// Key identifies the job's cell in the grid (everything but the
+// index), used for seed derivation and aggregation grouping.
+func (j Job) Key() string {
+	return fmt.Sprintf("%s|%s|%d|%s", j.Trace, j.Variant, j.Seed, j.Scheduler)
+}
+
+// JobResult pairs a job with its outcome. Exactly one of Res/Err is
+// meaningful; Elapsed is wall-clock (informational only — it is never
+// part of aggregated output, which must stay deterministic).
+type JobResult struct {
+	Job     Job
+	Res     *sim.Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// Collector receives completed jobs as they finish. Add is called
+// under the engine's serialization lock, so implementations need no
+// locking of their own for engine-driven calls, but Summary locks
+// anyway so it can also be fed by hand.
+type Collector interface {
+	Add(JobResult)
+}
+
+// Options controls one engine invocation.
+type Options struct {
+	// Parallel bounds the worker pool; <=0 means runtime.NumCPU().
+	Parallel int
+	// Progress, if set, is called after every job completes (done is
+	// the completion count so far). Calls are serialized; completion
+	// order is nondeterministic under parallelism.
+	Progress func(done, total int, jr JobResult)
+	// Collectors are streamed every completed job (serialized).
+	Collectors []Collector
+}
+
+// Result is the outcome of a sweep, with Jobs in grid order regardless
+// of execution interleaving.
+type Result struct {
+	Jobs    []JobResult
+	Elapsed time.Duration
+}
+
+// FirstErr returns the first failed job's error in grid order, nil if
+// every job succeeded.
+func (r *Result) FirstErr() error {
+	for _, jr := range r.Jobs {
+		if jr.Err != nil {
+			return jr.Err
+		}
+	}
+	return nil
+}
+
+// Failed returns the failed jobs in grid order.
+func (r *Result) Failed() []JobResult {
+	var out []JobResult
+	for _, jr := range r.Jobs {
+		if jr.Err != nil {
+			out = append(out, jr)
+		}
+	}
+	return out
+}
+
+// Completed counts successful jobs.
+func (r *Result) Completed() int {
+	n := 0
+	for _, jr := range r.Jobs {
+		if jr.Err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes jobs on a bounded worker pool. A job failing records
+// its error in the corresponding slot and does not stop the sweep;
+// cancelling ctx stops handing out new jobs (in-flight simulations
+// finish — sim.Run is not interruptible) and marks never-started jobs
+// with the context error. Run never returns nil.
+func Run(ctx context.Context, jobs []Job, opts Options) *Result {
+	start := time.Now()
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]JobResult, len(jobs))
+	ran := make([]bool, len(jobs))
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // serializes done/Progress/Collectors
+		done int
+	)
+	deliver := func(jr JobResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		for _, c := range opts.Collectors {
+			c.Add(jr)
+		}
+		if opts.Progress != nil {
+			opts.Progress(done, len(jobs), jr)
+		}
+	}
+
+	feed := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				jr := runJob(ctx, jobs[i])
+				out[i], ran[i] = jr, true
+				deliver(jr)
+			}
+		}()
+	}
+dispatch:
+	for i := range jobs {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	for i := range out {
+		if !ran[i] {
+			jr := JobResult{Job: jobs[i], Err: fmt.Errorf("sweep: job %s skipped: %w", jobs[i].Key(), ctx.Err())}
+			out[i] = jr
+			deliver(jr)
+		}
+	}
+	return &Result{Jobs: out, Elapsed: time.Since(start)}
+}
+
+// runJob executes one simulation, deriving deterministic RNG seeds for
+// dynamics/pipelining from the job identity when the caller left them
+// zero (so every cell of a grid gets distinct but reproducible noise).
+func runJob(ctx context.Context, j Job) JobResult {
+	jr := JobResult{Job: j}
+	start := time.Now()
+	defer func() { jr.Elapsed = time.Since(start) }()
+	if err := ctx.Err(); err != nil {
+		jr.Err = fmt.Errorf("sweep: job %s skipped: %w", j.Key(), err)
+		return jr
+	}
+	if j.Gen == nil {
+		jr.Err = fmt.Errorf("sweep: job %s has no trace generator", j.Key())
+		return jr
+	}
+	s, err := sched.New(j.Scheduler, j.Params)
+	if err != nil {
+		jr.Err = fmt.Errorf("sweep: job %s: %w", j.Key(), err)
+		return jr
+	}
+	cfg := j.Config
+	if cfg.Dynamics != nil {
+		d := *cfg.Dynamics
+		if d.Seed == 0 {
+			d.Seed = DeriveSeed(j.Seed, j.Key()+"|dynamics")
+		}
+		cfg.Dynamics = &d
+	}
+	if cfg.Pipelining != nil {
+		p := *cfg.Pipelining
+		if p.Seed == 0 {
+			p.Seed = DeriveSeed(j.Seed, j.Key()+"|pipelining")
+		}
+		cfg.Pipelining = &p
+	}
+	res, err := sim.Run(j.Gen(), s, cfg)
+	if err != nil {
+		jr.Err = fmt.Errorf("sweep: job %s: %w", j.Key(), err)
+		return jr
+	}
+	jr.Res = res
+	return jr
+}
+
+// ProgressPrinter returns a Progress callback that prints one line
+// per completed job to w — the shared -progress implementation of
+// cmd/saath-sim and cmd/experiments.
+func ProgressPrinter(w io.Writer) func(done, total int, jr JobResult) {
+	return func(done, total int, jr JobResult) {
+		status := "ok"
+		if jr.Err != nil {
+			status = jr.Err.Error()
+		}
+		fmt.Fprintf(w, "  [%d/%d] %s (%.1fs) %s\n",
+			done, total, jr.Job.Key(), jr.Elapsed.Seconds(), status)
+	}
+}
+
+// DeriveSeed mixes a base seed with a salt string into a stable,
+// non-zero RNG seed (FNV-1a over both).
+func DeriveSeed(base int64, salt string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", base, salt)
+	s := int64(h.Sum64())
+	if s == 0 {
+		s = 1
+	}
+	return s
+}

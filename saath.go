@@ -20,11 +20,14 @@
 package saath
 
 import (
+	"context"
+
 	"saath/internal/coflow"
 	"saath/internal/runtime"
 	"saath/internal/sched"
 	"saath/internal/sim"
 	"saath/internal/stats"
+	"saath/internal/sweep"
 	"saath/internal/trace"
 
 	_ "saath/internal/core"         // register saath + ablation variants
@@ -105,6 +108,50 @@ type (
 	// JCTModel maps CCT improvements to job completion times (Fig. 16).
 	JCTModel = stats.JCTModel
 )
+
+// Parallel sweep engine types (internal/sweep): declarative
+// trace × scheduler × seed × variant grids executed on a bounded
+// worker pool with deterministic aggregation.
+type (
+	// SweepGrid declares a sweep as a cross product.
+	SweepGrid = sweep.Grid
+	// SweepJob is one simulation of a sweep.
+	SweepJob = sweep.Job
+	// SweepVariant is one parameter point of a sweep.
+	SweepVariant = sweep.Variant
+	// SweepOptions controls the worker pool and progress streaming.
+	SweepOptions = sweep.Options
+	// SweepResult holds per-job outcomes in grid order.
+	SweepResult = sweep.Result
+	// SweepJobResult pairs a job with its outcome.
+	SweepJobResult = sweep.JobResult
+	// SweepCollector receives completed jobs as they finish.
+	SweepCollector = sweep.Collector
+	// SweepSummary is the thread-safe aggregate collector (CCT and
+	// speedup tables, JSON export).
+	SweepSummary = sweep.Summary
+	// TraceSource names a workload and builds seeded instances of it.
+	TraceSource = sweep.TraceSource
+)
+
+// RunSweep executes jobs on a bounded worker pool; see SweepGrid.Jobs
+// for expanding a declarative grid. Results are deterministic: the
+// same jobs produce identical aggregates at any parallelism.
+func RunSweep(ctx context.Context, jobs []SweepJob, opts SweepOptions) *SweepResult {
+	return sweep.Run(ctx, jobs, opts)
+}
+
+// NewSweepSummary returns an empty aggregate collector for RunSweep.
+func NewSweepSummary() *SweepSummary { return sweep.NewSummary() }
+
+// FixedTrace wraps an already-built trace as a sweep source (every job
+// simulates its own clone).
+func FixedTrace(tr *Trace) TraceSource { return sweep.FixedTrace(tr) }
+
+// SynthSource builds a seeded synthetic workload per sweep job.
+func SynthSource(name string, gen func(seed int64) *Trace) TraceSource {
+	return sweep.SynthSource(name, gen)
+}
 
 // Prototype (distributed runtime) types.
 type (

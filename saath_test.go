@@ -1,6 +1,7 @@
 package saath
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,6 +22,42 @@ func TestSchedulersRegistered(t *testing.T) {
 		if !have[want] {
 			t.Errorf("scheduler %q not registered (have %v)", want, Schedulers())
 		}
+	}
+}
+
+// TestPublicSweepFlow drives the facade's sweep surface: grid
+// expansion, parallel execution, aggregation.
+func TestPublicSweepFlow(t *testing.T) {
+	cfg := SynthConfig{
+		Seed: 4, NumPorts: 10, NumCoFlows: 15,
+		MeanInterArrival: 20 * Millisecond,
+		SingleFlowFrac:   0.3, EqualLengthFrac: 0.5, WideFracNarrowCF: 0.3,
+		SmallFracNarrow: 0.8, SmallFracWide: 0.5,
+		MinSmall: 100 * KB, MaxSmall: MB,
+		MinLarge: MB, MaxLarge: 10 * MB,
+	}
+	grid := SweepGrid{
+		Traces: []TraceSource{SynthSource("tiny", func(seed int64) *Trace {
+			c := cfg
+			c.Seed = seed
+			return Synthesize(c, "tiny")
+		})},
+		Schedulers: []string{"aalo", "saath"},
+		Seeds:      []int64{1, 2},
+		Params:     DefaultParams(),
+	}
+	jobs := grid.Jobs()
+	if len(jobs) != 4 {
+		t.Fatalf("jobs = %d, want 4", len(jobs))
+	}
+	sum := NewSweepSummary()
+	res := RunSweep(context.Background(), jobs, SweepOptions{Parallel: 4, Collectors: []SweepCollector{sum}})
+	if err := res.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	tbl := sum.CCTTable("cct")
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("aggregate rows = %d, want 2 (one per scheduler)", len(tbl.Rows))
 	}
 }
 
