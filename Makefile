@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt fmt-check vet ci
+.PHONY: build test race bench bench-telemetry fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' -timeout 20m ./...
 
+# Telemetry smoke: one iteration of the telemetry benchmarks plus the
+# zero-allocation guard on the engine's no-probe emission path (the
+# guard needs a non-race build — AllocsPerRun skips itself under -race).
+bench-telemetry:
+	$(GO) test -bench Telemetry -benchtime=1x -run '^$$' -timeout 10m ./...
+	$(GO) test -run TestObserveIntervalNoProbesZeroAlloc -count=1 ./internal/sim/
+
 fmt:
 	gofmt -w .
 
@@ -29,4 +36,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check build vet race bench
+ci: fmt-check build vet race bench bench-telemetry

@@ -30,7 +30,7 @@ import (
 func main() {
 	var (
 		scale    = flag.String("scale", "quick", `"quick" or "full"`)
-		only     = flag.String("only", "", "comma-separated experiment ids (fig1..fig17, table2, ablations)")
+		only     = flag.String("only", "", "comma-separated experiment ids (fig1..fig17, table2, telemetry, ablations)")
 		testbed  = flag.Bool("testbed", false, "also run the prototype-backed Fig 15 / Fig 16 (slow)")
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory (for plotting)")
 		jsonDir  = flag.String("json", "", "also write each table as JSON into this directory")
@@ -73,6 +73,7 @@ func main() {
 		{"fig14", env.Fig14},
 		{"table2", env.Table2},
 		{"fig17", env.Fig17},
+		{"telemetry", env.Telemetry},
 		{"ablations", func() ([]*report.Table, error) {
 			var out []*report.Table
 			for _, fn := range []func() ([]*report.Table, error){

@@ -11,11 +11,20 @@
 //	saath-sim -trace fb -json results.json
 //
 // The -trace flag accepts "fb" (synthetic Facebook-like), "osp"
-// (synthetic OSP-like), or a path to a file in the coflow-benchmark
-// format. When more than one scheduler is given, the first is the
-// baseline for speedup reporting. -seed takes a comma-separated list:
-// synthetic workloads are regenerated per seed and statistics pool
-// across the draws.
+// (synthetic OSP-like), "incast" / "broadcast" (synthetic fan-in /
+// fan-out hotspot workloads), or a path to a file in the
+// coflow-benchmark format. When more than one scheduler is given, the
+// first is the baseline for speedup reporting. -seed takes a
+// comma-separated list: synthetic workloads are regenerated per seed
+// and statistics pool across the draws.
+//
+// -metrics streams per-interval telemetry (queue occupancy, fabric
+// utilization, head-of-line blocking, contention histograms) out of
+// every simulation, prints a condensed table, and -metrics-out exports
+// the full series as JSON (or CSV with a .csv path). The export is
+// byte-identical at any -parallel setting:
+//
+//	saath-sim -trace incast -sched aalo,saath -metrics -metrics-out m.json
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"saath/internal/sched"
 	"saath/internal/sim"
 	"saath/internal/sweep"
+	"saath/internal/telemetry"
 	"saath/internal/trace"
 
 	_ "saath/internal/core"
@@ -57,6 +67,10 @@ func main() {
 		jsonPath = flag.String("json", "", `write per-run results as JSON to this file ("-" for stdout)`)
 		progress = flag.Bool("progress", false, "print each job completion to stderr")
 		list     = flag.Bool("list", false, "list registered schedulers and exit")
+
+		metrics     = flag.Bool("metrics", false, "collect per-interval telemetry (queue occupancy, contention histograms)")
+		metricsStep = flag.Duration("metrics-interval", 0, "telemetry sampling interval (rounded to a multiple of δ; 0 = every interval)")
+		metricsOut  = flag.String("metrics-out", "", `write per-job telemetry to this path (.csv for CSV, otherwise JSON; "-" for stdout); implies -metrics`)
 	)
 	flag.Parse()
 
@@ -107,7 +121,7 @@ func main() {
 	}
 
 	var source sweep.TraceSource
-	if *traceArg == "fb" || *traceArg == "osp" {
+	if isSynthetic(*traceArg) {
 		source = sweep.SynthSource(first.Name, func(seed int64) *trace.Trace {
 			tr, _ := loadTrace(*traceArg, seed) // synthetic: cannot fail
 			if *arrival != 1 {
@@ -133,6 +147,12 @@ func main() {
 		Params:     params,
 		Config:     cfg,
 	}
+	if *metricsOut != "" {
+		*metrics = true
+	}
+	if *metrics {
+		grid.Telemetry = telemetry.Spec{Enabled: true, Stride: metricsStride(*metricsStep, cfg.Delta)}
+	}
 	jobs := grid.Jobs()
 
 	agg := sweep.NewSummary()
@@ -156,9 +176,19 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *metrics {
+		if err := agg.TelemetryTable("telemetry (per-interval)").Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *jsonPath != "" {
 		if err := exportJSON(*jsonPath, agg); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := exportMetrics(*metricsOut, agg); err != nil {
 			fatal(err)
 		}
 	}
@@ -184,6 +214,50 @@ func exportJSON(path string, agg *sweep.Summary) error {
 	return err
 }
 
+// exportMetrics writes the per-job telemetry to path: CSV when the
+// path ends in .csv, JSON otherwise ("-" for JSON on stdout).
+func exportMetrics(path string, agg *sweep.Summary) error {
+	write := agg.WriteMetricsJSON
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		write = agg.WriteMetricsCSV
+	}
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// metricsStride converts the -metrics-interval duration into a
+// sampling stride in δ units (at least 1).
+func metricsStride(step time.Duration, delta coflow.Time) int {
+	if step <= 0 || delta <= 0 {
+		return 1
+	}
+	stride := int((coflow.Time(step.Microseconds())*coflow.Microsecond + delta - 1) / delta)
+	if stride < 1 {
+		stride = 1
+	}
+	return stride
+}
+
+// isSynthetic reports whether the -trace argument names a seeded
+// synthetic family (regenerated per sweep seed) rather than a file.
+func isSynthetic(arg string) bool {
+	switch arg {
+	case "fb", "osp", "incast", "broadcast":
+		return true
+	}
+	return false
+}
+
 // parseSeeds parses a comma-separated seed list.
 func parseSeeds(s string) ([]int64, error) {
 	var out []int64
@@ -203,6 +277,10 @@ func loadTrace(arg string, seed int64) (*trace.Trace, error) {
 		return trace.SynthFB(seed), nil
 	case "osp":
 		return trace.SynthOSP(seed), nil
+	case "incast":
+		return trace.SynthIncast(seed), nil
+	case "broadcast":
+		return trace.SynthBroadcast(seed), nil
 	default:
 		return trace.ParseFile(arg)
 	}

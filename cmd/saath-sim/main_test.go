@@ -4,9 +4,42 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"saath/internal/coflow"
 )
+
+func TestMetricsStride(t *testing.T) {
+	delta := 8 * coflow.Millisecond
+	cases := []struct {
+		step time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1}, // sub-δ rounds up to every interval
+		{8 * time.Millisecond, 1},
+		{9 * time.Millisecond, 2},
+		{80 * time.Millisecond, 10},
+	}
+	for _, tc := range cases {
+		if got := metricsStride(tc.step, delta); got != tc.want {
+			t.Errorf("metricsStride(%v, 8ms) = %d, want %d", tc.step, got, tc.want)
+		}
+	}
+}
+
+func TestIsSynthetic(t *testing.T) {
+	for _, name := range []string{"fb", "osp", "incast", "broadcast"} {
+		if !isSynthetic(name) {
+			t.Errorf("isSynthetic(%q) = false", name)
+		}
+	}
+	for _, name := range []string{"", "fb.txt", "trace/path"} {
+		if isSynthetic(name) {
+			t.Errorf("isSynthetic(%q) = true", name)
+		}
+	}
+}
 
 func TestParseBytes(t *testing.T) {
 	cases := []struct {
@@ -56,6 +89,14 @@ func TestLoadTrace(t *testing.T) {
 	osp, err := loadTrace("osp", 1)
 	if err != nil || osp.NumPorts != 100 {
 		t.Fatalf("osp: %v", err)
+	}
+	incast, err := loadTrace("incast", 1)
+	if err != nil || incast.NumPorts != 60 {
+		t.Fatalf("incast: %v", err)
+	}
+	bcast, err := loadTrace("broadcast", 1)
+	if err != nil || bcast.NumPorts != 60 {
+		t.Fatalf("broadcast: %v", err)
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.txt")

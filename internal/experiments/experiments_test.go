@@ -332,3 +332,27 @@ func TestOSPShowsHigherTailThanFB(t *testing.T) {
 		t.Fatalf("tail inversion: OSP P90 %.2f << FB P90 %.2f", ospP90, fbP90)
 	}
 }
+
+// TestTelemetryStudy: the observability figure runs, shows the
+// telemetry tables, and is deterministic across worker counts (the
+// figure's tables come straight from sweep metrics exports).
+func TestTelemetryStudy(t *testing.T) {
+	render := func(parallel int) string {
+		e := tinyEnv(t)
+		e.Parallel = parallel
+		tables, err := e.Telemetry()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderAll(t, tables)
+	}
+	serial := render(1)
+	for _, want := range []string{"ingress queue max", "contention k_c", "aalo", "saath"} {
+		if !strings.Contains(serial, want) {
+			t.Fatalf("telemetry output missing %q:\n%s", want, serial)
+		}
+	}
+	if parallel := render(8); parallel != serial {
+		t.Fatalf("telemetry figure differs across parallelism:\n--- 1 ---\n%s\n--- 8 ---\n%s", serial, parallel)
+	}
+}

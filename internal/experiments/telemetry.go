@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"saath/internal/coflow"
+	"saath/internal/report"
+	"saath/internal/sweep"
+	"saath/internal/telemetry"
+	"saath/internal/trace"
+)
+
+// QuickIncastConfig shrinks the incast family for the quick-scale
+// telemetry study while keeping its defining property: many senders
+// converging on a few hot aggregator ports.
+func QuickIncastConfig(seed int64) trace.FanConfig {
+	cfg := trace.DefaultIncastConfig(seed)
+	cfg.NumPorts = 30
+	cfg.NumCoFlows = 120
+	cfg.MeanInterArrival = 15 * coflow.Millisecond
+	cfg.Degree = 8
+	cfg.Hotspots = 4
+	cfg.MaxSize = 100 * coflow.MB
+	return cfg
+}
+
+// Telemetry is the observability study: replay an incast workload
+// under Aalo and Saath with the telemetry subsystem attached and
+// render where the contention lives — ingress queue buildup at the
+// hot aggregator ports over time, the pooled contention (k_c)
+// histogram, and head-of-line blocking. This is not a paper figure;
+// it is the instrumentation every §6-style scenario sweep can now
+// export.
+func (e *Env) Telemetry() ([]*report.Table, error) {
+	name := "incast-quick"
+	cfg := QuickIncastConfig(1)
+	if e.Scale == ScaleFull {
+		name = "incast"
+		cfg = trace.DefaultIncastConfig(1)
+	}
+	grid := sweep.Grid{
+		Traces: []sweep.TraceSource{sweep.SynthSource(name, func(seed int64) *trace.Trace {
+			c := cfg
+			c.Seed = seed
+			return trace.SynthesizeIncast(c, name)
+		})},
+		Schedulers: []string{"aalo", "saath"},
+		Seeds:      []int64{1},
+		Params:     e.Params,
+		Config:     e.SimCfg,
+		Telemetry:  telemetry.Spec{Enabled: true},
+	}
+	sum := sweep.NewSummary()
+	res := sweep.Run(context.Background(), grid.Jobs(), sweep.Options{
+		Parallel:   e.Parallel,
+		Progress:   e.Progress,
+		Collectors: []sweep.Collector{sum},
+	})
+	if err := res.FirstErr(); err != nil {
+		return nil, err
+	}
+
+	tables := []*report.Table{sum.TelemetryTable(fmt.Sprintf("Telemetry — %s summary", name))}
+	for _, jr := range res.Jobs {
+		m := jr.Metrics
+		if m == nil {
+			continue
+		}
+		sn := jr.Job.Scheduler
+		if t := m.SeriesTable(
+			fmt.Sprintf("Telemetry — ingress queue max over time (%s, %s)", name, sn),
+			telemetry.SeriesIngressQueueMax, cdfPoints); t != nil {
+			tables = append(tables, t)
+		}
+		if t := m.SeriesTable(
+			fmt.Sprintf("Telemetry — HOL-blocked CoFlows over time (%s, %s)", name, sn),
+			telemetry.SeriesBlockedCoFlows, cdfPoints); t != nil {
+			tables = append(tables, t)
+		}
+		if t := m.HistogramTable(
+			fmt.Sprintf("Telemetry — contention k_c histogram (%s, %s)", name, sn),
+			telemetry.HistContention); t != nil {
+			tables = append(tables, t)
+		}
+	}
+	return tables, nil
+}

@@ -118,19 +118,92 @@ func CDFTable(title, xLabel string, cdf []stats.CDFPoint) *Table {
 	return t
 }
 
+// sampleIndices returns at most n indices over [0, length), evenly
+// spaced and always ending on the last element. A nil result means
+// "keep everything" (n out of range or nothing to drop).
+func sampleIndices(length, n int) []int {
+	if n <= 0 || length <= n {
+		return nil
+	}
+	if n == 1 {
+		return []int{length - 1}
+	}
+	idx := make([]int, n)
+	step := float64(length-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		idx[i] = int(float64(i)*step + 0.5)
+	}
+	idx[n-1] = length - 1
+	return idx
+}
+
 // SampledCDFTable downsamples a CDF to at most n points (always
-// keeping the first and last), keeping figure output readable.
+// keeping the last), keeping figure output readable.
 func SampledCDFTable(title, xLabel string, cdf []stats.CDFPoint, n int) *Table {
-	if n <= 0 || len(cdf) <= n {
+	idx := sampleIndices(len(cdf), n)
+	if idx == nil {
 		return CDFTable(title, xLabel, cdf)
 	}
-	sampled := make([]stats.CDFPoint, 0, n)
-	step := float64(len(cdf)-1) / float64(n-1)
-	for i := 0; i < n; i++ {
-		sampled = append(sampled, cdf[int(float64(i)*step+0.5)])
+	sampled := make([]stats.CDFPoint, len(idx))
+	for i, j := range idx {
+		sampled[i] = cdf[j]
 	}
-	sampled[n-1] = cdf[len(cdf)-1]
 	return CDFTable(title, xLabel, sampled)
+}
+
+// XYTable renders a paired (x, y) series as a two-column table, the
+// shape of the telemetry time-series figures. xs and ys must have
+// equal length.
+func XYTable(title, xLabel, yLabel string, xs, ys []float64) *Table {
+	t := &Table{Title: title, Headers: []string{xLabel, yLabel}}
+	for i := range xs {
+		t.AddRow(fmt.Sprintf("%.4g", xs[i]), fmt.Sprintf("%.4g", ys[i]))
+	}
+	return t
+}
+
+// SampledXYTable downsamples an (x, y) series to at most n rows
+// (always keeping the last), keeping long time series readable in
+// terminal output.
+func SampledXYTable(title, xLabel, yLabel string, xs, ys []float64, n int) *Table {
+	idx := sampleIndices(len(xs), n)
+	if idx == nil {
+		return XYTable(title, xLabel, yLabel, xs, ys)
+	}
+	sx := make([]float64, len(idx))
+	sy := make([]float64, len(idx))
+	for i, j := range idx {
+		sx[i], sy[i] = xs[j], ys[j]
+	}
+	return XYTable(title, xLabel, yLabel, sx, sy)
+}
+
+// BucketTable renders histogram buckets — one row per upper bound with
+// its count and the cumulative fraction — plus an overflow row when
+// any observation exceeded the last bound.
+func BucketTable(title, xLabel string, uppers []float64, counts []int64, overflow int64) *Table {
+	t := &Table{Title: title, Headers: []string{"≤ " + xLabel, "count", "cum frac"}}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	total += overflow
+	var cum int64
+	addRow := func(label string, c int64) {
+		cum += c
+		frac := 0.0
+		if total > 0 {
+			frac = float64(cum) / float64(total)
+		}
+		t.AddRow(label, c, fmt.Sprintf("%.4f", frac))
+	}
+	for i, u := range uppers {
+		addRow(fmt.Sprintf("%.4g", u), counts[i])
+	}
+	if overflow > 0 {
+		addRow("+Inf", overflow)
+	}
+	return t
 }
 
 // SpeedupBar renders the paper's bar-with-error-bars presentation:

@@ -19,6 +19,7 @@ import (
 	"saath/internal/coflow"
 	"saath/internal/fabric"
 	"saath/internal/sched"
+	"saath/internal/telemetry"
 	"saath/internal/trace"
 )
 
@@ -39,6 +40,12 @@ type Config struct {
 	Dynamics *Dynamics
 	// Pipelining optionally delays per-flow data availability.
 	Pipelining *Pipelining
+	// Probes receive a per-interval telemetry observation, invoked
+	// synchronously in order from the run loop. An empty list is free:
+	// the no-probe path allocates nothing per interval (enforced by
+	// TestObserveIntervalNoProbesZeroAlloc). Probes observe exactly one
+	// run — attach fresh instances per simulation.
+	Probes []telemetry.Probe
 }
 
 func (c Config) withDefaults() Config {
@@ -207,7 +214,12 @@ type engine struct {
 	dynRng  *rand.Rand
 	pipeRng *rand.Rand
 
-	utilSum float64 // accumulated per-interval egress utilization
+	utilSum  float64 // accumulated per-interval egress utilization
+	admitted int     // CoFlows released to the scheduler so far
+
+	// ivScratch is the telemetry observation reused across intervals so
+	// the probe path allocates nothing in the engine itself.
+	ivScratch telemetry.Interval
 
 	// restartPending marks flows rolled for a one-time mid-life restart.
 	restartPending map[coflow.FlowID]bool
@@ -258,6 +270,7 @@ func (e *engine) admit(now coflow.Time) {
 			continue
 		}
 		p.released = true
+		e.admitted++
 		c := coflow.New(p.spec)
 		c.Arrived = now
 		if p.spec.Arrival > 0 && len(p.deps) == 0 {
@@ -403,7 +416,7 @@ func (e *engine) run() error {
 				return err
 			}
 		}
-		e.recordUtilization(alloc)
+		e.observeInterval(alloc)
 		e.advance(alloc, delta)
 		e.now += delta
 	}
@@ -414,12 +427,14 @@ func (e *engine) run() error {
 	return nil
 }
 
-// recordUtilization accumulates the fraction of aggregate egress
-// capacity this interval's schedule hands out. Rates are summed in
-// deterministic flow order — float addition is not associative, and
-// ranging over the allocation map would let iteration order perturb
-// the low bits of the reported utilization across runs.
-func (e *engine) recordUtilization(alloc sched.Allocation) {
+// observeInterval is the engine's single per-interval emission path:
+// it accumulates the egress-utilization mean that Result reports and,
+// when probes are attached, hands them the full interval observation.
+// Rates are summed in deterministic flow order — float addition is not
+// associative, and ranging over the allocation map would let iteration
+// order perturb the low bits of the reported utilization across runs.
+// With no probes attached this path allocates nothing.
+func (e *engine) observeInterval(alloc sched.Allocation) {
 	var total float64
 	for _, c := range e.active {
 		for _, f := range c.Flows {
@@ -431,6 +446,25 @@ func (e *engine) recordUtilization(alloc sched.Allocation) {
 	capTotal := float64(e.cfg.PortRate) * float64(e.fab.NumPorts())
 	if capTotal > 0 {
 		e.utilSum += total / capTotal
+	}
+	if len(e.cfg.Probes) == 0 {
+		return
+	}
+	iv := &e.ivScratch
+	*iv = telemetry.Interval{
+		Index:         e.result.Intervals - 1,
+		Now:           e.now,
+		Delta:         e.cfg.Delta,
+		NumPorts:      e.fab.NumPorts(),
+		PortRate:      e.cfg.PortRate,
+		Active:        e.snapScratch, // this interval's sorted snapshot
+		Alloc:         alloc,
+		AllocatedRate: total,
+		Admitted:      e.admitted,
+		Completed:     len(e.result.CoFlows),
+	}
+	for _, p := range e.cfg.Probes {
+		p.Observe(iv)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"saath/internal/coflow"
 	"saath/internal/report"
 	"saath/internal/stats"
+	"saath/internal/telemetry"
 )
 
 // JobMetrics is the deterministic per-job digest the Summary keeps:
@@ -31,9 +32,10 @@ type JobMetrics struct {
 }
 
 type jobEntry struct {
-	metrics JobMetrics
-	ccts    []float64                       // per-coflow CCT seconds, result order
-	byID    map[coflow.CoFlowID]coflow.Time // for cross-scheduler speedup matching
+	metrics   JobMetrics
+	ccts      []float64                       // per-coflow CCT seconds, result order
+	byID      map[coflow.CoFlowID]coflow.Time // for cross-scheduler speedup matching
+	telemetry *telemetry.Metrics              // per-interval series, when enabled
 }
 
 // Summary is a thread-safe Collector that aggregates sweep results
@@ -74,6 +76,7 @@ func (s *Summary) Add(jr JobResult) {
 		e.metrics.Makespan = r.Makespan.Seconds()
 		e.metrics.Utilization = r.AvgEgressUtilization
 	}
+	e.telemetry = jr.Metrics
 	s.mu.Lock()
 	s.entries[jr.Job.Index] = e
 	s.mu.Unlock()

@@ -23,6 +23,7 @@ import (
 
 	"saath/internal/sched"
 	"saath/internal/sim"
+	"saath/internal/telemetry"
 	"saath/internal/trace"
 )
 
@@ -73,6 +74,13 @@ type Grid struct {
 	Variants []Variant
 	Params   sched.Params
 	Config   sim.Config
+
+	// Telemetry, when Enabled, attaches a fresh telemetry.Suite to
+	// every job. A zero Seed is derived per job from the job identity,
+	// so exported metrics are deterministic at any parallelism. Use
+	// this instead of Config.Probes in grids — probes placed in Config
+	// would be shared across jobs.
+	Telemetry telemetry.Spec
 }
 
 // Jobs expands the grid in deterministic order: trace-major, then
@@ -99,6 +107,7 @@ func (g Grid) Jobs() []Job {
 						Variant:   v.Name,
 						Params:    v.Params,
 						Config:    v.Config,
+						Telemetry: g.Telemetry,
 						Gen:       bindGen(ts, v, seed),
 					})
 				}
@@ -129,6 +138,7 @@ type Job struct {
 	Variant   string
 	Params    sched.Params
 	Config    sim.Config
+	Telemetry telemetry.Spec
 	Gen       func() *trace.Trace
 }
 
@@ -146,6 +156,10 @@ type JobResult struct {
 	Res     *sim.Result
 	Err     error
 	Elapsed time.Duration
+	// Metrics holds the job's exported telemetry when Job.Telemetry
+	// was enabled (nil otherwise, or on error). Like Res, it is a pure
+	// function of the job identity — never of execution interleaving.
+	Metrics *telemetry.Metrics
 }
 
 // Collector receives completed jobs as they finish. Add is called
@@ -310,12 +324,26 @@ func runJob(ctx context.Context, j Job) JobResult {
 		}
 		cfg.Pipelining = &p
 	}
+	var suite *telemetry.Suite
+	if j.Telemetry.Enabled {
+		spec := j.Telemetry
+		if spec.Seed == 0 {
+			spec.Seed = DeriveSeed(j.Seed, j.Key()+"|telemetry")
+		}
+		suite = telemetry.NewSuite(spec)
+		// Full-slice append: never share a probe backing array (and
+		// thus a Suite) with sibling jobs of the same grid.
+		cfg.Probes = append(cfg.Probes[:len(cfg.Probes):len(cfg.Probes)], suite)
+	}
 	res, err := sim.Run(j.Gen(), s, cfg)
 	if err != nil {
 		jr.Err = fmt.Errorf("sweep: job %s: %w", j.Key(), err)
 		return jr
 	}
 	jr.Res = res
+	if suite != nil {
+		jr.Metrics = suite.Metrics()
+	}
 	return jr
 }
 

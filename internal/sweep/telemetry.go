@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"saath/internal/report"
+	"saath/internal/telemetry"
+)
+
+// JobTelemetry pairs a job's grid identity with its exported metrics,
+// the unit of the metrics JSON export.
+type JobTelemetry struct {
+	Trace     string             `json:"trace"`
+	Variant   string             `json:"variant,omitempty"`
+	Scheduler string             `json:"scheduler"`
+	Seed      int64              `json:"seed"`
+	Metrics   *telemetry.Metrics `json:"metrics"`
+}
+
+// Telemetry returns every job's metrics in grid order, skipping jobs
+// that errored or ran without telemetry.
+func (s *Summary) Telemetry() []JobTelemetry {
+	var out []JobTelemetry
+	for _, e := range s.sorted() {
+		if e.telemetry == nil {
+			continue
+		}
+		m := e.metrics
+		out = append(out, JobTelemetry{
+			Trace:     m.Trace,
+			Variant:   m.Variant,
+			Scheduler: m.Scheduler,
+			Seed:      m.Seed,
+			Metrics:   e.telemetry,
+		})
+	}
+	return out
+}
+
+// WriteMetricsJSON exports every job's telemetry as indented JSON in
+// grid order. Like WriteJSON, the output is a pure function of the
+// grid — byte-identical at any parallelism.
+func (s *Summary) WriteMetricsJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Jobs []JobTelemetry `json:"jobs"`
+	}{Jobs: s.Telemetry()})
+}
+
+// WriteMetricsCSV exports every job's telemetry as flat CSV rows —
+// one row per series point (kind "series", x = simulated seconds) and
+// per histogram bucket (kind "hist", x = bucket upper bound, "+Inf"
+// for the overflow bucket) — for plotting without JSON tooling.
+func (s *Summary) WriteMetricsCSV(w io.Writer) error {
+	// Stream through a buffered writer: large sweeps export millions of
+	// rows and must not materialize the whole file in memory.
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("trace,variant,scheduler,seed,kind,name,x,y\n"); err != nil {
+		return err
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, jt := range s.Telemetry() {
+		prefix := fmt.Sprintf("%s,%s,%s,%d", csvCell(jt.Trace), csvCell(jt.Variant), csvCell(jt.Scheduler), jt.Seed)
+		for _, sr := range jt.Metrics.Series {
+			for _, p := range sr.Points {
+				fmt.Fprintf(bw, "%s,series,%s,%s,%s\n", prefix, csvCell(sr.Name), g(p.T), g(p.V))
+			}
+		}
+		for _, h := range jt.Metrics.Histograms {
+			for _, bk := range h.Buckets {
+				fmt.Fprintf(bw, "%s,hist,%s,%s,%d\n", prefix, csvCell(h.Name), g(bk.LE), bk.Count)
+			}
+			if h.Overflow > 0 {
+				fmt.Fprintf(bw, "%s,hist,%s,+Inf,%d\n", prefix, csvCell(h.Name), h.Overflow)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func csvCell(cell string) string {
+	if strings.ContainsAny(cell, ",\"\n") {
+		return `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+	}
+	return cell
+}
+
+// telemetryCell pools one (trace, variant, scheduler) group's metrics
+// across seeds for the summary table.
+type telemetryCell struct {
+	cell       cell
+	n          int
+	sampled    int64
+	egPeak     float64 // max over jobs of peak egress occupancy
+	inPeak     float64
+	egMeanSum  float64 // sum over jobs of whole-run mean occupancy
+	inMeanSum  float64
+	blockedSum float64 // sum over jobs of mean blocked-coflow count
+	contention *telemetry.HistogramDump
+}
+
+// TelemetryTable condenses per-job telemetry into one row per (trace,
+// variant, scheduler) cell with seeds pooled: sampled intervals, mean
+// and peak per-port queue occupancy (egress and ingress), the mean
+// head-of-line-blocked CoFlow count, and contention (k_c) median/P90
+// from the pooled histogram — the saath-sim -metrics terminal view.
+func (s *Summary) TelemetryTable(title string) *report.Table {
+	var order []*telemetryCell
+	index := make(map[string]*telemetryCell)
+	for _, e := range s.sorted() {
+		if e.telemetry == nil {
+			continue
+		}
+		m := e.metrics
+		key := m.Trace + "|" + m.Variant + "|" + m.Scheduler
+		tc, ok := index[key]
+		if !ok {
+			tc = &telemetryCell{cell: cell{trace: m.Trace, variant: m.Variant, scheduler: m.Scheduler}}
+			index[key] = tc
+			order = append(order, tc)
+		}
+		tc.n++
+		tc.sampled += e.telemetry.Sampled
+		if sr := e.telemetry.FindSeries(telemetry.SeriesEgressQueueMax); sr != nil && sr.Max > tc.egPeak {
+			tc.egPeak = sr.Max
+		}
+		if sr := e.telemetry.FindSeries(telemetry.SeriesIngressQueueMax); sr != nil && sr.Max > tc.inPeak {
+			tc.inPeak = sr.Max
+		}
+		if sr := e.telemetry.FindSeries(telemetry.SeriesEgressQueueMean); sr != nil {
+			tc.egMeanSum += sr.Mean
+		}
+		if sr := e.telemetry.FindSeries(telemetry.SeriesIngressQueueMean); sr != nil {
+			tc.inMeanSum += sr.Mean
+		}
+		if sr := e.telemetry.FindSeries(telemetry.SeriesBlockedCoFlows); sr != nil {
+			tc.blockedSum += sr.Mean
+		}
+		if h := e.telemetry.FindHistogram(telemetry.HistContention); h != nil {
+			if tc.contention == nil {
+				tc.contention = h.Clone()
+			} else {
+				tc.contention.Merge(h)
+			}
+		}
+	}
+	t := &report.Table{
+		Title: title,
+		Headers: []string{"workload", "scheduler", "runs", "intervals",
+			"egress q mean/peak", "ingress q mean/peak", "blocked mean", "k_c p50", "k_c p90"},
+	}
+	for _, tc := range order {
+		p50, p90 := "-", "-"
+		if tc.contention != nil && tc.contention.Count > 0 {
+			p50 = fmt.Sprintf("%.0f", tc.contention.Quantile(0.50))
+			p90 = fmt.Sprintf("%.0f", tc.contention.Quantile(0.90))
+		}
+		n := float64(tc.n)
+		t.AddRow(tc.cell.label(), tc.cell.scheduler, tc.n, tc.sampled,
+			fmt.Sprintf("%.1f/%.0f", tc.egMeanSum/n, tc.egPeak),
+			fmt.Sprintf("%.1f/%.0f", tc.inMeanSum/n, tc.inPeak),
+			fmt.Sprintf("%.2f", tc.blockedSum/n),
+			p50, p90)
+	}
+	return t
+}

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"math"
+
+	"saath/internal/report"
+)
+
+// SeriesDump is the exported form of one metric stream: merged
+// reservoir + tail points plus exact whole-run scalar statistics.
+type SeriesDump struct {
+	Name   string  `json:"name"`
+	Unit   string  `json:"unit,omitempty"`
+	Count  int64   `json:"count"`
+	Mean   float64 `json:"mean"`
+	Max    float64 `json:"max"`
+	Last   float64 `json:"last"`
+	Points []Point `json:"points"`
+}
+
+// Bucket is one histogram bucket: the count of observations with
+// value <= LE (non-cumulative).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramDump is the exported form of one histogram. Overflow counts
+// observations above the last bucket's bound (JSON has no +Inf).
+type HistogramDump struct {
+	Name     string   `json:"name"`
+	Count    int64    `json:"count"`
+	Sum      float64  `json:"sum"`
+	Max      float64  `json:"max"`
+	Buckets  []Bucket `json:"buckets"`
+	Overflow int64    `json:"overflow,omitempty"`
+}
+
+// Mean returns the exact mean observation.
+func (h *HistogramDump) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile as the upper bound of the bucket
+// where the cumulative count crosses q (overflow: the exact maximum).
+func (h *HistogramDump) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	need := int64(math.Ceil(q * float64(h.Count)))
+	if need <= 0 {
+		need = 1
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= need {
+			return b.LE
+		}
+	}
+	return h.Max
+}
+
+// Merge adds other's buckets into h. Bucket layouts must match (both
+// built by the Suite); mismatched layouts merge only the scalar fields.
+func (h *HistogramDump) Merge(other *HistogramDump) {
+	h.Count += other.Count
+	h.Sum += other.Sum
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+	h.Overflow += other.Overflow
+	if len(h.Buckets) == len(other.Buckets) {
+		for i := range h.Buckets {
+			h.Buckets[i].Count += other.Buckets[i].Count
+		}
+	}
+}
+
+// Clone returns a deep copy (Merge mutates; callers pooling across
+// jobs start from a clone).
+func (h *HistogramDump) Clone() *HistogramDump {
+	cp := *h
+	cp.Buckets = append([]Bucket(nil), h.Buckets...)
+	return &cp
+}
+
+// Metrics is one run's exported telemetry: every series and histogram
+// in a stable order, fully deterministic for a given simulation.
+type Metrics struct {
+	// Intervals counts scheduling rounds observed; Sampled counts the
+	// rounds recorded after striding.
+	Intervals  int64           `json:"intervals"`
+	Sampled    int64           `json:"sampled"`
+	Series     []SeriesDump    `json:"series"`
+	Histograms []HistogramDump `json:"histograms"`
+}
+
+// Metrics exports the suite's state. It may be called mid-run (the
+// dump is a snapshot) or after the simulation completes.
+func (s *Suite) Metrics() *Metrics {
+	m := &Metrics{Intervals: s.intervals, Sampled: s.sampled}
+	for _, sr := range s.order {
+		m.Series = append(m.Series, sr.Export())
+	}
+	for _, id := range s.progressIDs {
+		m.Series = append(m.Series, s.progress[id].series.Export())
+	}
+	for _, h := range []*Histogram{s.hEgress, s.hIngress, s.hContention} {
+		m.Histograms = append(m.Histograms, h.Export())
+	}
+	return m
+}
+
+// FindSeries returns the named series dump, or nil.
+func (m *Metrics) FindSeries(name string) *SeriesDump {
+	for i := range m.Series {
+		if m.Series[i].Name == name {
+			return &m.Series[i]
+		}
+	}
+	return nil
+}
+
+// FindHistogram returns the named histogram dump, or nil.
+func (m *Metrics) FindHistogram(name string) *HistogramDump {
+	for i := range m.Histograms {
+		if m.Histograms[i].Name == name {
+			return &m.Histograms[i]
+		}
+	}
+	return nil
+}
+
+// SeriesTable renders the named series as a time/value table,
+// downsampled to at most maxRows points. Returns nil if the series is
+// absent.
+func (m *Metrics) SeriesTable(title, name string, maxRows int) *report.Table {
+	s := m.FindSeries(name)
+	if s == nil {
+		return nil
+	}
+	xs := make([]float64, len(s.Points))
+	ys := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		xs[i], ys[i] = p.T, p.V
+	}
+	label := name
+	if s.Unit != "" {
+		label = name + " (" + s.Unit + ")"
+	}
+	return report.SampledXYTable(title, "t (s)", label, xs, ys, maxRows)
+}
+
+// HistogramTable renders the named histogram with per-bucket counts
+// and cumulative fractions. Returns nil if the histogram is absent.
+func (m *Metrics) HistogramTable(title, name string) *report.Table {
+	h := m.FindHistogram(name)
+	if h == nil {
+		return nil
+	}
+	uppers := make([]float64, len(h.Buckets))
+	counts := make([]int64, len(h.Buckets))
+	for i, b := range h.Buckets {
+		uppers[i], counts[i] = b.LE, b.Count
+	}
+	return report.BucketTable(title, name, uppers, counts, h.Overflow)
+}

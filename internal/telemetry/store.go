@@ -1,0 +1,287 @@
+package telemetry
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"saath/internal/coflow"
+)
+
+// Point is one time-series sample: simulated time in seconds and a
+// value.
+type Point struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Ring is a fixed-capacity ring buffer of points. Once full, each push
+// overwrites the oldest entry, so the ring always holds the exact tail
+// window of the stream in O(capacity) memory.
+type Ring struct {
+	buf  []Point
+	head int // next write position
+	full bool
+}
+
+// NewRing returns a ring holding at most capacity points.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Point, capacity)}
+}
+
+// Push appends p, evicting the oldest point when full.
+func (r *Ring) Push(p Point) {
+	r.buf[r.head] = p
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of stored points.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.head
+}
+
+// Points returns the stored points oldest-first.
+func (r *Ring) Points() []Point {
+	out := make([]Point, 0, r.Len())
+	if r.full {
+		out = append(out, r.buf[r.head:]...)
+	}
+	return append(out, r.buf[:r.head]...)
+}
+
+// indexed pairs a point with its position in the stream so reservoir
+// samples can be restored to stream order on export.
+type indexed struct {
+	idx int64
+	p   Point
+}
+
+// Reservoir keeps a uniform sample of an unbounded stream (Vitter's
+// algorithm R). The RNG is seeded explicitly, so for a fixed seed and
+// input sequence the retained sample is identical on every run — the
+// property that keeps sweep output byte-identical at any parallelism.
+type Reservoir struct {
+	rng   *rand.Rand
+	seen  int64
+	items []indexed
+	cap   int
+}
+
+// NewReservoir returns a reservoir of the given capacity and RNG seed.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Reservoir{rng: rand.New(rand.NewSource(seed)), cap: capacity}
+}
+
+// Push offers p to the reservoir.
+func (r *Reservoir) Push(p Point) {
+	r.seen++
+	if len(r.items) < r.cap {
+		r.items = append(r.items, indexed{idx: r.seen - 1, p: p})
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+		r.items[j] = indexed{idx: r.seen - 1, p: p}
+	}
+}
+
+// Seen returns the number of points offered so far.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// sample returns the retained points sorted by stream position.
+func (r *Reservoir) sample() []indexed {
+	out := append([]indexed(nil), r.items...)
+	sort.Slice(out, func(i, j int) bool { return out[i].idx < out[j].idx })
+	return out
+}
+
+// Points returns the retained points in stream order.
+func (r *Reservoir) Points() []Point {
+	s := r.sample()
+	out := make([]Point, len(s))
+	for i, it := range s {
+		out[i] = it.p
+	}
+	return out
+}
+
+// Series is one bounded-memory metric stream: a reservoir covering the
+// whole run, a ring holding the exact tail, and running scalar
+// statistics that stay exact regardless of downsampling.
+type Series struct {
+	name string
+	unit string
+
+	count int64
+	sum   float64
+	max   float64
+	last  float64
+
+	ring *Ring
+	res  *Reservoir
+}
+
+func newSeries(name, unit string, ringCap, resCap int, seed int64) *Series {
+	return &Series{
+		name: name,
+		unit: unit,
+		ring: NewRing(ringCap),
+		res:  NewReservoir(resCap, mixSeed(seed, name)),
+	}
+}
+
+// Record appends one sample at simulated time t.
+func (s *Series) Record(t coflow.Time, v float64) {
+	p := Point{T: t.Seconds(), V: v}
+	s.count++
+	s.sum += v
+	if v > s.max || s.count == 1 {
+		s.max = v
+	}
+	s.last = v
+	s.ring.Push(p)
+	s.res.Push(p)
+}
+
+// Count returns the number of recorded samples.
+func (s *Series) Count() int64 { return s.count }
+
+// Mean returns the exact mean over every recorded sample.
+func (s *Series) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Max returns the exact maximum over every recorded sample.
+func (s *Series) Max() float64 { return s.max }
+
+// Export merges the reservoir (full-run coverage) with the ring (exact
+// tail), deduplicated by stream position, into one dump.
+func (s *Series) Export() SeriesDump {
+	tail := s.ring.Points()
+	tailStart := s.count - int64(len(tail))
+	sample := s.res.sample()
+	pts := make([]Point, 0, len(sample)+len(tail))
+	for _, it := range sample {
+		if it.idx < tailStart {
+			pts = append(pts, it.p)
+		}
+	}
+	pts = append(pts, tail...)
+	return SeriesDump{
+		Name:   s.name,
+		Unit:   s.unit,
+		Count:  s.count,
+		Mean:   s.Mean(),
+		Max:    s.max,
+		Last:   s.last,
+		Points: pts,
+	}
+}
+
+// Histogram is a fixed-bucket histogram over non-negative values:
+// counts per upper bound plus an overflow bucket, with exact running
+// sum and max. Memory is constant in the number of observations.
+type Histogram struct {
+	name     string
+	bounds   []float64 // ascending upper bounds (v <= bound)
+	counts   []int64   // len(bounds)
+	overflow int64
+	total    int64
+	sum      float64
+	max      float64
+}
+
+// DefaultCountBounds suits small-integer distributions (per-port queue
+// lengths, blocked-CoFlow counts k_c): powers of two up to 256.
+func DefaultCountBounds() []float64 {
+	return []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+}
+
+// NewHistogram returns a histogram with the given ascending upper
+// bounds; values above the last bound land in the overflow bucket.
+func NewHistogram(name string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultCountBounds()
+	}
+	return &Histogram{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	h.sum += v
+	if v > h.max || h.total == 1 {
+		h.max = v
+	}
+	// Bucket count is ~10; linear scan beats binary search at this size.
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.overflow++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the exact mean observation.
+func (h *Histogram) Mean() float64 { d := h.Export(); return d.Mean() }
+
+// Quantile estimates the q-quantile (0..1); see HistogramDump.Quantile
+// for the estimate's semantics.
+func (h *Histogram) Quantile(q float64) float64 { d := h.Export(); return d.Quantile(q) }
+
+// Export dumps the histogram.
+func (h *Histogram) Export() HistogramDump {
+	buckets := make([]Bucket, len(h.bounds))
+	for i := range h.bounds {
+		buckets[i] = Bucket{LE: h.bounds[i], Count: h.counts[i]}
+	}
+	return HistogramDump{
+		Name:     h.name,
+		Count:    h.total,
+		Sum:      h.sum,
+		Max:      h.max,
+		Buckets:  buckets,
+		Overflow: h.overflow,
+	}
+}
+
+// mixSeed derives a per-series RNG seed from the suite seed and the
+// series name (FNV-1a), so sibling series sample independently but
+// reproducibly.
+func mixSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(seed) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(name))
+	s := int64(h.Sum64())
+	if s == 0 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,332 @@
+// Package telemetry streams per-interval time-series metrics out of
+// the simulation engine. The paper's story is about *where* contention
+// lives — queue buildup at ports, head-of-line blocking across a
+// CoFlow's flows — and end-of-run aggregates cannot show it; this
+// package makes the dynamics observable.
+//
+// The engine calls every attached Probe once per scheduling interval
+// with an Interval observation (active set, allocation, fabric
+// dimensions). The standard Suite probe derives the metrics the
+// paper's narrative needs — per-port queue occupancy, fabric
+// utilization, active/admitted/completed CoFlow counts, per-CoFlow
+// progress, head-of-line blocking, and contention (k_c) histograms —
+// and stores them in bounded memory: fixed-capacity ring buffers for
+// the exact tail of each series plus deterministic downsampling
+// reservoirs (seeded from the job identity) covering the whole run.
+// Million-interval simulations therefore stay flat on RSS, and sweep
+// exports stay byte-identical at any worker count.
+package telemetry
+
+import (
+	"strconv"
+
+	"saath/internal/coflow"
+	"saath/internal/sched"
+)
+
+// Interval is the engine's observation of one scheduling round, handed
+// to probes after the schedule is computed and validated but before
+// bytes move. The Active slice and Alloc map are owned by the engine
+// and only valid for the duration of the Observe call; probes must
+// copy anything they retain.
+type Interval struct {
+	// Index is the 0-based scheduling round.
+	Index int
+	// Now is the interval's start time; Delta its length.
+	Now   coflow.Time
+	Delta coflow.Time
+
+	// NumPorts and PortRate describe the fabric.
+	NumPorts int
+	PortRate coflow.Rate
+
+	// Active lists the live CoFlows in arrival order.
+	Active []*coflow.CoFlow
+	// Alloc is the schedule for this interval.
+	Alloc sched.Allocation
+
+	// AllocatedRate is the total egress rate handed out this interval,
+	// accumulated by the engine in deterministic flow order (the PR 1
+	// determinism fix: sorted, not map-order, float accumulation).
+	AllocatedRate float64
+
+	// Admitted counts CoFlows released to the scheduler so far;
+	// Completed counts CoFlows retired so far.
+	Admitted  int
+	Completed int
+}
+
+// Capacity returns the aggregate egress capacity of the fabric.
+func (iv *Interval) Capacity() float64 {
+	return float64(iv.PortRate) * float64(iv.NumPorts)
+}
+
+// Utilization returns the fraction of aggregate egress capacity the
+// interval's schedule hands out.
+func (iv *Interval) Utilization() float64 {
+	if c := iv.Capacity(); c > 0 {
+		return iv.AllocatedRate / c
+	}
+	return 0
+}
+
+// Probe receives one observation per scheduling interval. Observe is
+// called synchronously from the engine's run loop; implementations
+// need no locking (one engine, one goroutine) but must not retain the
+// Interval's slices or maps.
+type Probe interface {
+	Observe(iv *Interval)
+}
+
+// Spec configures a Suite. The zero value is disabled; set Enabled and
+// leave the rest zero for defaults.
+type Spec struct {
+	// Enabled turns collection on. A disabled spec builds no probe.
+	Enabled bool
+
+	// Stride samples every Nth scheduling interval (<=1: every
+	// interval). Striding bounds collection cost on long runs; it is
+	// keyed off the interval index, so it is deterministic.
+	Stride int
+
+	// RingCap bounds each series' exact-tail ring buffer (default 256).
+	RingCap int
+
+	// ReservoirCap bounds each series' whole-run downsampling
+	// reservoir (default 256).
+	ReservoirCap int
+
+	// ProgressCoFlows bounds the number of per-CoFlow progress series
+	// (the first N admitted CoFlows are tracked; default 4, negative
+	// disables).
+	ProgressCoFlows int
+
+	// Seed drives the downsampling reservoirs. Sweep jobs derive it
+	// from the job identity so exported metrics are reproducible and
+	// independent of worker interleaving.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Stride < 1 {
+		s.Stride = 1
+	}
+	if s.RingCap <= 0 {
+		s.RingCap = 256
+	}
+	if s.ReservoirCap <= 0 {
+		s.ReservoirCap = 256
+	}
+	if s.ProgressCoFlows == 0 {
+		s.ProgressCoFlows = 4
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Canonical series names recorded by the Suite.
+const (
+	SeriesActiveCoFlows    = "active_coflows"
+	SeriesAdmittedCoFlows  = "admitted_coflows"
+	SeriesCompletedCoFlows = "completed_coflows"
+	SeriesEgressUtil       = "egress_utilization"
+	SeriesEgressQueueMean  = "egress_queue_mean"
+	SeriesEgressQueueMax   = "egress_queue_max"
+	SeriesIngressQueueMean = "ingress_queue_mean"
+	SeriesIngressQueueMax  = "ingress_queue_max"
+	SeriesQueuedBytes      = "queued_bytes"
+	SeriesBlockedCoFlows   = "blocked_coflows"
+	// ProgressPrefix prefixes per-CoFlow progress series ("progress/<id>").
+	ProgressPrefix = "progress/"
+)
+
+// Canonical histogram names recorded by the Suite.
+const (
+	HistEgressOccupancy  = "egress_queue_occupancy"
+	HistIngressOccupancy = "ingress_queue_occupancy"
+	HistContention       = "coflow_contention"
+)
+
+// progressEntry tracks one CoFlow's progress series.
+type progressEntry struct {
+	series *Series
+	total  coflow.Bytes
+}
+
+// Suite is the standard collector set. It implements Probe; attach it
+// to a simulation via sim.Config.Probes and read the result with
+// Metrics. A Suite observes exactly one run — do not share one across
+// simulations.
+type Suite struct {
+	spec Spec
+
+	order  []*Series // stable export order
+	byName map[string]*Series
+
+	hEgress     *Histogram
+	hIngress    *Histogram
+	hContention *Histogram
+
+	progress     map[coflow.CoFlowID]*progressEntry
+	progressIDs  []coflow.CoFlowID // insertion order for export stability
+	intervals    int64             // intervals observed (pre-stride)
+	sampled      int64             // intervals recorded (post-stride)
+	egOcc, inOcc []int             // per-port scratch, reused
+}
+
+// NewSuite builds the standard collector set from spec (defaults
+// applied). The spec's Enabled flag is not consulted — callers decide
+// whether to construct a Suite at all.
+func NewSuite(spec Spec) *Suite {
+	spec = spec.withDefaults()
+	s := &Suite{
+		spec:        spec,
+		byName:      make(map[string]*Series),
+		hEgress:     NewHistogram(HistEgressOccupancy, nil),
+		hIngress:    NewHistogram(HistIngressOccupancy, nil),
+		hContention: NewHistogram(HistContention, nil),
+		progress:    make(map[coflow.CoFlowID]*progressEntry),
+	}
+	for _, d := range []struct{ name, unit string }{
+		{SeriesActiveCoFlows, "coflows"},
+		{SeriesAdmittedCoFlows, "coflows"},
+		{SeriesCompletedCoFlows, "coflows"},
+		{SeriesEgressUtil, "fraction"},
+		{SeriesEgressQueueMean, "flows/port"},
+		{SeriesEgressQueueMax, "flows"},
+		{SeriesIngressQueueMean, "flows/port"},
+		{SeriesIngressQueueMax, "flows"},
+		{SeriesQueuedBytes, "bytes"},
+		{SeriesBlockedCoFlows, "coflows"},
+	} {
+		s.addSeries(d.name, d.unit)
+	}
+	return s
+}
+
+func (s *Suite) addSeries(name, unit string) *Series {
+	sr := newSeries(name, unit, s.spec.RingCap, s.spec.ReservoirCap, s.spec.Seed)
+	s.order = append(s.order, sr)
+	s.byName[name] = sr
+	return sr
+}
+
+// Series returns the named series, or nil.
+func (s *Suite) Series(name string) *Series { return s.byName[name] }
+
+// Observe implements Probe.
+func (s *Suite) Observe(iv *Interval) {
+	s.intervals++
+	if s.spec.Stride > 1 && iv.Index%s.spec.Stride != 0 {
+		return
+	}
+	s.sampled++
+	now := iv.Now
+
+	// Per-port queue occupancy: sendable flows pending at each egress
+	// (sender) and ingress (receiver) port, plus total queued bytes and
+	// head-of-line blocking (CoFlows with sendable flows but no rate).
+	if cap(s.egOcc) < iv.NumPorts {
+		s.egOcc = make([]int, iv.NumPorts)
+		s.inOcc = make([]int, iv.NumPorts)
+	}
+	eg, in := s.egOcc[:iv.NumPorts], s.inOcc[:iv.NumPorts]
+	for i := range eg {
+		eg[i], in[i] = 0, 0
+	}
+	var queuedBytes coflow.Bytes
+	blocked := 0
+	for _, c := range iv.Active {
+		sendable := 0
+		var granted float64
+		for _, f := range c.Flows {
+			if !f.Sendable() {
+				continue
+			}
+			sendable++
+			eg[f.Src]++
+			in[f.Dst]++
+			queuedBytes += f.Remaining()
+			if r, ok := iv.Alloc[f.ID]; ok {
+				granted += float64(r)
+			}
+		}
+		if sendable > 0 && granted <= 0 {
+			blocked++
+		}
+	}
+	egMean, egMax := busyStats(eg, s.hEgress)
+	inMean, inMax := busyStats(in, s.hIngress)
+
+	s.byName[SeriesActiveCoFlows].Record(now, float64(len(iv.Active)))
+	s.byName[SeriesAdmittedCoFlows].Record(now, float64(iv.Admitted))
+	s.byName[SeriesCompletedCoFlows].Record(now, float64(iv.Completed))
+	s.byName[SeriesEgressUtil].Record(now, iv.Utilization())
+	s.byName[SeriesEgressQueueMean].Record(now, egMean)
+	s.byName[SeriesEgressQueueMax].Record(now, egMax)
+	s.byName[SeriesIngressQueueMean].Record(now, inMean)
+	s.byName[SeriesIngressQueueMax].Record(now, inMax)
+	s.byName[SeriesQueuedBytes].Record(now, float64(queuedBytes))
+	s.byName[SeriesBlockedCoFlows].Record(now, float64(blocked))
+
+	// Contention histogram: k_c per active CoFlow, the LCoF ordering
+	// signal (§3 idea 3). Iteration over the deterministic Active slice
+	// keeps histogram feeding order-independent of map layout.
+	kc := sched.Contention(iv.Active)
+	for _, c := range iv.Active {
+		s.hContention.Add(float64(kc[c.ID()]))
+	}
+
+	// Per-CoFlow progress for the first N admitted CoFlows.
+	if s.spec.ProgressCoFlows > 0 {
+		for _, c := range iv.Active {
+			e, ok := s.progress[c.ID()]
+			if !ok {
+				if len(s.progress) >= s.spec.ProgressCoFlows {
+					continue
+				}
+				e = &progressEntry{
+					series: newSeries(progressName(c.ID()), "fraction",
+						s.spec.RingCap, s.spec.ReservoirCap, s.spec.Seed),
+					total: c.Spec.TotalSize(),
+				}
+				s.progress[c.ID()] = e
+				s.progressIDs = append(s.progressIDs, c.ID())
+			}
+			frac := 1.0
+			if e.total > 0 {
+				frac = float64(c.TotalSent()) / float64(e.total)
+			}
+			e.series.Record(now, frac)
+		}
+	}
+}
+
+// busyStats feeds every busy port's occupancy into h and returns the
+// mean over busy ports and the max over all ports. Idle ports are
+// excluded from the mean and histogram so sparse clusters do not drown
+// the contention signal in zeros.
+func busyStats(occ []int, h *Histogram) (mean, max float64) {
+	busy, sum := 0, 0
+	for _, n := range occ {
+		if n == 0 {
+			continue
+		}
+		busy++
+		sum += n
+		if f := float64(n); f > max {
+			max = f
+		}
+		h.Add(float64(n))
+	}
+	if busy > 0 {
+		mean = float64(sum) / float64(busy)
+	}
+	return mean, max
+}
+
+func progressName(id coflow.CoFlowID) string {
+	return ProgressPrefix + strconv.FormatInt(int64(id), 10)
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"saath/internal/coflow"
+)
+
+func TestSynthIncastShape(t *testing.T) {
+	cfg := DefaultIncastConfig(1)
+	tr := SynthesizeIncast(cfg, "incast")
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Specs) != cfg.NumCoFlows {
+		t.Fatalf("%d coflows, want %d", len(tr.Specs), cfg.NumCoFlows)
+	}
+	aggs := make(map[coflow.PortID]bool)
+	for _, s := range tr.Specs {
+		if len(s.Flows) != cfg.Degree {
+			t.Fatalf("coflow %d width %d, want %d", s.ID, len(s.Flows), cfg.Degree)
+		}
+		dst := s.Flows[0].Dst
+		srcs := make(map[coflow.PortID]bool)
+		for _, f := range s.Flows {
+			if f.Dst != dst {
+				t.Fatalf("coflow %d is not an incast: dsts %v and %v", s.ID, dst, f.Dst)
+			}
+			if f.Src == dst {
+				t.Fatalf("coflow %d: flow sends to itself", s.ID)
+			}
+			if srcs[f.Src] {
+				t.Fatalf("coflow %d: duplicate src %v", s.ID, f.Src)
+			}
+			srcs[f.Src] = true
+		}
+		aggs[dst] = true
+	}
+	if len(aggs) > cfg.Hotspots {
+		t.Fatalf("%d distinct aggregators, want <= %d hotspots", len(aggs), cfg.Hotspots)
+	}
+}
+
+func TestSynthBroadcastShape(t *testing.T) {
+	cfg := DefaultBroadcastConfig(2)
+	tr := SynthesizeBroadcast(cfg, "bcast")
+	roots := make(map[coflow.PortID]bool)
+	for _, s := range tr.Specs {
+		src := s.Flows[0].Src
+		for _, f := range s.Flows {
+			if f.Src != src {
+				t.Fatalf("coflow %d is not a broadcast: srcs %v and %v", s.ID, src, f.Src)
+			}
+			if f.Dst == src {
+				t.Fatalf("coflow %d: flow sends to itself", s.ID)
+			}
+		}
+		roots[src] = true
+	}
+	if len(roots) > cfg.Hotspots {
+		t.Fatalf("%d distinct roots, want <= %d hotspots", len(roots), cfg.Hotspots)
+	}
+}
+
+func TestSynthFanDeterminism(t *testing.T) {
+	a, b := SynthIncast(5), SynthIncast(5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different incast traces")
+	}
+	if reflect.DeepEqual(SynthIncast(5).Specs, SynthIncast(6).Specs) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestFanSkew(t *testing.T) {
+	cfg := DefaultIncastConfig(1)
+	cfg.Skew = 0
+	equal := SynthesizeIncast(cfg, "eq")
+	for _, s := range equal.Specs {
+		first := s.Flows[0].Size
+		for _, f := range s.Flows {
+			// Equal shares; integer truncation may differ by a byte.
+			if diff := f.Size - first; diff < -1 || diff > 1 {
+				t.Fatalf("skew=0 coflow %d has unequal flows: %d vs %d", s.ID, first, f.Size)
+			}
+		}
+	}
+	cfg.Skew = 1.5
+	skewed := SynthesizeIncast(cfg, "sk")
+	unequal := false
+	for _, s := range skewed.Specs {
+		first := s.Flows[0].Size
+		for _, f := range s.Flows {
+			if diff := f.Size - first; diff < -1 || diff > 1 {
+				unequal = true
+			}
+		}
+	}
+	if !unequal {
+		t.Fatal("skew=1.5 produced only equal-length coflows")
+	}
+}
+
+func TestFanConfigClamping(t *testing.T) {
+	tr := SynthesizeIncast(FanConfig{
+		Seed: 1, NumPorts: 4, NumCoFlows: 10, Degree: 99,
+		MeanInterArrival: coflow.Millisecond,
+	}, "clamped")
+	for _, s := range tr.Specs {
+		if len(s.Flows) != 3 { // NumPorts-1
+			t.Fatalf("degree not clamped: width %d", len(s.Flows))
+		}
+	}
+}

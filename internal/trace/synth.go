@@ -187,6 +187,185 @@ func synthCoflow(rng *rand.Rand, cfg SynthConfig, id coflow.CoFlowID, arrival co
 	return spec
 }
 
+// FanConfig controls the incast and broadcast synthetic families:
+// CoFlows whose flows all converge on one receiver (incast, the
+// shuffle/aggregation pattern) or all originate at one sender
+// (broadcast). Both concentrate load on a small set of hotspot ports,
+// producing the queue buildup and head-of-line blocking the telemetry
+// subsystem is built to observe.
+type FanConfig struct {
+	Seed       int64
+	NumPorts   int
+	NumCoFlows int
+
+	// MeanInterArrival is the mean of the exponential arrival gaps.
+	MeanInterArrival coflow.Time
+
+	// Degree is the fan-in (incast) or fan-out (broadcast) width: the
+	// number of distinct peer ports per CoFlow. Clamped to NumPorts-1.
+	Degree int
+
+	// Skew is the log-normal sigma of per-flow sizes; 0 yields equal
+	// flow lengths, larger values increasingly unequal ones (the
+	// out-of-sync trigger of §2.3).
+	Skew float64
+
+	// Hotspots bounds the distinct aggregator (incast) or root
+	// (broadcast) ports; CoFlows rotate through this set, guaranteeing
+	// port sharing. 0 means every port may be a hotspot.
+	Hotspots int
+
+	// Per-CoFlow total size range (log-uniform sampling).
+	MinSize, MaxSize coflow.Bytes
+}
+
+// DefaultIncastConfig models a dense aggregation workload: 60 ports,
+// 300 CoFlows fanning 12 senders each into one of 6 hot aggregator
+// ports, with moderate flow-length skew.
+func DefaultIncastConfig(seed int64) FanConfig {
+	return FanConfig{
+		Seed:             seed,
+		NumPorts:         60,
+		NumCoFlows:       300,
+		MeanInterArrival: 30 * coflow.Millisecond,
+		Degree:           12,
+		Skew:             0.5,
+		Hotspots:         6,
+		MinSize:          coflow.MB,
+		MaxSize:          500 * coflow.MB,
+	}
+}
+
+// DefaultBroadcastConfig mirrors DefaultIncastConfig for one-to-many
+// distribution: 6 hot root ports each fanning out to 12 receivers.
+func DefaultBroadcastConfig(seed int64) FanConfig {
+	return DefaultIncastConfig(seed)
+}
+
+// SynthIncast generates an incast workload (see DefaultIncastConfig).
+func SynthIncast(seed int64) *Trace {
+	return SynthesizeIncast(DefaultIncastConfig(seed), "incast-synth")
+}
+
+// SynthBroadcast generates a broadcast workload (see
+// DefaultBroadcastConfig).
+func SynthBroadcast(seed int64) *Trace {
+	return SynthesizeBroadcast(DefaultBroadcastConfig(seed), "broadcast-synth")
+}
+
+// SynthesizeIncast generates an incast trace from cfg: every CoFlow is
+// Degree senders converging on one aggregator port. The same (cfg,
+// name) always yields byte-identical traces.
+func SynthesizeIncast(cfg FanConfig, name string) *Trace {
+	return synthesizeFan(cfg, name, true)
+}
+
+// SynthesizeBroadcast generates a broadcast trace from cfg: every
+// CoFlow is one root port fanning out to Degree receivers.
+func SynthesizeBroadcast(cfg FanConfig, name string) *Trace {
+	return synthesizeFan(cfg, name, false)
+}
+
+func synthesizeFan(cfg FanConfig, name string, incast bool) *Trace {
+	if cfg.NumPorts <= 1 || cfg.NumCoFlows <= 0 {
+		panic(fmt.Sprintf("trace.synthesizeFan: bad config ports=%d coflows=%d", cfg.NumPorts, cfg.NumCoFlows))
+	}
+	if cfg.MeanInterArrival <= 0 {
+		cfg.MeanInterArrival = 30 * coflow.Millisecond
+	}
+	if cfg.Degree < 1 {
+		cfg.Degree = 1
+	}
+	if cfg.Degree > cfg.NumPorts-1 {
+		cfg.Degree = cfg.NumPorts - 1
+	}
+	if cfg.MinSize <= 0 {
+		cfg.MinSize = coflow.MB
+	}
+	if cfg.MaxSize < cfg.MinSize {
+		cfg.MaxSize = cfg.MinSize
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hot := samplePorts(rng, cfg.NumPorts, cfg.NumPorts) // all ports, shuffled then sorted
+	if cfg.Hotspots > 0 && cfg.Hotspots < len(hot) {
+		hot = samplePorts(rng, cfg.NumPorts, cfg.Hotspots)
+	}
+
+	t := &Trace{Name: name, NumPorts: cfg.NumPorts}
+	var clock coflow.Time
+	for i := 0; i < cfg.NumCoFlows; i++ {
+		clock += coflow.Time(rng.ExpFloat64() * float64(cfg.MeanInterArrival))
+		root := hot[rng.Intn(len(hot))]
+		peers := samplePeers(rng, cfg.NumPorts, cfg.Degree, root)
+		total := logUniformBytes(rng, cfg.MinSize, cfg.MaxSize)
+		if total < coflow.Bytes(cfg.Degree) {
+			total = coflow.Bytes(cfg.Degree)
+		}
+		shares := skewedShares(rng, cfg.Degree, cfg.Skew)
+
+		spec := &coflow.Spec{ID: coflow.CoFlowID(i), Arrival: clock}
+		for f, peer := range peers {
+			size := coflow.Bytes(float64(total) * shares[f])
+			if size <= 0 {
+				size = 1
+			}
+			fs := coflow.FlowSpec{Src: peer, Dst: root, Size: size}
+			if !incast {
+				fs.Src, fs.Dst = root, peer
+			}
+			spec.Flows = append(spec.Flows, fs)
+		}
+		t.Specs = append(t.Specs, spec)
+	}
+	t.SortByArrival()
+	if err := t.Validate(); err != nil {
+		panic("trace.synthesizeFan: generated invalid trace: " + err.Error())
+	}
+	return t
+}
+
+// samplePeers draws n distinct ports from [0, numPorts) excluding
+// exclude, sorted ascending.
+func samplePeers(rng *rand.Rand, numPorts, n int, exclude coflow.PortID) []coflow.PortID {
+	if n > numPorts-1 {
+		n = numPorts - 1
+	}
+	out := make([]coflow.PortID, 0, n)
+	for _, p := range rng.Perm(numPorts) {
+		if coflow.PortID(p) == exclude {
+			continue
+		}
+		out = append(out, coflow.PortID(p))
+		if len(out) == n {
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// skewedShares returns n positive fractions summing to 1: equal when
+// sigma is 0, log-normally skewed otherwise.
+func skewedShares(rng *rand.Rand, n int, sigma float64) []float64 {
+	shares := make([]float64, n)
+	if sigma <= 0 {
+		for i := range shares {
+			shares[i] = 1 / float64(n)
+		}
+		return shares
+	}
+	var sum float64
+	for i := range shares {
+		shares[i] = math.Exp(rng.NormFloat64() * sigma)
+		sum += shares[i]
+	}
+	for i := range shares {
+		shares[i] /= sum
+	}
+	return shares
+}
+
 // samplePorts draws n distinct ports uniformly from [0, numPorts).
 func samplePorts(rng *rand.Rand, numPorts, n int) []coflow.PortID {
 	if n > numPorts {

@@ -28,6 +28,7 @@ import (
 	"saath/internal/sim"
 	"saath/internal/stats"
 	"saath/internal/sweep"
+	"saath/internal/telemetry"
 	"saath/internal/trace"
 
 	_ "saath/internal/core"         // register saath + ablation variants
@@ -152,6 +153,58 @@ func FixedTrace(tr *Trace) TraceSource { return sweep.FixedTrace(tr) }
 func SynthSource(name string, gen func(seed int64) *Trace) TraceSource {
 	return sweep.SynthSource(name, gen)
 }
+
+// Streaming telemetry types (internal/telemetry): per-interval
+// time-series metrics out of the simulator in bounded memory, with
+// deterministic downsampling so sweep exports are byte-identical at
+// any parallelism.
+type (
+	// TelemetryProbe receives one observation per scheduling interval;
+	// attach probes via SimConfig.Probes.
+	TelemetryProbe = telemetry.Probe
+	// TelemetryInterval is the engine's per-interval observation.
+	TelemetryInterval = telemetry.Interval
+	// TelemetrySpec configures the standard collector suite; set it on
+	// SweepGrid.Telemetry to collect metrics for every sweep job.
+	TelemetrySpec = telemetry.Spec
+	// TelemetrySuite is the standard collector set (queue occupancy,
+	// utilization, HOL blocking, contention histograms, progress).
+	TelemetrySuite = telemetry.Suite
+	// TelemetryMetrics is one run's exported telemetry.
+	TelemetryMetrics = telemetry.Metrics
+)
+
+// NewTelemetrySuite builds the standard telemetry collector set.
+func NewTelemetrySuite(spec TelemetrySpec) *TelemetrySuite { return telemetry.NewSuite(spec) }
+
+// SimulateWithTelemetry replays tr under the named scheduler with the
+// paper's default parameters and a telemetry suite attached, returning
+// both the simulation result and the exported per-interval metrics.
+// A spec with Enabled false runs the plain simulation and returns nil
+// metrics.
+func SimulateWithTelemetry(tr *Trace, scheduler string, cfg SimConfig, spec TelemetrySpec) (*SimResult, *TelemetryMetrics, error) {
+	var suite *TelemetrySuite
+	if spec.Enabled {
+		suite = telemetry.NewSuite(spec)
+		cfg.Probes = append(cfg.Probes[:len(cfg.Probes):len(cfg.Probes)], suite)
+	}
+	res, err := SimulateWith(tr, scheduler, DefaultParams(), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if suite == nil {
+		return res, nil, nil
+	}
+	return res, suite.Metrics(), nil
+}
+
+// SynthIncast generates the incast workload: Degree senders converging
+// on one of a few hot aggregator ports per CoFlow.
+func SynthIncast(seed int64) *Trace { return trace.SynthIncast(seed) }
+
+// SynthBroadcast generates the broadcast workload: one root port
+// fanning out to Degree receivers per CoFlow.
+func SynthBroadcast(seed int64) *Trace { return trace.SynthBroadcast(seed) }
 
 // Prototype (distributed runtime) types.
 type (
