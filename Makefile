@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-telemetry fmt fmt-check vet ci
+.PHONY: build test race bench bench-sched bench-telemetry fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,15 @@ race:
 # harness still compiles and runs, not a performance measurement.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' -timeout 20m ./...
+
+# Scheduler hot-path smoke: one iteration of the per-policy Schedule
+# benchmarks plus the allocation-regression guards against
+# BENCH_baseline.json and the steady-state engine-tick zero-alloc
+# guard (the guards need a non-race build — they skip under -race).
+bench-sched:
+	$(GO) test -bench 'BenchmarkSchedule' -benchtime=1x -benchmem -run '^$$' -timeout 10m .
+	$(GO) test -run TestScheduleAllocGuards -count=1 .
+	$(GO) test -run TestEngineTickSteadyStateZeroAlloc -count=1 ./internal/sim/
 
 # Telemetry smoke: one iteration of the telemetry benchmarks plus the
 # zero-allocation guard on the engine's no-probe emission path (the
@@ -36,4 +45,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check build vet race bench bench-telemetry
+ci: fmt-check build vet race bench bench-sched bench-telemetry

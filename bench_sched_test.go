@@ -1,0 +1,147 @@
+package saath
+
+// Scheduler hot-path microbenchmarks and their allocation-regression
+// guards. BENCH_baseline.json records the map-based engine's numbers
+// (the state of the tree before the dense-index rewrite); the guards
+// fail if a change regresses the steady-state Schedule round back to
+// within 2x of that baseline, and pin Saath's round at exactly zero
+// heap allocations. Run `make bench-sched` for the smoke + guards, or
+//
+//	go test -bench 'BenchmarkSchedule' -benchmem -run '^$' .
+//
+// for real measurements.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"saath/internal/coflow"
+	"saath/internal/fabric"
+	"saath/internal/sched"
+	"saath/internal/trace"
+)
+
+// benchPolicies are the per-policy benchmark/guard subjects: Saath and
+// every baseline family, over the same cluster the baseline file was
+// recorded on.
+var benchPolicies = []string{"saath", "aalo", "baraat", "lwtf", "uc-tcp", "varys"}
+
+// benchSchedCluster builds the benchmark active set: n CoFlows on p
+// ports, all live at once (the busy case), with a warmed scheduler and
+// a reusable snapshot — one call to round() is one steady-state
+// Schedule invocation.
+func benchSchedCluster(tb testing.TB, policy string, n, p int) (round func()) {
+	tb.Helper()
+	tr := trace.Synthesize(trace.SynthConfig{
+		Seed: 42, NumPorts: p, NumCoFlows: n,
+		MeanInterArrival: 0,
+		SingleFlowFrac:   0.23, EqualLengthFrac: 0.5, WideFracNarrowCF: 0.4,
+		SmallFracNarrow: 0.8, SmallFracWide: 0.4,
+		MinSmall: coflow.MB, MaxSmall: 100 * coflow.MB,
+		MinLarge: 100 * coflow.MB, MaxLarge: coflow.GB,
+	}, "bench")
+	active := make([]*coflow.CoFlow, len(tr.Specs))
+	space := coflow.NewIndexSpace()
+	for i, spec := range tr.Specs {
+		active[i] = coflow.New(spec)
+		space.Assign(active[i])
+	}
+	fab := fabric.New(p, fabric.DefaultPortRate)
+	s, err := NewScheduler(policy, DefaultParams())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, c := range active {
+		s.Arrive(c, 0)
+	}
+	snap := &sched.Snapshot{
+		Now: 0, Active: active, Fabric: fab,
+		FlowCap: space.FlowCap(), CoFlowCap: space.CoFlowCap(),
+	}
+	round = func() {
+		fab.Reset()
+		s.Schedule(snap)
+	}
+	round() // warm scratch so measurements see the steady state
+	return round
+}
+
+// BenchmarkSchedule measures one steady-state Schedule round per
+// policy at the baseline scale (500 coflows, 150 ports).
+func BenchmarkSchedule(b *testing.B) {
+	for _, policy := range benchPolicies {
+		b.Run(policy, func(b *testing.B) {
+			round := benchSchedCluster(b, policy, 500, 150)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				round()
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleQuick is the same measurement at quick scale, for
+// fast local iteration.
+func BenchmarkScheduleQuick(b *testing.B) {
+	for _, policy := range benchPolicies {
+		b.Run(policy, func(b *testing.B) {
+			round := benchSchedCluster(b, policy, 100, 50)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				round()
+			}
+		})
+	}
+}
+
+// benchBaseline mirrors BENCH_baseline.json.
+type benchBaseline struct {
+	ScheduleRound map[string]struct {
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"schedule_round"`
+}
+
+func loadBaseline(t *testing.T) benchBaseline {
+	t.Helper()
+	raw, err := os.ReadFile("BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b benchBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestScheduleAllocGuards enforces the perf contract of the
+// dense-index rewrite against the recorded map-based baseline: every
+// policy's steady-state Schedule round must allocate at least 2x less
+// than it did on the map path, and Saath's round — queue counts,
+// buckets, contention vector, allocation vector, ordering — must not
+// touch the heap at all.
+func TestScheduleAllocGuards(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	baseline := loadBaseline(t)
+	for _, policy := range benchPolicies {
+		base, ok := baseline.ScheduleRound[policy]
+		if !ok {
+			t.Errorf("%s: missing from BENCH_baseline.json", policy)
+			continue
+		}
+		round := benchSchedCluster(t, policy, 500, 150)
+		got := testing.AllocsPerRun(3, round)
+		if got*2 > base.AllocsPerOp {
+			t.Errorf("%s: %.0f allocs/round, want <= half the map-based baseline (%.0f)",
+				policy, got, base.AllocsPerOp)
+		}
+		if policy == "saath" && got != 0 {
+			t.Errorf("saath: %.0f allocs/round, want 0 (scratch must be fully reused)", got)
+		}
+	}
+}

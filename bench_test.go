@@ -193,29 +193,13 @@ func benchCluster(n, p int) ([]*coflow.CoFlow, *fabric.Fabric) {
 	return active, fabric.New(p, fabric.DefaultPortRate)
 }
 
-func benchScheduleRound(b *testing.B, name string, n, p int) {
-	active, fab := benchCluster(n, p)
-	s, err := sched.New(name, sched.DefaultParams())
-	if err != nil {
-		b.Fatal(err)
-	}
-	for _, c := range active {
-		s.Arrive(c, 0)
-	}
-	snap := &sched.Snapshot{Now: 0, Active: active, Fabric: fab}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		fab.Reset()
-		s.Schedule(snap)
-	}
-}
+// The per-policy Schedule-round benchmarks live in bench_sched_test.go
+// (BenchmarkSchedule, BenchmarkScheduleQuick) alongside their
+// allocation-regression guards against BENCH_baseline.json.
 
-func BenchmarkSaathScheduleRound100(b *testing.B) { benchScheduleRound(b, "saath", 100, 50) }
-func BenchmarkSaathScheduleRound500(b *testing.B) { benchScheduleRound(b, "saath", 500, 150) }
-func BenchmarkAaloScheduleRound500(b *testing.B)  { benchScheduleRound(b, "aalo", 500, 150) }
-func BenchmarkVarysScheduleRound500(b *testing.B) { benchScheduleRound(b, "varys", 500, 150) }
-func BenchmarkUCTCPScheduleRound500(b *testing.B) { benchScheduleRound(b, "uc-tcp", 500, 150) }
-
+// BenchmarkContention500 measures the reference (rebuild-everything)
+// contention implementation; compare BenchmarkContentionIndexSteadyState
+// in internal/sched for the incremental path.
 func BenchmarkContention500(b *testing.B) {
 	active, _ := benchCluster(500, 150)
 	b.ResetTimer()

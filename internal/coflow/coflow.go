@@ -167,7 +167,12 @@ func (s *Spec) Validate() error {
 
 // Flow is the runtime state of one flow during simulation or execution.
 type Flow struct {
-	ID   FlowID
+	ID FlowID
+	// Idx is the flow's dense runtime index, assigned by an IndexSpace
+	// at admission (or by EnsureIndexed as a fallback). It keys the
+	// scheduler's allocation vector (sched.RateVec) and per-flow scratch
+	// arrays; -1 until assigned.
+	Idx  int
 	Src  PortID
 	Dst  PortID
 	Size Bytes // ground truth; online schedulers must not read it
@@ -211,21 +216,36 @@ func (f *Flow) EffectiveRate(r, line Rate) Rate {
 // CoFlow is the runtime state of a CoFlow: its spec plus per-flow
 // progress and lifecycle timestamps.
 type CoFlow struct {
-	Spec    *Spec
+	Spec *Spec
+	// Idx is the CoFlow's dense runtime index (see Flow.Idx); -1 until
+	// assigned. It keys per-coflow scratch such as contention vectors.
+	Idx     int
 	Flows   []*Flow
 	Arrived Time // when it was released to the scheduler
 	Done    bool
 	DoneAt  Time
+
+	// Epoch-stamped derived-state caches. The owner of the CoFlow (the
+	// sim engine, the coordinator) bumps the epoch via Invalidate
+	// whenever a flow's sendability may have changed (completion,
+	// availability flip); SendableFlows and Use then recompute at most
+	// once per epoch instead of once per call site.
+	epoch     uint64
+	sendEpoch uint64
+	sendCache []*Flow
+	useEpoch  uint64
+	useCache  PortUse
 }
 
 // New instantiates runtime state for a spec. All flows start available
 // unless the caller marks them otherwise.
 func New(spec *Spec) *CoFlow {
-	c := &CoFlow{Spec: spec, Arrived: spec.Arrival}
+	c := &CoFlow{Spec: spec, Idx: -1, Arrived: spec.Arrival, epoch: 1}
 	c.Flows = make([]*Flow, len(spec.Flows))
 	for i, fs := range spec.Flows {
 		c.Flows[i] = &Flow{
 			ID:        FlowID{CoFlow: spec.ID, Index: i},
+			Idx:       -1,
 			Src:       fs.Src,
 			Dst:       fs.Dst,
 			Size:      fs.Size,
@@ -235,6 +255,16 @@ func New(spec *Spec) *CoFlow {
 	}
 	return c
 }
+
+// Invalidate bumps the CoFlow's mutation epoch, marking the cached
+// SendableFlows/Use results stale. Call it after changing any flow's
+// Done or Available state.
+func (c *CoFlow) Invalidate() { c.epoch++ }
+
+// CacheEpoch returns the current mutation epoch. Incremental consumers
+// (sched.ContentionIndex) compare it against a stored value to decide
+// whether a CoFlow's derived state must be refreshed.
+func (c *CoFlow) CacheEpoch() uint64 { return c.epoch }
 
 // ID returns the CoFlow's identifier.
 func (c *CoFlow) ID() CoFlowID { return c.Spec.ID }
@@ -287,6 +317,18 @@ func (c *CoFlow) PendingFlows() []*Flow {
 	return out
 }
 
+// NumPending counts the flows that are not yet done, without
+// allocating.
+func (c *CoFlow) NumPending() int {
+	n := 0
+	for _, f := range c.Flows {
+		if !f.Done {
+			n++
+		}
+	}
+	return n
+}
+
 // FinishedFlowSizes returns the sizes (bytes actually moved) of
 // completed flows, used by the dynamics SRTF approximation (§4.3).
 func (c *CoFlow) FinishedFlowSizes() []Bytes {
@@ -324,14 +366,24 @@ func (c *CoFlow) RefreshDone() bool {
 func (f *Flow) Sendable() bool { return !f.Done && f.Available }
 
 // SendableFlows returns the flows that can be scheduled right now.
+// The result is cached per mutation epoch (see Invalidate) and the
+// returned slice is owned by the CoFlow: callers must not mutate or
+// retain it across epoch changes.
 func (c *CoFlow) SendableFlows() []*Flow {
-	var out []*Flow
+	// epoch 0 means the CoFlow was built as a zero value rather than
+	// via New; caching would wrongly treat "never computed" as fresh,
+	// so such CoFlows recompute every call.
+	if c.epoch != 0 && c.sendEpoch == c.epoch {
+		return c.sendCache
+	}
+	c.sendCache = c.sendCache[:0]
 	for _, f := range c.Flows {
 		if f.Sendable() {
-			out = append(out, f)
+			c.sendCache = append(c.sendCache, f)
 		}
 	}
-	return out
+	c.sendEpoch = c.epoch
+	return c.sendCache
 }
 
 // PortUse counts, per port, how many of the CoFlow's sendable flows
@@ -341,17 +393,28 @@ type PortUse struct {
 	DstFlows map[PortID]int // sendable flows receiving at each node
 }
 
-// Use computes the current PortUse over sendable flows.
+// Use computes the current PortUse over sendable flows. Like
+// SendableFlows it is cached per mutation epoch; the returned maps are
+// owned by the CoFlow and must not be mutated or retained.
 func (c *CoFlow) Use() PortUse {
-	u := PortUse{SrcFlows: make(map[PortID]int), DstFlows: make(map[PortID]int)}
+	if c.epoch != 0 && c.useEpoch == c.epoch && c.useCache.SrcFlows != nil {
+		return c.useCache
+	}
+	if c.useCache.SrcFlows == nil {
+		c.useCache = PortUse{SrcFlows: make(map[PortID]int), DstFlows: make(map[PortID]int)}
+	} else {
+		clear(c.useCache.SrcFlows)
+		clear(c.useCache.DstFlows)
+	}
 	for _, f := range c.Flows {
 		if !f.Sendable() {
 			continue
 		}
-		u.SrcFlows[f.Src]++
-		u.DstFlows[f.Dst]++
+		c.useCache.SrcFlows[f.Src]++
+		c.useCache.DstFlows[f.Dst]++
 	}
-	return u
+	c.useEpoch = c.epoch
+	return c.useCache
 }
 
 // SrcPorts returns the sorted distinct sender nodes of pending flows.

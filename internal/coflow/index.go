@@ -1,0 +1,117 @@
+package coflow
+
+// IndexSpace hands out dense runtime indices for CoFlows and their
+// flows. The simulation engine (and the prototype coordinator) assigns
+// indices at admission and releases them at retirement, so live
+// indices stay packed in [0, Cap): allocation vectors and per-flow
+// scratch arrays can be plain slices instead of maps keyed by FlowID.
+//
+// Released indices are recycled LIFO, which keeps the caps close to
+// the peak number of concurrently live flows/coflows and makes index
+// assignment deterministic for a deterministic event sequence. An
+// IndexSpace is not safe for concurrent use; its owner serializes
+// admission, scheduling and retirement.
+type IndexSpace struct {
+	flowNext   int
+	coflowNext int
+	flowFree   []int
+	coflowFree []int
+}
+
+// NewIndexSpace returns an empty index space.
+func NewIndexSpace() *IndexSpace { return &IndexSpace{} }
+
+// Assign gives c and every one of its flows a dense index. It panics
+// if c already holds an index — double admission is a wiring bug.
+func (s *IndexSpace) Assign(c *CoFlow) {
+	if c.Idx >= 0 {
+		panic("coflow: IndexSpace.Assign on an already-indexed CoFlow")
+	}
+	c.Idx = s.popCoFlow()
+	for _, f := range c.Flows {
+		f.Idx = s.popFlow()
+	}
+}
+
+// Release returns c's indices to the free lists and marks c and its
+// flows unindexed. Flows are released in reverse order so that an
+// immediate re-Assign of an equally-wide CoFlow reproduces the same
+// per-flow index mapping (the coordinator's update() path relies on
+// this to keep per-flow bookkeeping aligned).
+func (s *IndexSpace) Release(c *CoFlow) {
+	if c.Idx < 0 {
+		return
+	}
+	for i := len(c.Flows) - 1; i >= 0; i-- {
+		f := c.Flows[i]
+		if f.Idx >= 0 {
+			s.flowFree = append(s.flowFree, f.Idx)
+			f.Idx = -1
+		}
+	}
+	s.coflowFree = append(s.coflowFree, c.Idx)
+	c.Idx = -1
+}
+
+// FlowCap returns an exclusive upper bound on every live flow index —
+// the length allocation vectors must be sized to.
+func (s *IndexSpace) FlowCap() int { return s.flowNext }
+
+// CoFlowCap returns an exclusive upper bound on every live CoFlow
+// index.
+func (s *IndexSpace) CoFlowCap() int { return s.coflowNext }
+
+func (s *IndexSpace) popFlow() int {
+	if n := len(s.flowFree); n > 0 {
+		idx := s.flowFree[n-1]
+		s.flowFree = s.flowFree[:n-1]
+		return idx
+	}
+	idx := s.flowNext
+	s.flowNext++
+	return idx
+}
+
+func (s *IndexSpace) popCoFlow() int {
+	if n := len(s.coflowFree); n > 0 {
+		idx := s.coflowFree[n-1]
+		s.coflowFree = s.coflowFree[:n-1]
+		return idx
+	}
+	idx := s.coflowNext
+	s.coflowNext++
+	return idx
+}
+
+// EnsureIndexed assigns fallback dense indices to any unindexed CoFlow
+// or flow in active and returns exclusive upper bounds on the flow and
+// coflow indices present. It is the safety net for hand-built
+// snapshots (tests, library callers that bypass the engine); the
+// engine itself indexes through an IndexSpace and never takes this
+// path. Assignment is deterministic in slice order, and already-held
+// indices are preserved.
+func EnsureIndexed(active []*CoFlow) (flowCap, coflowCap int) {
+	for _, c := range active {
+		if c.Idx >= coflowCap {
+			coflowCap = c.Idx + 1
+		}
+		for _, f := range c.Flows {
+			if f.Idx >= flowCap {
+				flowCap = f.Idx + 1
+			}
+		}
+	}
+	for _, c := range active {
+		if c.Idx < 0 {
+			c.Idx = coflowCap
+			coflowCap++
+		}
+		for _, f := range c.Flows {
+			if f.Idx < 0 {
+				f.Idx = flowCap
+				flowCap++
+			}
+		}
+	}
+	return flowCap, coflowCap
+}

@@ -1,0 +1,106 @@
+package coflow
+
+import "testing"
+
+func indexedCoflow(id CoFlowID, width int) *CoFlow {
+	spec := &Spec{ID: id}
+	for i := 0; i < width; i++ {
+		spec.Flows = append(spec.Flows, FlowSpec{Src: PortID(i), Dst: PortID(i + width), Size: MB})
+	}
+	return New(spec)
+}
+
+func TestIndexSpaceAssignRelease(t *testing.T) {
+	s := NewIndexSpace()
+	a := indexedCoflow(1, 3)
+	b := indexedCoflow(2, 2)
+	s.Assign(a)
+	s.Assign(b)
+	if a.Idx != 0 || b.Idx != 1 {
+		t.Fatalf("coflow idxs = %d, %d", a.Idx, b.Idx)
+	}
+	for i, f := range a.Flows {
+		if f.Idx != i {
+			t.Fatalf("a flow %d idx = %d", i, f.Idx)
+		}
+	}
+	if s.FlowCap() != 5 || s.CoFlowCap() != 2 {
+		t.Fatalf("caps = %d/%d, want 5/2", s.FlowCap(), s.CoFlowCap())
+	}
+
+	// Release recycles: an equally-wide coflow assigned right after a
+	// release reproduces the same per-flow mapping, and the caps do not
+	// grow.
+	s.Release(a)
+	if a.Idx != -1 || a.Flows[0].Idx != -1 {
+		t.Fatal("release did not clear indices")
+	}
+	c := indexedCoflow(3, 3)
+	s.Assign(c)
+	for i, f := range c.Flows {
+		if f.Idx != i {
+			t.Fatalf("recycled flow %d idx = %d, want %d", i, f.Idx, i)
+		}
+	}
+	if s.FlowCap() != 5 || s.CoFlowCap() != 2 {
+		t.Fatalf("caps grew on recycle: %d/%d", s.FlowCap(), s.CoFlowCap())
+	}
+}
+
+func TestIndexSpaceDoubleAssignPanics(t *testing.T) {
+	s := NewIndexSpace()
+	c := indexedCoflow(1, 1)
+	s.Assign(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Assign did not panic")
+		}
+	}()
+	s.Assign(c)
+}
+
+func TestEnsureIndexedPreservesAndFills(t *testing.T) {
+	s := NewIndexSpace()
+	a := indexedCoflow(1, 2)
+	s.Assign(a)
+	b := indexedCoflow(2, 2) // unindexed
+	fc, cc := EnsureIndexed([]*CoFlow{a, b})
+	if fc != 4 || cc != 2 {
+		t.Fatalf("caps = %d/%d, want 4/2", fc, cc)
+	}
+	if a.Flows[0].Idx != 0 || a.Flows[1].Idx != 1 {
+		t.Fatal("EnsureIndexed clobbered existing indices")
+	}
+	if b.Flows[0].Idx != 2 || b.Flows[1].Idx != 3 || b.Idx != 1 {
+		t.Fatalf("fallback indices = %d,%d (coflow %d)", b.Flows[0].Idx, b.Flows[1].Idx, b.Idx)
+	}
+}
+
+// TestSendableCacheInvalidation: SendableFlows and Use are cached per
+// mutation epoch; Invalidate refreshes them after flow-state changes.
+func TestSendableCacheInvalidation(t *testing.T) {
+	c := indexedCoflow(1, 3)
+	if got := len(c.SendableFlows()); got != 3 {
+		t.Fatalf("sendable = %d", got)
+	}
+	u := c.Use()
+	if u.SrcFlows[0] != 1 {
+		t.Fatalf("use = %+v", u)
+	}
+	c.Flows[0].Done = true
+	c.Invalidate()
+	if got := len(c.SendableFlows()); got != 2 {
+		t.Fatalf("post-invalidate sendable = %d", got)
+	}
+	if u := c.Use(); u.SrcFlows[0] != 0 {
+		t.Fatalf("post-invalidate use = %+v", u)
+	}
+	c.Flows[1].Available = false
+	c.Invalidate()
+	if got := c.NumPending(); got != 2 {
+		t.Fatalf("pending = %d", got) // availability does not affect pending
+	}
+	if got := len(c.SendableFlows()); got != 1 {
+		t.Fatalf("sendable after availability flip = %d", got)
+	}
+}

@@ -75,7 +75,7 @@ func TestAllOrNonePropertyWithoutWC(t *testing.T) {
 			var scheduled int
 			var rate coflow.Rate
 			for _, f := range flows {
-				if r := alloc[f.ID]; r > 0 {
+				if r := alloc.Rate(f.Idx); r > 0 {
 					scheduled++
 					if rate == 0 {
 						rate = r
@@ -112,23 +112,24 @@ func TestNoOversubscriptionProperty(t *testing.T) {
 
 		egress := make([]float64, nPorts)
 		ingress := make([]float64, nPorts)
-		flowByID := make(map[coflow.FlowID]*coflow.Flow)
+		flowByIdx := make(map[int]*coflow.Flow)
 		for _, c := range active {
 			for _, f := range c.Flows {
-				flowByID[f.ID] = f
+				flowByIdx[f.Idx] = f
 			}
 		}
-		for id, r := range alloc {
-			f := flowByID[id]
+		alloc.Range(func(idx int, r coflow.Rate) bool {
+			f := flowByIdx[idx]
 			if f == nil {
-				t.Fatalf("trial %d: alloc for unknown flow %v", trial, id)
+				t.Fatalf("trial %d: alloc for unknown flow index %d", trial, idx)
 			}
 			if !f.Sendable() {
-				t.Fatalf("trial %d: alloc for non-sendable flow %v", trial, id)
+				t.Fatalf("trial %d: alloc for non-sendable flow %v", trial, f.ID)
 			}
 			egress[f.Src] += float64(r)
 			ingress[f.Dst] += float64(r)
-		}
+			return true
+		})
 		limit := float64(fabric.DefaultPortRate) * 1.0001
 		for p := 0; p < nPorts; p++ {
 			if egress[p] > limit || ingress[p] > limit {
@@ -161,7 +162,7 @@ func TestWorkConservationProperty(t *testing.T) {
 		eps := 1e-2 * float64(fabric.DefaultPortRate)
 		for _, c := range active {
 			for _, f := range c.SendableFlows() {
-				if alloc[f.ID] > 0 {
+				if alloc.Rate(f.Idx) > 0 {
 					continue
 				}
 				free := float64(fab.PathFree(f.Src, f.Dst))
@@ -180,7 +181,7 @@ func TestDeterministicScheduleProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	nPorts := 6
 	active := randomCluster(rng, nPorts, 12)
-	mkAlloc := func() sched.Allocation {
+	mkAlloc := func() *sched.RateVec {
 		s, err := New(sched.DefaultParams())
 		if err != nil {
 			t.Fatal(err)
@@ -192,12 +193,8 @@ func TestDeterministicScheduleProperty(t *testing.T) {
 		return s.Schedule(snap)
 	}
 	a, b := mkAlloc(), mkAlloc()
-	if len(a) != len(b) {
-		t.Fatalf("alloc sizes differ: %d vs %d", len(a), len(b))
-	}
-	for id, r := range a {
-		if b[id] != r {
-			t.Fatalf("flow %v: %v vs %v", id, r, b[id])
-		}
+	if !a.Equal(b) {
+		t.Fatalf("identical event sequences produced different allocations (%d vs %d entries)",
+			a.Len(), b.Len())
 	}
 }

@@ -19,10 +19,17 @@
 // The ablation variants the paper evaluates in Fig. 10–12 (A/N+FIFO
 // and A/N+PF+FIFO) are the same scheduler with features toggled off
 // via sched.Params.
+//
+// Schedule runs every δ (8 ms in the paper), so it is the simulator's
+// hottest path: all per-interval state — the allocation vector, queue
+// counts, buckets, the contention vector and the sort scratch — is
+// reused across ticks, and contention is maintained incrementally
+// (sched.ContentionIndex). A steady-state tick allocates nothing.
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"saath/internal/coflow"
 	"saath/internal/fabric"
@@ -35,8 +42,19 @@ type Saath struct {
 	name   string
 	state  map[coflow.CoFlowID]*coflowState
 
-	tracks   map[coflow.FlowID]*flowTrack
+	// tracks holds per-flow throughput observations, indexed densely by
+	// Flow.Idx. The zero value means "not yet observed" (lastAlloc 0).
+	tracks   []flowTrack
 	lastTime coflow.Time // previous Schedule invocation, for rate observation
+
+	// Per-interval scratch, reused across ticks so the steady-state
+	// Schedule call performs zero heap allocations.
+	cindex     *sched.ContentionIndex
+	queueCount []int
+	buckets    [][]*coflow.CoFlow
+	kc         []int // contention k_c (or width proxy) by CoFlow.Idx
+	missed     []*coflow.CoFlow
+	medScratch []coflow.Bytes
 }
 
 // coflowState is the coordinator's bookkeeping for one live CoFlow.
@@ -82,7 +100,7 @@ func New(p sched.Params) (*Saath, error) {
 		params:   p,
 		name:     name,
 		state:    make(map[coflow.CoFlowID]*coflowState),
-		tracks:   make(map[coflow.FlowID]*flowTrack),
+		cindex:   sched.NewContentionIndex(),
 		lastTime: -1,
 	}, nil
 }
@@ -128,11 +146,14 @@ func (s *Saath) Arrive(c *coflow.CoFlow, now coflow.Time) {
 	st.deadline = -1
 }
 
-// Depart forgets a finished or withdrawn CoFlow.
+// Depart forgets a finished or withdrawn CoFlow. Flow tracks are
+// cleared by index so a later reuse of the index starts fresh.
 func (s *Saath) Depart(c *coflow.CoFlow, now coflow.Time) {
 	delete(s.state, c.ID())
 	for _, f := range c.Flows {
-		delete(s.tracks, f.ID)
+		if f.Idx >= 0 && f.Idx < len(s.tracks) {
+			s.tracks[f.Idx] = flowTrack{}
+		}
 	}
 }
 
@@ -147,17 +168,39 @@ func (s *Saath) QueueOf(id coflow.CoFlowID) (int, bool) {
 	return st.queue, true
 }
 
+// growScratch sizes the per-interval scratch for this snapshot's index
+// caps. Growth only happens on arrival epochs; steady-state ticks pass
+// straight through.
+func (s *Saath) growScratch(snap *sched.Snapshot) {
+	k := s.params.Queues.NumQueues
+	if len(s.queueCount) != k {
+		s.queueCount = make([]int, k)
+		s.buckets = make([][]*coflow.CoFlow, k)
+	} else {
+		for i := range s.queueCount {
+			s.queueCount[i] = 0
+		}
+	}
+	for len(s.kc) < snap.CoFlowCap {
+		s.kc = append(s.kc, 0)
+	}
+	for len(s.tracks) < snap.FlowCap {
+		s.tracks = append(s.tracks, flowTrack{})
+	}
+}
+
 // Schedule computes the next interval's allocation, following Fig. 7:
 // assign queues, order each queue (deadline-expired first, then LCoF
 // or FIFO), admit all-or-none, then work-conserve leftovers per queue.
-func (s *Saath) Schedule(snap *sched.Snapshot) sched.Allocation {
-	alloc := make(sched.Allocation)
+func (s *Saath) Schedule(snap *sched.Snapshot) *sched.RateVec {
+	alloc := snap.Allocation()
 	if len(snap.Active) == 0 {
 		s.lastTime = snap.Now
 		return alloc
 	}
 	fab := snap.Fabric
 	portRate := fab.PortRate()
+	s.growScratch(snap)
 
 	// (0) Observe achieved throughput since the previous interval and
 	// refresh straggler caps (§4.3): a flow that moved well under its
@@ -168,7 +211,7 @@ func (s *Saath) Schedule(snap *sched.Snapshot) sched.Allocation {
 	// (1) AssignQueue: per-flow thresholds (Eq. 1) or Aalo-style
 	// total bytes for the ablation; the §4.3 dynamics path overrides
 	// with the SRTF estimate when flows have finished.
-	queueCount := make([]int, s.params.Queues.NumQueues)
+	queueCount := s.queueCount
 	for _, c := range snap.Active {
 		st := s.state[c.ID()]
 		if st == nil { // defensive: simulator always calls Arrive first
@@ -198,64 +241,68 @@ func (s *Saath) Schedule(snap *sched.Snapshot) sched.Allocation {
 	}
 
 	// (2) Bucket by queue.
-	buckets := make([][]*coflow.CoFlow, s.params.Queues.NumQueues)
+	for q := range s.buckets {
+		s.buckets[q] = s.buckets[q][:0]
+	}
 	for _, c := range snap.Active {
 		if len(c.SendableFlows()) == 0 {
 			continue // nothing to schedule (all data pending or done)
 		}
 		q := s.state[c.ID()].queue
-		buckets[q] = append(buckets[q], c)
+		s.buckets[q] = append(s.buckets[q], c)
 	}
 
-	// (3) Contention k_c over the live set, computed once per round.
-	// The width-proxy ablation swaps in CoFlow width as a cheaper
-	// stand-in for the blocked-CoFlow count.
-	var contention map[coflow.CoFlowID]int
+	// (3) Contention k_c over the live set, refreshed incrementally:
+	// only CoFlows whose sendable set changed since the last interval
+	// are re-indexed. The width-proxy ablation swaps in CoFlow width as
+	// a cheaper stand-in for the blocked-CoFlow count.
 	if s.params.LCoF {
 		if s.params.WidthContentionProxy {
-			contention = make(map[coflow.CoFlowID]int, len(snap.Active))
 			for _, c := range snap.Active {
-				contention[c.ID()] = len(c.PendingFlows())
+				s.kc[c.Idx] = c.NumPending()
 			}
 		} else {
-			contention = sched.Contention(snap.Active)
+			s.cindex.Sync(snap.Active)
+			for _, c := range snap.Active {
+				s.kc[c.Idx] = s.cindex.K(c)
+			}
 		}
 	}
 
 	// (4) Scan queues from highest priority; within each queue order,
 	// admit all-or-none, then work-conserve that queue's misses.
-	for q := range buckets {
-		bucket := buckets[q]
+	for q := range s.buckets {
+		bucket := s.buckets[q]
 		if len(bucket) == 0 {
 			continue
 		}
-		s.orderQueue(bucket, contention, snap.Now)
+		s.orderQueue(bucket, snap.Now)
 
-		var missed []*coflow.CoFlow
+		s.missed = s.missed[:0]
 		for _, c := range bucket {
 			if !fab.CoFlowAvailable(c) {
-				missed = append(missed, c)
+				s.missed = append(s.missed, c)
 				continue
 			}
 			rate := fab.EqualRateForCoFlow(c)
 			// MADD (D2): the slowest flow's achievable rate binds the
 			// CoFlow; straggler caps make that observable online.
 			for _, f := range c.SendableFlows() {
-				if tr := s.tracks[f.ID]; tr != nil && tr.estCap > 0 && tr.estCap < rate {
+				if tr := &s.tracks[f.Idx]; tr.estCap > 0 && tr.estCap < rate {
 					rate = tr.estCap
 				}
 			}
 			if rate <= 0 {
-				missed = append(missed, c)
+				s.missed = append(s.missed, c)
 				continue
 			}
 			for _, f := range c.SendableFlows() {
-				alloc[f.ID] = rate
+				alloc.Set(f.Idx, rate)
 				fab.Allocate(f.Src, f.Dst, rate)
 			}
 		}
 		if s.params.WorkConservation {
-			s.workConserve(fab, missed, alloc)
+			s.workConserve(fab, s.missed, alloc)
 		}
 	}
 	s.recordAllocations(snap, alloc)
@@ -282,8 +329,8 @@ func (s *Saath) observeProgress(snap *sched.Snapshot) {
 	floor := snap.Fabric.PortRate() / 16
 	for _, c := range snap.Active {
 		for _, f := range c.Flows {
-			tr := s.tracks[f.ID]
-			if tr == nil || tr.lastAlloc <= 0 {
+			tr := &s.tracks[f.Idx]
+			if tr.lastAlloc <= 0 {
 				continue
 			}
 			if f.Done {
@@ -317,19 +364,15 @@ func (s *Saath) observeProgress(snap *sched.Snapshot) {
 
 // recordAllocations snapshots the progress baseline for the next
 // observation round.
-func (s *Saath) recordAllocations(snap *sched.Snapshot, alloc sched.Allocation) {
+func (s *Saath) recordAllocations(snap *sched.Snapshot, alloc *sched.RateVec) {
 	for _, c := range snap.Active {
 		for _, f := range c.Flows {
 			if f.Done {
 				continue
 			}
-			tr := s.tracks[f.ID]
-			if tr == nil {
-				tr = &flowTrack{}
-				s.tracks[f.ID] = tr
-			}
+			tr := &s.tracks[f.Idx]
 			tr.lastSent = f.Sent
-			tr.lastAlloc = alloc[f.ID]
+			tr.lastAlloc = alloc.Rate(f.Idx)
 		}
 	}
 	s.lastTime = snap.Now
@@ -338,7 +381,7 @@ func (s *Saath) recordAllocations(snap *sched.Snapshot, alloc sched.Allocation) 
 // targetQueue returns the queue a CoFlow belongs in right now.
 func (s *Saath) targetQueue(c *coflow.CoFlow) int {
 	if s.params.DynamicsSRTF {
-		if m, ok := srtfEstimate(c); ok {
+		if m, ok := s.srtfEstimate(c); ok {
 			// Map the estimated max remaining flow length onto the
 			// per-flow ladder: a CoFlow with little left rejoins high
 			// priority queues even if it has sent a lot (§4.3).
@@ -361,19 +404,33 @@ func (s *Saath) targetQueue(c *coflow.CoFlow) int {
 // one early small flow of a large unequal-length CoFlow fake a tiny
 // remaining size and hoist the whole CoFlow into the top queue, where
 // it blocks genuinely short CoFlows. The second result is false when
-// the estimate does not apply.
-func srtfEstimate(c *coflow.CoFlow) (coflow.Bytes, bool) {
-	finished := c.FinishedFlowSizes()
-	if len(finished) == 0 {
+// the estimate does not apply. The median scratch is reused across
+// calls so the hot path stays allocation-free.
+func (s *Saath) srtfEstimate(c *coflow.CoFlow) (coflow.Bytes, bool) {
+	finished, pending := 0, 0
+	for _, f := range c.Flows {
+		if f.Done {
+			finished++
+		} else {
+			pending++
+		}
+	}
+	if finished == 0 || pending == 0 || finished < pending {
 		return 0, false
 	}
-	pending := c.PendingFlows()
-	if len(pending) == 0 || len(finished) < len(pending) {
-		return 0, false
+	s.medScratch = s.medScratch[:0]
+	for _, f := range c.Flows {
+		if f.Done {
+			s.medScratch = append(s.medScratch, f.Sent)
+		}
 	}
-	fe := median(finished)
+	slices.Sort(s.medScratch)
+	fe := medianOfSorted(s.medScratch)
 	var worst coflow.Bytes
-	for _, f := range pending {
+	for _, f := range c.Flows {
+		if f.Done {
+			continue
+		}
 		rem := fe - f.Sent
 		if rem < 0 {
 			rem = 0
@@ -385,9 +442,7 @@ func srtfEstimate(c *coflow.CoFlow) (coflow.Bytes, bool) {
 	return worst, true
 }
 
-func median(xs []coflow.Bytes) coflow.Bytes {
-	ys := append([]coflow.Bytes(nil), xs...)
-	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+func medianOfSorted(ys []coflow.Bytes) coflow.Bytes {
 	n := len(ys)
 	if n%2 == 1 {
 		return ys[n/2]
@@ -395,30 +450,39 @@ func median(xs []coflow.Bytes) coflow.Bytes {
 	return (ys[n/2-1] + ys[n/2]) / 2
 }
 
+func median(xs []coflow.Bytes) coflow.Bytes {
+	ys := append([]coflow.Bytes(nil), xs...)
+	slices.Sort(ys)
+	return medianOfSorted(ys)
+}
+
 // orderQueue sorts one queue's CoFlows for scanning: CoFlows past
 // their starvation deadline first (oldest deadline first), then LCoF
 // by ascending contention (ties FIFO), or pure FIFO when LCoF is off.
-func (s *Saath) orderQueue(bucket []*coflow.CoFlow, contention map[coflow.CoFlowID]int, now coflow.Time) {
-	sort.SliceStable(bucket, func(i, j int) bool {
-		a, b := bucket[i], bucket[j]
+// slices.SortStableFunc with a stack-allocated closure keeps the sort
+// off the heap.
+func (s *Saath) orderQueue(bucket []*coflow.CoFlow, now coflow.Time) {
+	slices.SortStableFunc(bucket, func(a, b *coflow.CoFlow) int {
 		sa, sb := s.state[a.ID()], s.state[b.ID()]
 		ea, eb := now >= sa.deadline, now >= sb.deadline
 		if ea != eb {
-			return ea // expired first
+			if ea {
+				return -1 // expired first
+			}
+			return 1
 		}
 		if ea && eb && sa.deadline != sb.deadline {
-			return sa.deadline < sb.deadline
+			return cmp.Compare(sa.deadline, sb.deadline)
 		}
 		if s.params.LCoF {
-			ka, kb := contention[a.ID()], contention[b.ID()]
-			if ka != kb {
-				return ka < kb
+			if ka, kb := s.kc[a.Idx], s.kc[b.Idx]; ka != kb {
+				return cmp.Compare(ka, kb)
 			}
 		}
 		if a.Arrived != b.Arrived {
-			return a.Arrived < b.Arrived
+			return cmp.Compare(a.Arrived, b.Arrived)
 		}
-		return a.ID() < b.ID()
+		return cmp.Compare(a.ID(), b.ID())
 	})
 }
 
@@ -427,7 +491,7 @@ func (s *Saath) orderQueue(bucket []*coflow.CoFlow, contention map[coflow.CoFlow
 // flow gets min(sender residual, receiver residual), outside
 // all-or-none, so otherwise-idle ports speed CoFlows up without
 // pushing anyone back.
-func (s *Saath) workConserve(fab *fabric.Fabric, missed []*coflow.CoFlow, alloc sched.Allocation) {
+func (s *Saath) workConserve(fab *fabric.Fabric, missed []*coflow.CoFlow, alloc *sched.RateVec) {
 	const eps = 1e-3
 	for _, c := range missed {
 		for _, f := range c.SendableFlows() {
@@ -435,7 +499,7 @@ func (s *Saath) workConserve(fab *fabric.Fabric, missed []*coflow.CoFlow, alloc 
 			if float64(r) <= eps {
 				continue
 			}
-			alloc[f.ID] += r
+			alloc.Add(f.Idx, r)
 			fab.Allocate(f.Src, f.Dst, r)
 		}
 	}

@@ -59,15 +59,16 @@ func TestAllOrNoneSchedulesWholeCoFlow(t *testing.T) {
 	)
 	s.Arrive(c, 0)
 	alloc := s.Schedule(snapshot(4, 0, c))
-	if len(alloc) != 2 {
+	if alloc.Len() != 2 {
 		t.Fatalf("alloc = %v, want both flows", alloc)
 	}
 	// MADD equal rates: single flow per port -> full line rate each.
-	for id, r := range alloc {
+	alloc.Range(func(idx int, r coflow.Rate) bool {
 		if r != fabric.DefaultPortRate {
-			t.Errorf("flow %v rate %v, want line rate", id, r)
+			t.Errorf("flow idx %d rate %v, want line rate", idx, r)
 		}
-	}
+		return true
+	})
 }
 
 func TestAllOrNoneEqualRates(t *testing.T) {
@@ -82,11 +83,12 @@ func TestAllOrNoneEqualRates(t *testing.T) {
 	s.Arrive(c, 0)
 	alloc := s.Schedule(snapshot(4, 0, c))
 	want := fabric.DefaultPortRate / 2 // egress 0 and ingress 3 each carry 2 flows
-	for id, r := range alloc {
+	alloc.Range(func(idx int, r coflow.Rate) bool {
 		if r != want {
-			t.Errorf("flow %v rate %v, want %v", id, r, want)
+			t.Errorf("flow idx %d rate %v, want %v", idx, r, want)
 		}
-	}
+		return true
+	})
 }
 
 func TestAllOrNoneBlocksWhenAnyPortBusy(t *testing.T) {
@@ -104,11 +106,11 @@ func TestAllOrNoneBlocksWhenAnyPortBusy(t *testing.T) {
 	s.Arrive(c1, 0)
 	s.Arrive(c2, 1)
 	alloc := s.Schedule(snapshot(5, 1, c1, c2))
-	if _, ok := alloc[c1.Flows[0].ID]; !ok {
+	if _, ok := alloc.Get(c1.Flows[0].Idx); !ok {
 		t.Fatal("c1 not scheduled")
 	}
 	for _, f := range c2.Flows {
-		if r := alloc[f.ID]; r != 0 {
+		if r := alloc.Rate(f.Idx); r != 0 {
 			t.Errorf("all-or-none violated: c2 flow %v got %v", f.ID, r)
 		}
 	}
@@ -127,10 +129,10 @@ func TestWorkConservationUsesIdlePorts(t *testing.T) {
 	alloc := s.Schedule(snapshot(5, 1, c1, c2))
 	// Port 1->4 is idle after c1's admission; work conservation gives
 	// it to c2's second flow even though c2 failed all-or-none.
-	if r := alloc[c2.Flows[1].ID]; r != fabric.DefaultPortRate {
+	if r := alloc.Rate(c2.Flows[1].Idx); r != fabric.DefaultPortRate {
 		t.Fatalf("work conservation rate = %v, want line rate", r)
 	}
-	if r := alloc[c2.Flows[0].ID]; r != 0 {
+	if r := alloc.Rate(c2.Flows[0].Idx); r != 0 {
 		t.Fatalf("flow on busy port got %v", r)
 	}
 }
@@ -154,12 +156,12 @@ func TestLCoFOrdersByContention(t *testing.T) {
 	alloc := s.Schedule(snapshot(8, 2, cw, cn1, cn2))
 	// k(cw)=2, k(cn1)=k(cn2)=1 -> narrow first; they saturate egress
 	// 0 and 1, so cw gets nothing from all-or-none.
-	if alloc[cn1.Flows[0].ID] == 0 || alloc[cn2.Flows[0].ID] == 0 {
+	if alloc.Rate(cn1.Flows[0].Idx) == 0 || alloc.Rate(cn2.Flows[0].Idx) == 0 {
 		t.Fatalf("narrow coflows not admitted: %v", alloc)
 	}
 	for _, f := range cw.Flows {
-		if alloc[f.ID] != 0 {
-			t.Fatalf("wide coflow should be blocked, got %v", alloc[f.ID])
+		if alloc.Rate(f.Idx) != 0 {
+			t.Fatalf("wide coflow should be blocked, got %v", alloc.Rate(f.Idx))
 		}
 	}
 }
@@ -175,10 +177,10 @@ func TestFIFOAblationOrdersByArrival(t *testing.T) {
 	s.Arrive(cw, 0)
 	s.Arrive(cn, 1)
 	alloc := s.Schedule(snapshot(8, 1, cw, cn))
-	if alloc[cw.Flows[0].ID] == 0 {
+	if alloc.Rate(cw.Flows[0].Idx) == 0 {
 		t.Fatal("FIFO should admit earlier arrival first")
 	}
-	if alloc[cn.Flows[0].ID] != 0 {
+	if alloc.Rate(cn.Flows[0].Idx) != 0 {
 		t.Fatal("later arrival admitted over FIFO head on shared port")
 	}
 }
@@ -248,7 +250,7 @@ func TestStarvationDeadlinePrioritizes(t *testing.T) {
 	// be admitted first despite its higher contention.
 	farFuture := coflow.Time(1000) * coflow.Second
 	alloc := s.Schedule(snapshot(8, farFuture, cw, cn1, cn2))
-	if alloc[cw.Flows[0].ID] == 0 || alloc[cw.Flows[1].ID] == 0 {
+	if alloc.Rate(cw.Flows[0].Idx) == 0 || alloc.Rate(cw.Flows[1].Idx) == 0 {
 		t.Fatalf("expired coflow not prioritized: %v", alloc)
 	}
 }
@@ -285,7 +287,7 @@ func TestDynamicsSRTFPromotesNearlyDoneCoFlow(t *testing.T) {
 
 func TestScheduleEmptySnapshot(t *testing.T) {
 	s := newSaath(t, nil)
-	if alloc := s.Schedule(snapshot(2, 0)); len(alloc) != 0 {
+	if alloc := s.Schedule(snapshot(2, 0)); alloc.Len() != 0 {
 		t.Fatalf("empty snapshot alloc = %v", alloc)
 	}
 }
@@ -295,7 +297,7 @@ func TestScheduleSkipsFullyUnavailableCoFlow(t *testing.T) {
 	c := mk(1, coflow.FlowSpec{Src: 0, Dst: 1, Size: coflow.MB})
 	c.Flows[0].Available = false
 	s.Arrive(c, 0)
-	if alloc := s.Schedule(snapshot(2, 0, c)); len(alloc) != 0 {
+	if alloc := s.Schedule(snapshot(2, 0, c)); alloc.Len() != 0 {
 		t.Fatalf("unavailable coflow scheduled: %v", alloc)
 	}
 }
@@ -305,7 +307,7 @@ func TestScheduleWithoutArriveIsDefensive(t *testing.T) {
 	c := mk(1, coflow.FlowSpec{Src: 0, Dst: 1, Size: coflow.MB})
 	// No Arrive call: Schedule must not panic and should still admit.
 	alloc := s.Schedule(snapshot(2, 0, c))
-	if len(alloc) != 1 {
+	if alloc.Len() != 1 {
 		t.Fatalf("alloc = %v", alloc)
 	}
 }

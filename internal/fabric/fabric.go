@@ -24,6 +24,14 @@ type Fabric struct {
 	portRate    coflow.Rate
 	egressFree  []coflow.Rate // residual per sender port
 	ingressFree []coflow.Rate // residual per receiver port
+
+	// MaxMinFairInto working state, reused across scheduling rounds so
+	// progressive filling stays off the heap.
+	mmEgress  []coflow.Rate
+	mmIngress []coflow.Rate
+	mmEgCount []int
+	mmInCount []int
+	mmActive  []bool
 }
 
 // New creates a fabric of numPorts nodes with the given per-port rate.

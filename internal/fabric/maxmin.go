@@ -11,27 +11,57 @@ type Demand struct {
 	Cap coflow.Rate
 }
 
-// MaxMinFair computes the max-min fair rate for each demand using
+// MaxMinFair computes the max-min fair rate for each demand; see
+// MaxMinFairInto. Prefer MaxMinFairInto on hot paths — it reuses the
+// caller's result slice.
+func (f *Fabric) MaxMinFair(demands []Demand) []coflow.Rate {
+	return f.MaxMinFairInto(nil, demands)
+}
+
+// MaxMinFairInto computes the max-min fair rate for each demand using
 // progressive filling over the fabric's *residual* capacities: in each
 // round the most contended port saturates first, its flows are frozen
-// at the fair share, and filling continues on the rest.
+// at the fair share, and filling continues on the rest. The result is
+// appended to dst (pass dst[:0] to reuse its backing array); internal
+// working state lives on the Fabric and is reused across rounds, so a
+// steady-state call allocates nothing.
 //
 // This is the bandwidth allocation a fabric of ideal TCP flows
 // converges to, and implements the UC-TCP baseline (§6.1) as well as
 // fair work-conservation variants. The fabric is left unchanged;
 // callers apply the returned rates with Allocate if desired.
-func (f *Fabric) MaxMinFair(demands []Demand) []coflow.Rate {
-	rates := make([]coflow.Rate, len(demands))
+func (f *Fabric) MaxMinFairInto(dst []coflow.Rate, demands []Demand) []coflow.Rate {
+	rates := dst
+	for len(rates) < len(demands) {
+		rates = append(rates, 0)
+	}
+	rates = rates[:len(demands)]
+	for i := range rates {
+		rates[i] = 0
+	}
 	if len(demands) == 0 {
 		return rates
 	}
 
-	// Residual port capacity and per-port count of unfrozen flows.
-	egress := append([]coflow.Rate(nil), f.egressFree...)
-	ingress := append([]coflow.Rate(nil), f.ingressFree...)
-	egCount := make([]int, f.numPorts)
-	inCount := make([]int, f.numPorts)
-	active := make([]bool, len(demands))
+	// Residual port capacity and per-port count of unfrozen flows,
+	// kept as reusable scratch on the fabric.
+	if len(f.mmEgress) < f.numPorts {
+		f.mmEgress = make([]coflow.Rate, f.numPorts)
+		f.mmIngress = make([]coflow.Rate, f.numPorts)
+		f.mmEgCount = make([]int, f.numPorts)
+		f.mmInCount = make([]int, f.numPorts)
+	}
+	egress, ingress := f.mmEgress[:f.numPorts], f.mmIngress[:f.numPorts]
+	egCount, inCount := f.mmEgCount[:f.numPorts], f.mmInCount[:f.numPorts]
+	copy(egress, f.egressFree)
+	copy(ingress, f.ingressFree)
+	for i := range egCount {
+		egCount[i], inCount[i] = 0, 0
+	}
+	if cap(f.mmActive) < len(demands) {
+		f.mmActive = make([]bool, len(demands))
+	}
+	active := f.mmActive[:len(demands)] // fully initialized by the loop below
 	remaining := 0
 	for i := range demands {
 		active[i] = true

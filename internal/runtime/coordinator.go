@@ -107,6 +107,11 @@ type Coordinator struct {
 	results []CoFlowResult
 	epoch   int64
 
+	// space assigns the dense flow/coflow indices the scheduler's
+	// allocation vector is keyed by; guarded by polMu (every caller
+	// that touches it already holds polMu for the Arrive/Depart call).
+	space *coflow.IndexSpace
+
 	// polMu serializes every call into the scheduling policy: Arrive
 	// (REST register), Depart (completion, deregister) and Schedule
 	// (ticker) run on different goroutines, and Scheduler
@@ -143,6 +148,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		stopped: make(chan struct{}),
 		agents:  make(map[int]*agentConn),
 		live:    make(map[coflow.CoFlowID]*liveCoFlow),
+		space:   coflow.NewIndexSpace(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/coflows", c.handleCoFlows)
@@ -258,10 +264,14 @@ func (c *Coordinator) applyStats(s *statsMsg) {
 		if coflow.Bytes(fs.Sent) > f.Sent {
 			f.Sent = coflow.Bytes(fs.Sent)
 		}
-		f.Available = fs.Available
+		if f.Available != fs.Available {
+			f.Available = fs.Available
+			lc.rt.Invalidate()
+		}
 		if fs.Done && !f.Done {
 			f.Done = true
 			f.DoneAt = coflow.Time(now.Sub(lc.registered) / time.Microsecond)
+			lc.rt.Invalidate()
 		}
 	}
 	for id, lc := range c.live {
@@ -275,6 +285,7 @@ func (c *Coordinator) applyStats(s *statsMsg) {
 				Bytes:        lc.spec.TotalSize(),
 			})
 			c.cfg.Scheduler.Depart(lc.rt, c.wallTime(now))
+			c.space.Release(lc.rt)
 			delete(c.live, id)
 		}
 	}
@@ -326,7 +337,10 @@ func (c *Coordinator) scheduleOnce(fab *fabric.Fabric) {
 
 	sched.ByArrival(active)
 	fab.Reset()
-	snap := &sched.Snapshot{Now: c.wallTime(now), Active: active, Fabric: fab}
+	snap := &sched.Snapshot{
+		Now: c.wallTime(now), Active: active, Fabric: fab,
+		FlowCap: c.space.FlowCap(), CoFlowCap: c.space.CoFlowCap(),
+	}
 	start := time.Now()
 	alloc := c.cfg.Scheduler.Schedule(snap)
 	elapsed := time.Since(start)
@@ -357,7 +371,7 @@ func (c *Coordinator) scheduleOnce(fab *fabric.Fabric) {
 				DstPort: int(f.Dst),
 				DstAddr: dst.dataAddr,
 				Size:    int64(spec.Flows[i].Size),
-				RateBps: float64(alloc[f.ID]),
+				RateBps: float64(alloc.Rate(f.Idx)),
 			})
 		}
 	}
@@ -454,6 +468,7 @@ func (c *Coordinator) handleCoFlows(w http.ResponseWriter, r *http.Request) {
 	}
 	c.live[spec.ID] = &liveCoFlow{spec: spec, rt: rt, registered: now}
 	c.mu.Unlock()
+	c.space.Assign(rt)
 	c.cfg.Scheduler.Arrive(rt, c.wallTime(now))
 	c.polMu.Unlock()
 	w.WriteHeader(http.StatusCreated)
@@ -479,6 +494,7 @@ func (c *Coordinator) handleCoFlowByID(w http.ResponseWriter, r *http.Request) {
 		c.mu.Unlock()
 		if ok {
 			c.cfg.Scheduler.Depart(lc.rt, c.wallTime(time.Now()))
+			c.space.Release(lc.rt)
 		}
 		c.polMu.Unlock()
 		if !ok {
@@ -507,6 +523,7 @@ func (c *Coordinator) handleCoFlowByID(w http.ResponseWriter, r *http.Request) {
 		lc, ok := c.live[coflow.CoFlowID(id)]
 		if ok {
 			old := lc.rt
+			c.space.Release(old)
 			lc.spec = spec
 			lc.rt = coflow.New(spec)
 			lc.rt.Arrived = old.Arrived
@@ -517,6 +534,7 @@ func (c *Coordinator) handleCoFlowByID(w http.ResponseWriter, r *http.Request) {
 					f.DoneAt = old.Flows[i].DoneAt
 				}
 			}
+			c.space.Assign(lc.rt)
 		}
 		c.mu.Unlock()
 		if !ok {

@@ -11,15 +11,19 @@
 package aalo
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"saath/internal/coflow"
 	"saath/internal/sched"
 )
 
-// Aalo is the baseline scheduler.
+// Aalo is the baseline scheduler. Per-port work queues are scratch
+// reused across intervals (ports are dense indices on the fabric), so
+// steady-state scheduling stays allocation-free.
 type Aalo struct {
 	params sched.Params
+	byPort [][]localFlow // indexed by egress PortID
 }
 
 // New builds an Aalo scheduler.
@@ -54,48 +58,56 @@ type localFlow struct {
 	cid     coflow.CoFlowID
 }
 
+// cmpLocal orders one port's flows: queue, then arrival, then CoFlow
+// ID, then flow index.
+func cmpLocal(a, b localFlow) int {
+	if a.queue != b.queue {
+		return cmp.Compare(a.queue, b.queue)
+	}
+	if a.arrived != b.arrived {
+		return cmp.Compare(a.arrived, b.arrived)
+	}
+	if a.cid != b.cid {
+		return cmp.Compare(a.cid, b.cid)
+	}
+	return cmp.Compare(a.f.ID.Index, b.f.ID.Index)
+}
+
 // Schedule emulates Aalo's distributed decision: the coordinator pins
 // every CoFlow to a logical queue; each sender port then walks its
 // local flows from the highest queue in FIFO order, granting each flow
 // the residual min(egress, ingress) capacity. Ports are visited in
 // index order, which stands in for the uncoordinated races of the real
 // distributed system while keeping the simulation deterministic.
-func (a *Aalo) Schedule(snap *sched.Snapshot) sched.Allocation {
-	alloc := make(sched.Allocation)
-	byPort := make(map[coflow.PortID][]localFlow)
+func (a *Aalo) Schedule(snap *sched.Snapshot) *sched.RateVec {
+	alloc := snap.Allocation()
+	np := snap.Fabric.NumPorts()
+	for len(a.byPort) < np {
+		a.byPort = append(a.byPort, nil)
+	}
+	for p := 0; p < np; p++ {
+		a.byPort[p] = a.byPort[p][:0]
+	}
 	for _, c := range snap.Active {
 		q := a.params.Queues.QueueForBytes(c.TotalSent())
 		for _, f := range c.SendableFlows() {
-			byPort[f.Src] = append(byPort[f.Src], localFlow{f: f, queue: q, arrived: c.Arrived, cid: c.ID()})
+			a.byPort[f.Src] = append(a.byPort[f.Src], localFlow{f: f, queue: q, arrived: c.Arrived, cid: c.ID()})
 		}
 	}
-	ports := make([]coflow.PortID, 0, len(byPort))
-	for p := range byPort {
-		ports = append(ports, p)
-	}
-	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
 
 	const eps = 1e-3
-	for _, p := range ports {
-		flows := byPort[p]
-		sort.SliceStable(flows, func(i, j int) bool {
-			if flows[i].queue != flows[j].queue {
-				return flows[i].queue < flows[j].queue
-			}
-			if flows[i].arrived != flows[j].arrived {
-				return flows[i].arrived < flows[j].arrived
-			}
-			if flows[i].cid != flows[j].cid {
-				return flows[i].cid < flows[j].cid
-			}
-			return flows[i].f.ID.Index < flows[j].f.ID.Index
-		})
+	for p := 0; p < np; p++ {
+		flows := a.byPort[p]
+		if len(flows) == 0 {
+			continue
+		}
+		slices.SortStableFunc(flows, cmpLocal)
 		for _, lf := range flows {
 			r := snap.Fabric.PathFree(lf.f.Src, lf.f.Dst)
 			if float64(r) <= eps {
 				continue
 			}
-			alloc[lf.f.ID] = r
+			alloc.Set(lf.f.Idx, r)
 			snap.Fabric.Allocate(lf.f.Src, lf.f.Dst, r)
 		}
 	}

@@ -27,11 +27,11 @@ func TestFIFOWithinQueue(t *testing.T) {
 	c1 := mk(1, 0, coflow.FlowSpec{Src: 0, Dst: 2, Size: coflow.GB})
 	c2 := mk(2, 1, coflow.FlowSpec{Src: 0, Dst: 3, Size: coflow.GB})
 	alloc := a.Schedule(snap(4, c1, c2))
-	if alloc[c1.Flows[0].ID] != fabric.DefaultPortRate {
-		t.Fatalf("FIFO head rate = %v", alloc[c1.Flows[0].ID])
+	if alloc.Rate(c1.Flows[0].Idx) != fabric.DefaultPortRate {
+		t.Fatalf("FIFO head rate = %v", alloc.Rate(c1.Flows[0].Idx))
 	}
-	if alloc[c2.Flows[0].ID] != 0 {
-		t.Fatalf("FIFO tail rate = %v, want 0", alloc[c2.Flows[0].ID])
+	if alloc.Rate(c2.Flows[0].Idx) != 0 {
+		t.Fatalf("FIFO tail rate = %v, want 0", alloc.Rate(c2.Flows[0].Idx))
 	}
 }
 
@@ -43,11 +43,11 @@ func TestQueueDemotionByTotalBytes(t *testing.T) {
 	c1.Flows[0].Sent = 50 * coflow.MB
 	c2 := mk(2, 5, coflow.FlowSpec{Src: 0, Dst: 3, Size: coflow.GB})
 	alloc := a.Schedule(snap(4, c1, c2))
-	if alloc[c2.Flows[0].ID] != fabric.DefaultPortRate {
-		t.Fatalf("fresh coflow rate = %v, want line rate", alloc[c2.Flows[0].ID])
+	if alloc.Rate(c2.Flows[0].Idx) != fabric.DefaultPortRate {
+		t.Fatalf("fresh coflow rate = %v, want line rate", alloc.Rate(c2.Flows[0].Idx))
 	}
-	if alloc[c1.Flows[0].ID] != 0 {
-		t.Fatalf("demoted coflow rate = %v, want 0", alloc[c1.Flows[0].ID])
+	if alloc.Rate(c1.Flows[0].Idx) != 0 {
+		t.Fatalf("demoted coflow rate = %v, want 0", alloc.Rate(c1.Flows[0].Idx))
 	}
 }
 
@@ -62,10 +62,10 @@ func TestOutOfSyncByDesign(t *testing.T) {
 		coflow.FlowSpec{Src: 1, Dst: 4, Size: coflow.GB},
 	)
 	alloc := a.Schedule(snap(5, c1, c2))
-	if alloc[c2.Flows[0].ID] != 0 {
+	if alloc.Rate(c2.Flows[0].Idx) != 0 {
 		t.Fatal("blocked flow should wait")
 	}
-	if alloc[c2.Flows[1].ID] != fabric.DefaultPortRate {
+	if alloc.Rate(c2.Flows[1].Idx) != fabric.DefaultPortRate {
 		t.Fatal("free-port flow should run (out-of-sync)")
 	}
 }
@@ -77,7 +77,7 @@ func TestReceiverConstraintRespected(t *testing.T) {
 	c1 := mk(1, 0, coflow.FlowSpec{Src: 0, Dst: 2, Size: coflow.GB})
 	c2 := mk(2, 0, coflow.FlowSpec{Src: 1, Dst: 2, Size: coflow.GB})
 	alloc := a.Schedule(snap(3, c1, c2))
-	total := alloc[c1.Flows[0].ID] + alloc[c2.Flows[0].ID]
+	total := alloc.Rate(c1.Flows[0].Idx) + alloc.Rate(c2.Flows[0].Idx)
 	if total > fabric.DefaultPortRate {
 		t.Fatalf("ingress oversubscribed: %v", total)
 	}

@@ -9,8 +9,9 @@
 package baraat
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"saath/internal/coflow"
 	"saath/internal/sched"
@@ -20,9 +21,13 @@ import (
 // CoFlows share each port. 1 degenerates to strict per-port FIFO.
 const DefaultMultiplexing = 4
 
-// Baraat is the decentralized FIFO-LM baseline.
+// Baraat is the decentralized FIFO-LM baseline. Per-port entry lists
+// and the admission scratch are reused across intervals.
 type Baraat struct {
-	m int
+	m        int
+	byPort   [][]entry // indexed by egress PortID
+	admitted []coflow.CoFlowID
+	live     []entry
 }
 
 // New builds a Baraat scheduler with the given multiplexing level.
@@ -56,60 +61,78 @@ func (b *Baraat) Arrive(*coflow.CoFlow, coflow.Time) {}
 // Depart implements sched.Scheduler.
 func (b *Baraat) Depart(*coflow.CoFlow, coflow.Time) {}
 
+// entry is one sendable flow queued at its sender port.
+type entry struct {
+	f       *coflow.Flow
+	arrived coflow.Time
+	cid     coflow.CoFlowID
+}
+
+// cmpEntry orders a port's entries by arrival, CoFlow ID, flow index.
+func cmpEntry(a, b entry) int {
+	if a.arrived != b.arrived {
+		return cmp.Compare(a.arrived, b.arrived)
+	}
+	if a.cid != b.cid {
+		return cmp.Compare(a.cid, b.cid)
+	}
+	return cmp.Compare(a.f.ID.Index, b.f.ID.Index)
+}
+
+func (b *Baraat) isAdmitted(id coflow.CoFlowID) bool {
+	for _, a := range b.admitted {
+		if a == id {
+			return true
+		}
+	}
+	return false
+}
+
 // Schedule emulates each port's independent FIFO-LM decision: the M
 // oldest CoFlows with flows at the port split its remaining egress
 // capacity evenly (subject to receiver-side residual capacity), in
 // arrival order. Ports are scanned in index order for determinism.
-func (b *Baraat) Schedule(snap *sched.Snapshot) sched.Allocation {
-	alloc := make(sched.Allocation)
-	type entry struct {
-		f       *coflow.Flow
-		arrived coflow.Time
-		cid     coflow.CoFlowID
+func (b *Baraat) Schedule(snap *sched.Snapshot) *sched.RateVec {
+	alloc := snap.Allocation()
+	np := snap.Fabric.NumPorts()
+	for len(b.byPort) < np {
+		b.byPort = append(b.byPort, nil)
 	}
-	byPort := make(map[coflow.PortID][]entry)
+	for p := 0; p < np; p++ {
+		b.byPort[p] = b.byPort[p][:0]
+	}
 	for _, c := range snap.Active {
 		for _, f := range c.SendableFlows() {
-			byPort[f.Src] = append(byPort[f.Src], entry{f: f, arrived: c.Arrived, cid: c.ID()})
+			b.byPort[f.Src] = append(b.byPort[f.Src], entry{f: f, arrived: c.Arrived, cid: c.ID()})
 		}
 	}
-	ports := make([]coflow.PortID, 0, len(byPort))
-	for p := range byPort {
-		ports = append(ports, p)
-	}
-	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
 
 	const eps = 1e-3
-	for _, p := range ports {
-		entries := byPort[p]
-		sort.SliceStable(entries, func(i, j int) bool {
-			if entries[i].arrived != entries[j].arrived {
-				return entries[i].arrived < entries[j].arrived
-			}
-			if entries[i].cid != entries[j].cid {
-				return entries[i].cid < entries[j].cid
-			}
-			return entries[i].f.ID.Index < entries[j].f.ID.Index
-		})
+	for p := 0; p < np; p++ {
+		entries := b.byPort[p]
+		if len(entries) == 0 {
+			continue
+		}
+		slices.SortStableFunc(entries, cmpEntry)
 		// The M oldest distinct CoFlows at this port are admitted.
-		admitted := make(map[coflow.CoFlowID]bool, b.m)
-		var live []entry
+		b.admitted = b.admitted[:0]
+		b.live = b.live[:0]
 		for _, e := range entries {
-			if !admitted[e.cid] {
-				if len(admitted) == b.m {
+			if !b.isAdmitted(e.cid) {
+				if len(b.admitted) == b.m {
 					continue
 				}
-				admitted[e.cid] = true
+				b.admitted = append(b.admitted, e.cid)
 			}
-			live = append(live, e)
+			b.live = append(b.live, e)
 		}
-		if len(live) == 0 {
+		if len(b.live) == 0 {
 			continue
 		}
 		// Even split of the port's residual egress across admitted
 		// flows; each flow further bounded by receiver residual.
-		share := snap.Fabric.EgressFree(p) / coflow.Rate(len(live))
-		for _, e := range live {
+		share := snap.Fabric.EgressFree(coflow.PortID(p)) / coflow.Rate(len(b.live))
+		for _, e := range b.live {
 			r := share
 			if free := snap.Fabric.PathFree(e.f.Src, e.f.Dst); free < r {
 				r = free
@@ -117,7 +140,7 @@ func (b *Baraat) Schedule(snap *sched.Snapshot) sched.Allocation {
 			if float64(r) <= eps {
 				continue
 			}
-			alloc[e.f.ID] = r
+			alloc.Set(e.f.Idx, r)
 			snap.Fabric.Allocate(e.f.Src, e.f.Dst, r)
 		}
 	}

@@ -39,10 +39,10 @@ func TestLimitedMultiplexingSharesPort(t *testing.T) {
 	c3 := mk(3, 2, coflow.FlowSpec{Src: 0, Dst: 3, Size: 1000})
 	alloc := b.Schedule(snap(4, c1, c2, c3))
 	// M=2: the two oldest coflows split the port; the third waits.
-	if alloc[c1.Flows[0].ID] != 50 || alloc[c2.Flows[0].ID] != 50 {
+	if alloc.Rate(c1.Flows[0].Idx) != 50 || alloc.Rate(c2.Flows[0].Idx) != 50 {
 		t.Fatalf("alloc = %v", alloc)
 	}
-	if alloc[c3.Flows[0].ID] != 0 {
+	if alloc.Rate(c3.Flows[0].Idx) != 0 {
 		t.Fatalf("third coflow admitted beyond M: %v", alloc)
 	}
 }
@@ -52,7 +52,7 @@ func TestStrictFIFOVariant(t *testing.T) {
 	c1 := mk(1, 0, coflow.FlowSpec{Src: 0, Dst: 1, Size: 1000})
 	c2 := mk(2, 1, coflow.FlowSpec{Src: 0, Dst: 2, Size: 1000})
 	alloc := b.Schedule(snap(3, c1, c2))
-	if alloc[c1.Flows[0].ID] != 100 || alloc[c2.Flows[0].ID] != 0 {
+	if alloc.Rate(c1.Flows[0].Idx) != 100 || alloc.Rate(c2.Flows[0].Idx) != 0 {
 		t.Fatalf("alloc = %v", alloc)
 	}
 }
@@ -66,7 +66,7 @@ func TestMultipleFlowsOfAdmittedCoFlowAllRun(t *testing.T) {
 		coflow.FlowSpec{Src: 0, Dst: 2, Size: 1000},
 	)
 	alloc := b.Schedule(snap(3, c))
-	if alloc[c.Flows[0].ID] != 50 || alloc[c.Flows[1].ID] != 50 {
+	if alloc.Rate(c.Flows[0].Idx) != 50 || alloc.Rate(c.Flows[1].Idx) != 50 {
 		t.Fatalf("alloc = %v", alloc)
 	}
 }
@@ -78,7 +78,7 @@ func TestReceiverResidualRespected(t *testing.T) {
 	c1 := mk(1, 0, coflow.FlowSpec{Src: 0, Dst: 2, Size: 1000})
 	c2 := mk(2, 0, coflow.FlowSpec{Src: 1, Dst: 2, Size: 1000})
 	alloc := b.Schedule(snap(3, c1, c2))
-	total := alloc[c1.Flows[0].ID] + alloc[c2.Flows[0].ID]
+	total := alloc.Rate(c1.Flows[0].Idx) + alloc.Rate(c2.Flows[0].Idx)
 	if total > 100 {
 		t.Fatalf("ingress oversubscribed: %v", total)
 	}
@@ -94,7 +94,7 @@ func TestOutOfSyncLikeAalo(t *testing.T) {
 		coflow.FlowSpec{Src: 1, Dst: 4, Size: 1000},
 	)
 	alloc := b.Schedule(snap(5, c1, c2))
-	if alloc[c2.Flows[0].ID] != 0 || alloc[c2.Flows[1].ID] != 100 {
+	if alloc.Rate(c2.Flows[0].Idx) != 0 || alloc.Rate(c2.Flows[1].Idx) != 100 {
 		t.Fatalf("expected out-of-sync split, got %v", alloc)
 	}
 }
@@ -110,7 +110,7 @@ func TestRegistryAndLifecycle(t *testing.T) {
 	if _, err := sched.New("baraat/fifo", sched.Params{}); err != nil {
 		t.Fatal(err)
 	}
-	if alloc := s.Schedule(snap(2)); len(alloc) != 0 {
+	if alloc := s.Schedule(snap(2)); alloc.Len() != 0 {
 		t.Fatal("empty snapshot")
 	}
 }

@@ -16,8 +16,9 @@
 package clair
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"saath/internal/coflow"
 	"saath/internal/sched"
@@ -34,16 +35,21 @@ const (
 	LWTF        Policy = "lwtf"
 )
 
-// Clair is a clairvoyant global-priority scheduler.
+// Clair is a clairvoyant global-priority scheduler. The ordering
+// scratch (key vector, order slice) is reused across intervals, and
+// LWTF's contention comes from the incremental index.
 type Clair struct {
 	policy Policy
+	cindex *sched.ContentionIndex
+	keys   []float64 // by CoFlow.Idx
+	order  []*coflow.CoFlow
 }
 
 // New builds a clairvoyant scheduler for the given policy.
 func New(policy Policy) (*Clair, error) {
 	switch policy {
 	case SCF, SRTF, SJFDuration, LWTF:
-		return &Clair{policy: policy}, nil
+		return &Clair{policy: policy, cindex: sched.NewContentionIndex()}, nil
 	default:
 		return nil, fmt.Errorf("clair: unknown policy %q", policy)
 	}
@@ -67,54 +73,54 @@ func (c *Clair) Arrive(*coflow.CoFlow, coflow.Time) {}
 // Depart implements sched.Scheduler.
 func (c *Clair) Depart(*coflow.CoFlow, coflow.Time) {}
 
-// Schedule orders the active CoFlows by the policy key and allocates
-// greedily in that order.
-func (c *Clair) Schedule(snap *sched.Snapshot) sched.Allocation {
-	order := append([]*coflow.CoFlow(nil), snap.Active...)
-	keys := c.keys(order, snap)
-	sort.SliceStable(order, func(i, j int) bool {
-		ki, kj := keys[order[i].ID()], keys[order[j].ID()]
-		if ki != kj {
-			return ki < kj
+// Schedule orders the active CoFlows by the policy key (ties by ID)
+// and allocates greedily in that order.
+func (c *Clair) Schedule(snap *sched.Snapshot) *sched.RateVec {
+	alloc := snap.Allocation()
+	c.order = append(c.order[:0], snap.Active...)
+	c.computeKeys(snap)
+	slices.SortStableFunc(c.order, func(a, b *coflow.CoFlow) int {
+		if ka, kb := c.keys[a.Idx], c.keys[b.Idx]; ka != kb {
+			return cmp.Compare(ka, kb)
 		}
-		return order[i].ID() < order[j].ID()
+		return cmp.Compare(a.ID(), b.ID())
 	})
 
-	alloc := make(sched.Allocation)
 	const eps = 1e-3
-	for _, cf := range order {
+	for _, cf := range c.order {
 		for _, f := range cf.SendableFlows() {
 			r := snap.Fabric.PathFree(f.Src, f.Dst)
 			if float64(r) <= eps {
 				continue
 			}
-			alloc[f.ID] = r
+			alloc.Set(f.Idx, r)
 			snap.Fabric.Allocate(f.Src, f.Dst, r)
 		}
 	}
 	return alloc
 }
 
-// keys computes the ordering key for every active CoFlow.
-func (c *Clair) keys(active []*coflow.CoFlow, snap *sched.Snapshot) map[coflow.CoFlowID]float64 {
-	out := make(map[coflow.CoFlowID]float64, len(active))
-	rate := snap.Fabric.PortRate()
-	var contention map[coflow.CoFlowID]int
-	if c.policy == LWTF {
-		contention = sched.Contention(active)
+// computeKeys fills the ordering key for every active CoFlow into the
+// dense key vector.
+func (c *Clair) computeKeys(snap *sched.Snapshot) {
+	for len(c.keys) < snap.CoFlowCap {
+		c.keys = append(c.keys, 0)
 	}
-	for _, cf := range active {
+	rate := snap.Fabric.PortRate()
+	if c.policy == LWTF {
+		c.cindex.Sync(snap.Active)
+	}
+	for _, cf := range snap.Active {
 		switch c.policy {
 		case SCF:
-			out[cf.ID()] = float64(cf.Spec.TotalSize())
+			c.keys[cf.Idx] = float64(cf.Spec.TotalSize())
 		case SRTF:
-			out[cf.ID()] = float64(cf.TotalRemaining())
+			c.keys[cf.Idx] = float64(cf.TotalRemaining())
 		case SJFDuration:
-			out[cf.ID()] = cf.BottleneckRemaining(rate).Seconds()
+			c.keys[cf.Idx] = cf.BottleneckRemaining(rate).Seconds()
 		case LWTF:
 			t := cf.BottleneckRemaining(rate).Seconds()
-			out[cf.ID()] = t * float64(contention[cf.ID()])
+			c.keys[cf.Idx] = t * float64(c.cindex.K(cf))
 		}
 	}
-	return out
 }

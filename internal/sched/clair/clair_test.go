@@ -36,11 +36,11 @@ func TestSCFPrefersSmallerTotal(t *testing.T) {
 	big := mk(1, coflow.FlowSpec{Src: 0, Dst: 2, Size: coflow.GB})
 	small := mk(2, coflow.FlowSpec{Src: 0, Dst: 3, Size: coflow.MB})
 	alloc := c.Schedule(snap(4, big, small))
-	if alloc[small.Flows[0].ID] != fabric.DefaultPortRate {
-		t.Fatalf("small rate = %v", alloc[small.Flows[0].ID])
+	if alloc.Rate(small.Flows[0].Idx) != fabric.DefaultPortRate {
+		t.Fatalf("small rate = %v", alloc.Rate(small.Flows[0].Idx))
 	}
-	if alloc[big.Flows[0].ID] != 0 {
-		t.Fatalf("big rate = %v", alloc[big.Flows[0].ID])
+	if alloc.Rate(big.Flows[0].Idx) != 0 {
+		t.Fatalf("big rate = %v", alloc.Rate(big.Flows[0].Idx))
 	}
 }
 
@@ -51,13 +51,13 @@ func TestSRTFUsesRemainingNotTotal(t *testing.T) {
 	big.Flows[0].Sent = coflow.GB - coflow.MB
 	small := mk(2, coflow.FlowSpec{Src: 0, Dst: 3, Size: 10 * coflow.MB})
 	alloc := c.Schedule(snap(4, big, small))
-	if alloc[big.Flows[0].ID] != fabric.DefaultPortRate {
+	if alloc.Rate(big.Flows[0].Idx) != fabric.DefaultPortRate {
 		t.Fatal("SRTF should prefer the nearly-done coflow")
 	}
 	// SCF (static total) makes the opposite call.
 	c2, _ := New(SCF)
 	alloc2 := c2.Schedule(snap(4, big, small))
-	if alloc2[small.Flows[0].ID] != fabric.DefaultPortRate {
+	if alloc2.Rate(small.Flows[0].Idx) != fabric.DefaultPortRate {
 		t.Fatal("SCF should prefer the smaller total")
 	}
 }
@@ -74,10 +74,10 @@ func TestSJFDurationIsBottleneckKeyed(t *testing.T) {
 	)
 	c2 := mk(2, coflow.FlowSpec{Src: 0, Dst: 4, Size: 6 * u})
 	alloc := c.Schedule(snap(5, c1, c2))
-	if alloc[c1.Flows[0].ID] != fabric.DefaultPortRate {
+	if alloc.Rate(c1.Flows[0].Idx) != fabric.DefaultPortRate {
 		t.Fatal("duration-SJF should admit C1 first")
 	}
-	if alloc[c2.Flows[0].ID] != 0 {
+	if alloc.Rate(c2.Flows[0].Idx) != 0 {
 		t.Fatal("C2 should be blocked at the shared port")
 	}
 }
@@ -94,11 +94,11 @@ func TestLWTFWeighsContention(t *testing.T) {
 	c2 := mk(2, coflow.FlowSpec{Src: 0, Dst: 4, Size: 6 * u})
 	c3 := mk(3, coflow.FlowSpec{Src: 1, Dst: 5, Size: 7 * u})
 	alloc := c.Schedule(snap(6, c1, c2, c3))
-	if alloc[c2.Flows[0].ID] != fabric.DefaultPortRate || alloc[c3.Flows[0].ID] != fabric.DefaultPortRate {
+	if alloc.Rate(c2.Flows[0].Idx) != fabric.DefaultPortRate || alloc.Rate(c3.Flows[0].Idx) != fabric.DefaultPortRate {
 		t.Fatalf("LWTF should admit C2 and C3 first: %v", alloc)
 	}
 	for _, f := range c1.Flows {
-		if alloc[f.ID] != 0 {
+		if alloc.Rate(f.Idx) != 0 {
 			t.Fatal("C1 should wait under LWTF")
 		}
 	}
@@ -109,7 +109,7 @@ func TestLifecycleNoops(t *testing.T) {
 	cf := mk(1, coflow.FlowSpec{Src: 0, Dst: 1, Size: 1})
 	c.Arrive(cf, 0)
 	c.Depart(cf, 0)
-	if alloc := c.Schedule(snap(2)); len(alloc) != 0 {
+	if alloc := c.Schedule(snap(2)); alloc.Len() != 0 {
 		t.Fatal("empty snapshot")
 	}
 }

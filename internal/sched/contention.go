@@ -1,0 +1,135 @@
+package sched
+
+import "saath/internal/coflow"
+
+// ContentionIndex computes k_c — the number of *other* CoFlows with a
+// sendable flow on any port a CoFlow occupies (§3 idea 3) —
+// incrementally. Where Contention rebuilds O(flows × ports) maps of
+// maps every interval, the index keeps a port → coflow occupancy
+// structure alive across intervals and refreshes a CoFlow's
+// contribution only when its mutation epoch changed (arrival,
+// departure, flow completion, availability flip). On a steady-state
+// tick Sync touches no memory beyond the live set and K allocates
+// nothing.
+//
+// Values are exactly those of Contention for the same active set; the
+// equivalence is pinned by TestContentionIndexMatchesReference.
+type ContentionIndex struct {
+	states  map[*coflow.CoFlow]*cfOcc
+	ports   map[occKey][]occEntry
+	syncGen uint64
+	queryID uint64
+}
+
+// occKey identifies one direction of one port.
+type occKey struct {
+	p       coflow.PortID
+	ingress bool
+}
+
+// cfOcc is the index's per-CoFlow state.
+type cfOcc struct {
+	c     *coflow.CoFlow
+	gen   uint64   // bumped per refresh; memberships with an older gen are stale
+	seen  uint64   // last Sync generation that listed this CoFlow
+	mark  uint64   // query stamp used to deduplicate during K
+	epoch uint64   // CoFlow.CacheEpoch at the last refresh
+	ports []occKey // distinct port directions contributed this gen
+}
+
+// occEntry is one CoFlow's membership in a port's occupancy list. The
+// entry is stale (and compacted away on the next scan) once the owner
+// refreshed to a newer gen.
+type occEntry struct {
+	occ *cfOcc
+	gen uint64
+}
+
+// NewContentionIndex returns an empty index.
+func NewContentionIndex() *ContentionIndex {
+	return &ContentionIndex{
+		states: make(map[*coflow.CoFlow]*cfOcc),
+		ports:  make(map[occKey][]occEntry),
+	}
+}
+
+// Sync reconciles the index with the current active set: new CoFlows
+// are added, CoFlows whose mutation epoch changed are refreshed, and
+// CoFlows that disappeared are dropped. Call once per interval before
+// querying K.
+func (x *ContentionIndex) Sync(active []*coflow.CoFlow) {
+	x.syncGen++
+	for _, c := range active {
+		occ := x.states[c]
+		if occ == nil {
+			occ = &cfOcc{c: c}
+			x.states[c] = occ
+			x.refresh(occ)
+		} else if occ.epoch != c.CacheEpoch() {
+			x.refresh(occ)
+		}
+		occ.seen = x.syncGen
+	}
+	// states is a superset of the marked active set, so a departed
+	// CoFlow implies a size mismatch — sweep only then.
+	if len(x.states) > len(active) {
+		for c, occ := range x.states {
+			if occ.seen != x.syncGen {
+				occ.gen++ // invalidate the occ's port memberships
+				delete(x.states, c)
+			}
+		}
+	}
+}
+
+// refresh recomputes one CoFlow's port contributions from its cached
+// PortUse. Old memberships are invalidated wholesale by bumping gen;
+// they are filtered out lazily the next time their port is scanned.
+func (x *ContentionIndex) refresh(occ *cfOcc) {
+	occ.gen++
+	occ.epoch = occ.c.CacheEpoch()
+	occ.ports = occ.ports[:0]
+	u := occ.c.Use()
+	for p := range u.SrcFlows {
+		x.join(occ, occKey{p, false})
+	}
+	for p := range u.DstFlows {
+		x.join(occ, occKey{p, true})
+	}
+}
+
+func (x *ContentionIndex) join(occ *cfOcc, k occKey) {
+	occ.ports = append(occ.ports, k)
+	x.ports[k] = append(x.ports[k], occEntry{occ: occ, gen: occ.gen})
+}
+
+// K returns k_c for a CoFlow present in the last Sync (zero
+// otherwise): the number of distinct other live CoFlows sharing at
+// least one of its occupied port directions. Stale memberships
+// encountered along the way are compacted in place.
+func (x *ContentionIndex) K(c *coflow.CoFlow) int {
+	occ := x.states[c]
+	if occ == nil {
+		return 0
+	}
+	x.queryID++
+	k := 0
+	for _, pk := range occ.ports {
+		list := x.ports[pk]
+		w := 0
+		for _, e := range list {
+			if e.occ.gen != e.gen {
+				continue // stale membership: owner refreshed or departed
+			}
+			list[w] = e
+			w++
+			if e.occ == occ || e.occ.mark == x.queryID {
+				continue
+			}
+			e.occ.mark = x.queryID
+			k++
+		}
+		x.ports[pk] = list[:w]
+	}
+	return k
+}

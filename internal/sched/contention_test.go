@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"saath/internal/coflow"
+)
+
+// kOf runs one Sync+query round over active.
+func kOf(x *ContentionIndex, active []*coflow.CoFlow) map[coflow.CoFlowID]int {
+	coflow.EnsureIndexed(active)
+	x.Sync(active)
+	out := make(map[coflow.CoFlowID]int, len(active))
+	for _, c := range active {
+		out[c.ID()] = x.K(c)
+	}
+	return out
+}
+
+func TestContentionIndexFig1(t *testing.T) {
+	c1 := mkCoflow(1, 0, coflow.FlowSpec{Src: 0, Dst: 3, Size: 1})
+	c2 := mkCoflow(2, 0,
+		coflow.FlowSpec{Src: 0, Dst: 4, Size: 1},
+		coflow.FlowSpec{Src: 1, Dst: 5, Size: 1},
+		coflow.FlowSpec{Src: 2, Dst: 6, Size: 1})
+	c3 := mkCoflow(3, 0, coflow.FlowSpec{Src: 1, Dst: 7, Size: 1})
+	c4 := mkCoflow(4, 0, coflow.FlowSpec{Src: 2, Dst: 8, Size: 1})
+	k := kOf(NewContentionIndex(), []*coflow.CoFlow{c1, c2, c3, c4})
+	want := map[coflow.CoFlowID]int{1: 1, 2: 3, 3: 1, 4: 1}
+	for id, w := range want {
+		if k[id] != w {
+			t.Errorf("k_%d = %d, want %d (all: %v)", id, k[id], w, k)
+		}
+	}
+}
+
+// TestContentionIndexTracksEpochs: the index only refreshes a CoFlow's
+// port contributions when its mutation epoch changes, and the values
+// follow the mutation.
+func TestContentionIndexTracksEpochs(t *testing.T) {
+	a := mkCoflow(1, 0, coflow.FlowSpec{Src: 0, Dst: 9, Size: 1})
+	b := mkCoflow(2, 0, coflow.FlowSpec{Src: 0, Dst: 8, Size: 1})
+	x := NewContentionIndex()
+	active := []*coflow.CoFlow{a, b}
+	if k := kOf(x, active); k[1] != 1 || k[2] != 1 {
+		t.Fatalf("initial k = %v", k)
+	}
+	// b's only flow completes; with Invalidate the index must notice.
+	b.Flows[0].Done = true
+	b.Invalidate()
+	if k := kOf(x, active); k[1] != 0 || k[2] != 0 {
+		t.Fatalf("post-completion k = %v, want zeros", k)
+	}
+	// b departs entirely; a alone has no contention.
+	if k := kOf(x, []*coflow.CoFlow{a}); k[1] != 0 {
+		t.Fatalf("post-departure k = %v", k)
+	}
+}
+
+// TestContentionIndexMatchesReference drives random clusters through
+// random per-epoch mutations (completions, availability flips,
+// arrivals, departures) and asserts the incremental index agrees with
+// the reference Contention implementation after every round.
+func TestContentionIndexMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		x := NewContentionIndex()
+		nPorts := rng.Intn(6) + 2
+		var active []*coflow.CoFlow
+		nextID := coflow.CoFlowID(1)
+		addCoflow := func() {
+			spec := &coflow.Spec{ID: nextID}
+			nextID++
+			for j := 0; j <= rng.Intn(4); j++ {
+				spec.Flows = append(spec.Flows, coflow.FlowSpec{
+					Src:  coflow.PortID(rng.Intn(nPorts)),
+					Dst:  coflow.PortID(rng.Intn(nPorts)),
+					Size: coflow.Bytes(rng.Intn(100) + 1),
+				})
+			}
+			active = append(active, coflow.New(spec))
+		}
+		for i := 0; i < rng.Intn(8)+2; i++ {
+			addCoflow()
+		}
+		for round := 0; round < 30; round++ {
+			// Random churn between rounds.
+			switch rng.Intn(4) {
+			case 0:
+				addCoflow()
+			case 1:
+				if len(active) > 1 {
+					i := rng.Intn(len(active))
+					active = append(active[:i], active[i+1:]...)
+				}
+			case 2:
+				if len(active) > 0 {
+					c := active[rng.Intn(len(active))]
+					f := c.Flows[rng.Intn(len(c.Flows))]
+					f.Done = !f.Done
+					c.Invalidate()
+				}
+			case 3:
+				if len(active) > 0 {
+					c := active[rng.Intn(len(active))]
+					f := c.Flows[rng.Intn(len(c.Flows))]
+					f.Available = !f.Available
+					c.Invalidate()
+				}
+			}
+			got := kOf(x, active)
+			want := Contention(active)
+			for _, c := range active {
+				if got[c.ID()] != want[c.ID()] {
+					t.Fatalf("trial %d round %d: k_%d = %d, reference %d",
+						trial, round, c.ID(), got[c.ID()], want[c.ID()])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkContentionIndexSteadyState(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var active []*coflow.CoFlow
+	for i := 0; i < 500; i++ {
+		spec := &coflow.Spec{ID: coflow.CoFlowID(i + 1)}
+		for j := 0; j <= rng.Intn(5); j++ {
+			spec.Flows = append(spec.Flows, coflow.FlowSpec{
+				Src:  coflow.PortID(rng.Intn(150)),
+				Dst:  coflow.PortID(rng.Intn(150)),
+				Size: coflow.MB,
+			})
+		}
+		active = append(active, coflow.New(spec))
+	}
+	coflow.EnsureIndexed(active)
+	x := NewContentionIndex()
+	x.Sync(active)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Sync(active)
+		for _, c := range active {
+			x.K(c)
+		}
+	}
+}

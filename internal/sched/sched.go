@@ -10,7 +10,9 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -18,10 +20,6 @@ import (
 	"saath/internal/fabric"
 	"saath/internal/queues"
 )
-
-// Allocation assigns a rate to every flow scheduled in one interval.
-// Flows absent from the map are paused.
-type Allocation map[coflow.FlowID]coflow.Rate
 
 // Snapshot is the cluster state handed to the scheduler each interval.
 type Snapshot struct {
@@ -34,18 +32,47 @@ type Snapshot struct {
 	// Fabric carries full residual capacity; the scheduler draws it
 	// down as it assigns rates.
 	Fabric *fabric.Fabric
+
+	// FlowCap and CoFlowCap are exclusive upper bounds on the dense
+	// Flow.Idx / CoFlow.Idx values present in Active. The engine sets
+	// them from its IndexSpace; when zero, Allocation derives them via
+	// coflow.EnsureIndexed (hand-built snapshots in tests).
+	FlowCap   int
+	CoFlowCap int
+
+	// Alloc is the reusable allocation vector for this snapshot.
+	// Schedulers obtain it (reset) through Allocation; the engine keeps
+	// the snapshot — and therefore the vector — alive across intervals
+	// so steady-state ticks allocate nothing.
+	Alloc *RateVec
+}
+
+// Allocation returns the snapshot's allocation vector, reset and sized
+// for every flow index in Active. Every policy starts its Schedule
+// with this call and returns the filled vector.
+func (s *Snapshot) Allocation() *RateVec {
+	if s.FlowCap <= 0 || s.CoFlowCap <= 0 {
+		s.FlowCap, s.CoFlowCap = coflow.EnsureIndexed(s.Active)
+	}
+	if s.Alloc == nil {
+		s.Alloc = NewRateVec(s.FlowCap)
+	}
+	s.Alloc.Reset(s.FlowCap)
+	return s.Alloc
 }
 
 // Scheduler is a global CoFlow scheduling policy.
 //
 // Implementations may keep per-CoFlow state keyed by ID; Arrive and
 // Depart bracket a CoFlow's lifetime. Schedule must be deterministic
-// given the same event sequence.
+// given the same event sequence. The returned vector is the one handed
+// out by Snapshot.Allocation (or nil for "nothing scheduled"); it is
+// only valid until the next Schedule call on the same snapshot.
 type Scheduler interface {
 	Name() string
 	Arrive(c *coflow.CoFlow, now coflow.Time)
 	Depart(c *coflow.CoFlow, now coflow.Time)
-	Schedule(snap *Snapshot) Allocation
+	Schedule(snap *Snapshot) *RateVec
 }
 
 // Params carries the knobs shared across schedulers. Zero values are
@@ -160,13 +187,14 @@ func Contention(active []*coflow.CoFlow) map[coflow.CoFlowID]int {
 }
 
 // ByArrival sorts CoFlows in place by (arrival, ID): the canonical
-// FIFO order used by Aalo and by Saath's deadline bookkeeping.
+// FIFO order used by Aalo and by Saath's deadline bookkeeping. It
+// allocates nothing, so the engine calls it every interval.
 func ByArrival(cs []*coflow.CoFlow) {
-	sort.SliceStable(cs, func(i, j int) bool {
-		if cs[i].Arrived != cs[j].Arrived {
-			return cs[i].Arrived < cs[j].Arrived
+	slices.SortStableFunc(cs, func(a, b *coflow.CoFlow) int {
+		if a.Arrived != b.Arrived {
+			return cmp.Compare(a.Arrived, b.Arrived)
 		}
-		return cs[i].ID() < cs[j].ID()
+		return cmp.Compare(a.ID(), b.ID())
 	})
 }
 

@@ -10,8 +10,13 @@ import (
 	"saath/internal/sched"
 )
 
-// UCTCP is the uncoordinated TCP-fair-sharing baseline.
-type UCTCP struct{}
+// UCTCP is the uncoordinated TCP-fair-sharing baseline. The demand and
+// rate scratch is reused across intervals.
+type UCTCP struct {
+	demands []fabric.Demand
+	flows   []*coflow.Flow
+	rates   []coflow.Rate
+}
 
 // New builds a UC-TCP scheduler.
 func New(sched.Params) (*UCTCP, error) { return &UCTCP{}, nil }
@@ -30,24 +35,24 @@ func (u *UCTCP) Arrive(*coflow.CoFlow, coflow.Time) {}
 func (u *UCTCP) Depart(*coflow.CoFlow, coflow.Time) {}
 
 // Schedule gives every sendable flow its max-min fair share.
-func (u *UCTCP) Schedule(snap *sched.Snapshot) sched.Allocation {
-	var demands []fabric.Demand
-	var flows []*coflow.Flow
+func (u *UCTCP) Schedule(snap *sched.Snapshot) *sched.RateVec {
+	alloc := snap.Allocation()
+	u.demands = u.demands[:0]
+	u.flows = u.flows[:0]
 	for _, c := range snap.Active {
 		for _, f := range c.SendableFlows() {
-			demands = append(demands, fabric.Demand{Src: f.Src, Dst: f.Dst})
-			flows = append(flows, f)
+			u.demands = append(u.demands, fabric.Demand{Src: f.Src, Dst: f.Dst})
+			u.flows = append(u.flows, f)
 		}
 	}
-	alloc := make(sched.Allocation, len(flows))
-	if len(flows) == 0 {
+	if len(u.flows) == 0 {
 		return alloc
 	}
-	rates := snap.Fabric.MaxMinFair(demands)
-	for i, f := range flows {
-		if rates[i] > 0 {
-			alloc[f.ID] = rates[i]
-			snap.Fabric.Allocate(f.Src, f.Dst, rates[i])
+	u.rates = snap.Fabric.MaxMinFairInto(u.rates[:0], u.demands)
+	for i, f := range u.flows {
+		if u.rates[i] > 0 {
+			alloc.Set(f.Idx, u.rates[i])
+			snap.Fabric.Allocate(f.Src, f.Dst, u.rates[i])
 		}
 	}
 	return alloc

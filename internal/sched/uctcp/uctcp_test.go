@@ -22,13 +22,14 @@ func TestFairSharing(t *testing.T) {
 	}})
 	snap := &sched.Snapshot{Active: []*coflow.CoFlow{c1, c2}, Fabric: fabric.New(4, 300)}
 	alloc := u.Schedule(snap)
-	for id, r := range alloc {
+	alloc.Range(func(idx int, r coflow.Rate) bool {
 		if math.Abs(float64(r)-100) > 1e-6 {
-			t.Fatalf("flow %v rate %v, want 100", id, r)
+			t.Fatalf("flow idx %d rate %v, want 100", idx, r)
 		}
-	}
-	if len(alloc) != 3 {
-		t.Fatalf("alloc size = %d", len(alloc))
+		return true
+	})
+	if alloc.Len() != 3 {
+		t.Fatalf("alloc size = %d", alloc.Len())
 	}
 }
 
@@ -38,7 +39,7 @@ func TestEmptyAndLifecycle(t *testing.T) {
 		t.Fatal("name")
 	}
 	snap := &sched.Snapshot{Fabric: fabric.New(2, 100)}
-	if alloc := u.Schedule(snap); len(alloc) != 0 {
+	if alloc := u.Schedule(snap); alloc.Len() != 0 {
 		t.Fatal("empty snapshot alloc")
 	}
 	c := coflow.New(&coflow.Spec{ID: 1, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: 1}}})
@@ -55,7 +56,7 @@ func TestSkipsDoneAndUnavailable(t *testing.T) {
 	c.Flows[0].Done = true
 	c.Flows[1].Available = false
 	snap := &sched.Snapshot{Active: []*coflow.CoFlow{c}, Fabric: fabric.New(3, 100)}
-	if alloc := u.Schedule(snap); len(alloc) != 0 {
+	if alloc := u.Schedule(snap); alloc.Len() != 0 {
 		t.Fatalf("alloc = %v", alloc)
 	}
 }

@@ -13,15 +13,33 @@
 package varys
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"saath/internal/coflow"
 	"saath/internal/fabric"
 	"saath/internal/sched"
 )
 
-// Varys is the clairvoyant SEBF+MADD scheduler.
-type Varys struct{}
+// Varys is the clairvoyant SEBF+MADD scheduler. The Γ key vector, the
+// per-port accumulation arrays and the backfill scratch are reused
+// across intervals so scheduling stays off the heap.
+type Varys struct {
+	gammas    []coflow.Time // SEBF key by CoFlow.Idx
+	order     []*coflow.CoFlow
+	leftovers []*coflow.CoFlow
+
+	// Per-port accumulators (sized to the fabric) plus the lists of
+	// ports touched, for O(touched) clearing.
+	portBytes []coflow.Bytes // bottleneck: remaining bytes per port direction
+	portNeed  []coflow.Rate  // MADD: rate demand per port direction
+	touched   []int32
+
+	rates   []coflow.Rate
+	demands []fabric.Demand
+	flows   []*coflow.Flow
+	mmRates []coflow.Rate
+}
 
 // New builds a Varys scheduler. Params carry no Varys knobs (it has no
 // queues), but the signature matches the registry factory.
@@ -40,44 +58,90 @@ func (v *Varys) Arrive(c *coflow.CoFlow, now coflow.Time) {}
 // Depart implements sched.Scheduler.
 func (v *Varys) Depart(c *coflow.CoFlow, now coflow.Time) {}
 
+// portSlot maps one direction of one port onto the dense accumulator
+// arrays: egress ports occupy [0, numPorts), ingress [numPorts, 2n).
+func portSlot(p coflow.PortID, ingress bool, numPorts int) int {
+	if ingress {
+		return numPorts + int(p)
+	}
+	return int(p)
+}
+
+// bottleneck computes Γ — the CoFlow's completion time if every port
+// ran dedicated at full rate — equivalently to
+// coflow.BottleneckRemaining but against reusable per-port arrays.
+func (v *Varys) bottleneck(c *coflow.CoFlow, np int, bw coflow.Rate) coflow.Time {
+	v.touched = v.touched[:0]
+	for _, f := range c.Flows {
+		if f.Done {
+			continue
+		}
+		for _, slot := range [2]int{portSlot(f.Src, false, np), portSlot(f.Dst, true, np)} {
+			if v.portBytes[slot] == 0 {
+				v.touched = append(v.touched, int32(slot))
+			}
+			v.portBytes[slot] += f.Remaining()
+		}
+	}
+	var worst coflow.Bytes
+	for _, slot := range v.touched {
+		if b := v.portBytes[slot]; b > worst {
+			worst = b
+		}
+		v.portBytes[slot] = 0
+	}
+	return bw.TimeToSend(worst)
+}
+
 // Schedule admits CoFlows in SEBF order with MADD rates, then
 // backfills residual capacity max-min fairly across unscheduled flows.
-func (v *Varys) Schedule(snap *sched.Snapshot) sched.Allocation {
-	alloc := make(sched.Allocation)
+func (v *Varys) Schedule(snap *sched.Snapshot) *sched.RateVec {
+	alloc := snap.Allocation()
 	fab := snap.Fabric
-	order := append([]*coflow.CoFlow(nil), snap.Active...)
+	np := fab.NumPorts()
+	if len(v.portBytes) < 2*np {
+		v.portBytes = make([]coflow.Bytes, 2*np)
+		v.portNeed = make([]coflow.Rate, 2*np)
+	}
+	for len(v.gammas) < snap.CoFlowCap {
+		v.gammas = append(v.gammas, 0)
+	}
 	rate := fab.PortRate()
-	sort.SliceStable(order, func(i, j int) bool {
-		gi, gj := order[i].BottleneckRemaining(rate), order[j].BottleneckRemaining(rate)
-		if gi != gj {
-			return gi < gj
+	v.order = append(v.order[:0], snap.Active...)
+	for _, c := range v.order {
+		v.gammas[c.Idx] = v.bottleneck(c, np, rate)
+	}
+	// SEBF order: ascending Γ, ties by ID.
+	slices.SortStableFunc(v.order, func(a, b *coflow.CoFlow) int {
+		if ga, gb := v.gammas[a.Idx], v.gammas[b.Idx]; ga != gb {
+			return cmp.Compare(ga, gb)
 		}
-		return order[i].ID() < order[j].ID()
+		return cmp.Compare(a.ID(), b.ID())
 	})
 
-	var leftovers []*coflow.CoFlow
-	for _, c := range order {
-		if !v.admitMADD(fab, c, alloc) {
-			leftovers = append(leftovers, c)
+	v.leftovers = v.leftovers[:0]
+	for _, c := range v.order {
+		if !v.admitMADD(fab, c, v.gammas[c.Idx], alloc) {
+			v.leftovers = append(v.leftovers, c)
 		}
 	}
 
 	// Work conservation: the remaining flows share residual capacity
 	// max-min fairly, mirroring Varys' backfilling.
-	var demands []fabric.Demand
-	var flows []*coflow.Flow
-	for _, c := range leftovers {
+	v.demands = v.demands[:0]
+	v.flows = v.flows[:0]
+	for _, c := range v.leftovers {
 		for _, f := range c.SendableFlows() {
-			demands = append(demands, fabric.Demand{Src: f.Src, Dst: f.Dst})
-			flows = append(flows, f)
+			v.demands = append(v.demands, fabric.Demand{Src: f.Src, Dst: f.Dst})
+			v.flows = append(v.flows, f)
 		}
 	}
-	if len(demands) > 0 {
-		rates := fab.MaxMinFair(demands)
-		for i, f := range flows {
-			if rates[i] > 0 {
-				alloc[f.ID] += rates[i]
-				fab.Allocate(f.Src, f.Dst, rates[i])
+	if len(v.demands) > 0 {
+		v.mmRates = fab.MaxMinFairInto(v.mmRates[:0], v.demands)
+		for i, f := range v.flows {
+			if v.mmRates[i] > 0 {
+				alloc.Add(f.Idx, v.mmRates[i])
+				fab.Allocate(f.Src, f.Dst, v.mmRates[i])
 			}
 		}
 	}
@@ -85,10 +149,9 @@ func (v *Varys) Schedule(snap *sched.Snapshot) sched.Allocation {
 }
 
 // admitMADD tries to reserve MADD rates for c: every flow paced to
-// finish at the CoFlow's current bottleneck time Γ. Admission is
-// all-or-nothing per CoFlow, as in Varys.
-func (v *Varys) admitMADD(fab *fabric.Fabric, c *coflow.CoFlow, alloc sched.Allocation) bool {
-	gamma := c.BottleneckRemaining(fab.PortRate())
+// finish at the CoFlow's current bottleneck time Γ (precomputed by the
+// caller). Admission is all-or-nothing per CoFlow, as in Varys.
+func (v *Varys) admitMADD(fab *fabric.Fabric, c *coflow.CoFlow, gamma coflow.Time, alloc *sched.RateVec) bool {
 	secs := gamma.Seconds()
 	if secs <= 0 {
 		return false
@@ -97,35 +160,46 @@ func (v *Varys) admitMADD(fab *fabric.Fabric, c *coflow.CoFlow, alloc sched.Allo
 	if len(flows) == 0 {
 		return false
 	}
-	rates := make([]coflow.Rate, len(flows))
-	egNeed := make(map[coflow.PortID]coflow.Rate)
-	inNeed := make(map[coflow.PortID]coflow.Rate)
-	for i, f := range flows {
+	np := fab.NumPorts()
+	v.rates = v.rates[:0]
+	v.touched = v.touched[:0]
+	for _, f := range flows {
 		r := coflow.Rate(float64(f.Remaining()) / secs)
-		rates[i] = r
-		egNeed[f.Src] += r
-		inNeed[f.Dst] += r
+		v.rates = append(v.rates, r)
+		for _, slot := range [2]int{portSlot(f.Src, false, np), portSlot(f.Dst, true, np)} {
+			if v.portNeed[slot] == 0 {
+				v.touched = append(v.touched, int32(slot))
+			}
+			v.portNeed[slot] += r
+		}
 	}
 	const tol = 1.000001 // float slack on feasibility
-	for p, need := range egNeed {
-		if float64(need) > float64(fab.EgressFree(p))*tol {
-			return false
+	feasible := true
+	for _, slot := range v.touched {
+		need := v.portNeed[slot]
+		var free coflow.Rate
+		if int(slot) < np {
+			free = fab.EgressFree(coflow.PortID(slot))
+		} else {
+			free = fab.IngressFree(coflow.PortID(int(slot) - np))
 		}
+		if float64(need) > float64(free)*tol {
+			feasible = false
+		}
+		v.portNeed[slot] = 0
 	}
-	for p, need := range inNeed {
-		if float64(need) > float64(fab.IngressFree(p))*tol {
-			return false
-		}
+	if !feasible {
+		return false
 	}
 	for i, f := range flows {
-		r := rates[i]
+		r := v.rates[i]
 		if r <= 0 {
 			continue
 		}
 		if free := fab.PathFree(f.Src, f.Dst); r > free {
 			r = free // shave float overshoot
 		}
-		alloc[f.ID] = r
+		alloc.Set(f.Idx, r)
 		fab.Allocate(f.Src, f.Dst, r)
 	}
 	return true

@@ -24,11 +24,11 @@ func TestSEBFAdmitsSmallestBottleneckFirst(t *testing.T) {
 	alloc := v.Schedule(snap(4, big, small))
 	// small's Γ is tiny; it must receive its full MADD rate on the
 	// shared egress; big backfills the leftovers.
-	rs := alloc[small.Flows[0].ID]
+	rs := alloc.Rate(small.Flows[0].Idx)
 	if rs <= 0 {
 		t.Fatalf("small coflow starved: %v", alloc)
 	}
-	rb := alloc[big.Flows[0].ID]
+	rb := alloc.Rate(big.Flows[0].Idx)
 	if rs+rb > fabric.DefaultPortRate*1.000001 {
 		t.Fatalf("egress oversubscribed: %v + %v", rs, rb)
 	}
@@ -43,8 +43,8 @@ func TestMADDPacesFlowsToFinishTogether(t *testing.T) {
 		coflow.FlowSpec{Src: 1, Dst: 3, Size: 50 * coflow.MB},
 	)
 	alloc := v.Schedule(snap(4, c))
-	r0 := float64(alloc[c.Flows[0].ID])
-	r1 := float64(alloc[c.Flows[1].ID])
+	r0 := float64(alloc.Rate(c.Flows[0].Idx))
+	r1 := float64(alloc.Rate(c.Flows[1].Idx))
 	if r0 <= 0 || r1 <= 0 {
 		t.Fatalf("rates = %v, %v", r0, r1)
 	}
@@ -69,14 +69,14 @@ func TestBackfillUsesLeftoverCapacity(t *testing.T) {
 	c1 := mk(1, coflow.FlowSpec{Src: 0, Dst: 2, Size: coflow.MB})
 	c2 := mk(2, coflow.FlowSpec{Src: 1, Dst: 3, Size: coflow.GB})
 	alloc := v.Schedule(snap(4, c1, c2))
-	if alloc[c2.Flows[0].ID] <= 0 {
+	if alloc.Rate(c2.Flows[0].Idx) <= 0 {
 		t.Fatalf("disjoint coflow starved: %v", alloc)
 	}
 }
 
 func TestEmptySnapshot(t *testing.T) {
 	v, _ := New(sched.Params{})
-	if alloc := v.Schedule(snap(2)); len(alloc) != 0 {
+	if alloc := v.Schedule(snap(2)); alloc.Len() != 0 {
 		t.Fatalf("alloc = %v", alloc)
 	}
 	if v.Name() != "varys" {
@@ -97,9 +97,10 @@ func TestNoPortOversubscription(t *testing.T) {
 	}
 	alloc := v.Schedule(snap(10, cs...))
 	var total coflow.Rate
-	for _, r := range alloc {
+	alloc.Range(func(idx int, r coflow.Rate) bool {
 		total += r
-	}
+		return true
+	})
 	if total > fabric.DefaultPortRate*1.00001 {
 		t.Fatalf("ingress 9 oversubscribed: %v", total)
 	}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"saath/internal/coflow"
+	"saath/internal/fabric"
+	"saath/internal/sched"
+	"saath/internal/trace"
+)
+
+// steadyEngine builds an engine mid-run: a contended active set of
+// long coflows (no completions for many intervals), warmed through a
+// few real ticks so every piece of scratch — the allocation vector,
+// the scheduler's queue/bucket/contention state, the validation
+// ledgers, the stats reservoir — is grown.
+func steadyEngine(t testing.TB, scheduler string) *engine {
+	t.Helper()
+	tr := &trace.Trace{Name: "steady", NumPorts: 12}
+	for i := 0; i < 24; i++ {
+		spec := &coflow.Spec{ID: coflow.CoFlowID(i + 1), Arrival: 0}
+		for j := 0; j <= i%3; j++ {
+			spec.Flows = append(spec.Flows, coflow.FlowSpec{
+				Src:  coflow.PortID((i + j) % 12),
+				Dst:  coflow.PortID((i + j + 5) % 12),
+				Size: 10 * coflow.GB, // far too large to complete during the guard
+			})
+		}
+		tr.Specs = append(tr.Specs, spec)
+	}
+	s, err := sched.New(scheduler, sched.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{}.withDefaults()
+	e := &engine{
+		cfg:    cfg,
+		sched:  s,
+		fab:    fabric.New(tr.NumPorts, cfg.PortRate),
+		space:  coflow.NewIndexSpace(),
+		result: &Result{Scheduler: s.Name(), Trace: tr.Name},
+	}
+	e.snap.Fabric = e.fab
+	e.load(tr)
+	e.admit(0)
+	for i := 0; i < 3; i++ { // warm every scratch path
+		if err := e.tick(cfg.Delta); err != nil {
+			t.Fatal(err)
+		}
+		e.now += cfg.Delta
+	}
+	return e
+}
+
+// TestEngineTickSteadyStateZeroAlloc is the acceptance guard for the
+// dense-index hot path: a steady-state engine tick — full validation
+// on, no probes, Saath scheduling — performs zero heap allocations.
+// Everything per-interval (allocation vector, queue/bucket/contention
+// scratch, validation ledgers, sorted snapshot) is reused.
+func TestEngineTickSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	for _, scheduler := range []string{"saath", "aalo", "uc-tcp"} {
+		e := steadyEngine(t, scheduler)
+		n := testing.AllocsPerRun(100, func() {
+			if err := e.tick(e.cfg.Delta); err != nil {
+				t.Fatal(err)
+			}
+			e.now += e.cfg.Delta
+		})
+		if n != 0 {
+			t.Errorf("%s: steady-state tick allocates %.1f times per interval, want 0", scheduler, n)
+		}
+	}
+}

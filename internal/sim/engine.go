@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 	"time"
 
 	"saath/internal/coflow"
@@ -102,12 +103,47 @@ type CoFlowResult struct {
 }
 
 // ScheduleStats summarizes the coordinator's wall-clock compute cost,
-// the quantity Table 2 reports.
+// the quantity Table 2 reports. Samples are held in a fixed-capacity
+// reservoir (Vitter's algorithm R with a deterministic xorshift
+// stream), so memory stays bounded on arbitrarily long runs while P90
+// remains a faithful estimate.
 type ScheduleStats struct {
 	Calls   int
 	Total   time.Duration
 	Max     time.Duration
 	samples []time.Duration
+	rng     uint64
+}
+
+// schedSampleCap bounds the P90 sample reservoir.
+const schedSampleCap = 2048
+
+// record accumulates one Schedule call's wall-clock cost.
+func (s *ScheduleStats) record(d time.Duration) {
+	s.Calls++
+	s.Total += d
+	if d > s.Max {
+		s.Max = d
+	}
+	if len(s.samples) < schedSampleCap {
+		if cap(s.samples) < schedSampleCap {
+			s.samples = append(make([]time.Duration, 0, schedSampleCap), s.samples...)
+		}
+		s.samples = append(s.samples, d)
+		return
+	}
+	// Reservoir replacement. Wall-clock timings are measurement noise
+	// already, so a deterministic pseudo-random stream (not seeded from
+	// the simulation) is fine and keeps the engine rand-free.
+	if s.rng == 0 {
+		s.rng = 0x9e3779b97f4a7c15
+	}
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	if j := s.rng % uint64(s.Calls); j < schedSampleCap {
+		s.samples[j] = d
+	}
 }
 
 // Mean returns the average schedule computation time.
@@ -118,17 +154,14 @@ func (s ScheduleStats) Mean() time.Duration {
 	return s.Total / time.Duration(s.Calls)
 }
 
-// P90 returns the 90th-percentile schedule computation time.
+// P90 returns the 90th-percentile schedule computation time over the
+// retained sample reservoir.
 func (s ScheduleStats) P90() time.Duration {
 	if len(s.samples) == 0 {
 		return 0
 	}
 	cp := append([]time.Duration(nil), s.samples...)
-	for i := 1; i < len(cp); i++ { // insertion sort; sample counts are modest
-		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
-			cp[j], cp[j-1] = cp[j-1], cp[j]
-		}
-	}
+	slices.Sort(cp)
 	idx := int(0.9 * float64(len(cp)-1))
 	return cp[idx]
 }
@@ -179,8 +212,10 @@ func Run(tr *trace.Trace, s sched.Scheduler, cfg Config) (*Result, error) {
 		cfg:    cfg,
 		sched:  s,
 		fab:    fabric.New(tr.NumPorts, cfg.PortRate),
+		space:  coflow.NewIndexSpace(),
 		result: &Result{Scheduler: s.Name(), Trace: tr.Name},
 	}
+	e.snap.Fabric = e.fab
 	if cfg.Dynamics != nil {
 		e.dynRng = rand.New(rand.NewSource(cfg.Dynamics.Seed))
 	}
@@ -207,6 +242,10 @@ type engine struct {
 	fab    *fabric.Fabric
 	result *Result
 
+	// space hands out the dense flow/coflow indices that key the
+	// allocation vector and every per-flow scratch array.
+	space *coflow.IndexSpace
+
 	pending []*pendingSpec
 	active  []*coflow.CoFlow
 	doneAt  map[coflow.CoFlowID]coflow.Time
@@ -217,6 +256,10 @@ type engine struct {
 	utilSum  float64 // accumulated per-interval egress utilization
 	admitted int     // CoFlows released to the scheduler so far
 
+	// unavail counts flows currently held back by pipelining;
+	// refreshAvailability skips its scan entirely while it is zero.
+	unavail int
+
 	// ivScratch is the telemetry observation reused across intervals so
 	// the probe path allocates nothing in the engine itself.
 	ivScratch telemetry.Interval
@@ -225,12 +268,14 @@ type engine struct {
 	restartPending map[coflow.FlowID]bool
 
 	// Per-interval scratch state, reused across ticks so the hot loop
-	// allocates nothing: the sorted snapshot handed to the scheduler
-	// and the three validation ledgers.
+	// allocates nothing: the snapshot (whose Alloc vector the scheduler
+	// reuses), the sorted-active scratch, and the dense validation
+	// ledgers.
+	snap        sched.Snapshot
 	snapScratch []*coflow.CoFlow
-	valFlows    map[coflow.FlowID]*coflow.Flow
-	valEgress   map[coflow.PortID]float64
-	valIngress  map[coflow.PortID]float64
+	valFlows    []*coflow.Flow
+	valEgress   []float64
+	valIngress  []float64
 
 	now coflow.Time
 }
@@ -282,6 +327,7 @@ func (e *engine) admit(now coflow.Time) {
 		}
 		e.applyDynamicsOnArrival(c)
 		e.applyPipelining(c)
+		e.space.Assign(c)
 		e.active = append(e.active, c)
 		e.sched.Arrive(c, now)
 	}
@@ -311,24 +357,39 @@ func (e *engine) applyPipelining(c *coflow.CoFlow) {
 	if p == nil {
 		return
 	}
+	changed := false
 	for _, f := range c.Flows {
 		if e.pipeRng.Float64() < p.Frac {
 			f.Available = false
+			e.unavail++
+			changed = true
 		}
+	}
+	if changed {
+		c.Invalidate()
 	}
 }
 
 // refreshAvailability releases pipelined flows whose delay elapsed.
+// The outstanding-unavailable counter lets the common case — every
+// flow already released — skip the scan entirely instead of walking
+// every flow of every active CoFlow each interval.
 func (e *engine) refreshAvailability(now coflow.Time) {
 	p := e.cfg.Pipelining
-	if p == nil {
+	if p == nil || e.unavail == 0 {
 		return
 	}
 	for _, c := range e.active {
+		changed := false
 		for _, f := range c.Flows {
 			if !f.Available && now >= c.Arrived+p.AvailDelay {
 				f.Available = true
+				e.unavail--
+				changed = true
 			}
+		}
+		if changed {
+			c.Invalidate()
 		}
 	}
 }
@@ -396,34 +457,41 @@ func (e *engine) run() error {
 		if len(e.active) == 0 {
 			continue // the top of the loop re-evaluates releases
 		}
-
-		// Compute the schedule for [now, now+δ).
-		e.fab.Reset()
-		snap := &sched.Snapshot{Now: e.now, Active: e.activeSorted(), Fabric: e.fab}
-		start := time.Now()
-		alloc := e.sched.Schedule(snap)
-		elapsed := time.Since(start)
-		e.result.Sched.Calls++
-		e.result.Sched.Total += elapsed
-		if elapsed > e.result.Sched.Max {
-			e.result.Sched.Max = elapsed
+		if err := e.tick(delta); err != nil {
+			return err
 		}
-		e.result.Sched.samples = append(e.result.Sched.samples, elapsed)
-		e.result.Intervals++
-
-		if !e.cfg.SkipValidation {
-			if err := e.validateAllocation(alloc); err != nil {
-				return err
-			}
-		}
-		e.observeInterval(alloc)
-		e.advance(alloc, delta)
 		e.now += delta
 	}
 	e.result.Makespan = e.now
 	if e.result.Intervals > 0 {
 		e.result.AvgEgressUtilization = e.utilSum / float64(e.result.Intervals)
 	}
+	return nil
+}
+
+// tick runs one scheduling interval [now, now+δ): compute the
+// schedule, audit it, emit telemetry, move bytes. All state it touches
+// is engine-owned scratch; a steady-state tick (no arrivals, no
+// completions, no probes) performs zero heap allocations — guarded by
+// TestEngineTickSteadyStateZeroAlloc.
+func (e *engine) tick(delta coflow.Time) error {
+	e.fab.Reset()
+	e.snap.Now = e.now
+	e.snap.Active = e.activeSorted()
+	e.snap.FlowCap = e.space.FlowCap()
+	e.snap.CoFlowCap = e.space.CoFlowCap()
+	start := time.Now()
+	alloc := e.sched.Schedule(&e.snap)
+	e.result.Sched.record(time.Since(start))
+	e.result.Intervals++
+
+	if !e.cfg.SkipValidation {
+		if err := e.validateAllocation(alloc); err != nil {
+			return err
+		}
+	}
+	e.observeInterval(alloc)
+	e.advance(alloc, delta)
 	return nil
 }
 
@@ -434,11 +502,11 @@ func (e *engine) run() error {
 // associative, and ranging over the allocation map would let iteration
 // order perturb the low bits of the reported utilization across runs.
 // With no probes attached this path allocates nothing.
-func (e *engine) observeInterval(alloc sched.Allocation) {
+func (e *engine) observeInterval(alloc *sched.RateVec) {
 	var total float64
 	for _, c := range e.active {
 		for _, f := range c.Flows {
-			if r, ok := alloc[f.ID]; ok {
+			if r, ok := alloc.Get(f.Idx); ok {
 				total += float64(r)
 			}
 		}
@@ -472,45 +540,70 @@ func (e *engine) observeInterval(alloc sched.Allocation) {
 // to a live sendable flow, rates are non-negative, and no port's
 // ingress or egress is oversubscribed beyond float tolerance. This is
 // the engine's guard against scheduler bugs — policies that bypass the
-// fabric ledger are caught here.
-func (e *engine) validateAllocation(alloc sched.Allocation) error {
-	if e.valFlows == nil {
-		e.valFlows = make(map[coflow.FlowID]*coflow.Flow)
-		e.valEgress = make(map[coflow.PortID]float64)
-		e.valIngress = make(map[coflow.PortID]float64)
+// fabric ledger are caught here. The ledgers are dense arrays keyed by
+// flow index / port, reused across intervals.
+func (e *engine) validateAllocation(alloc *sched.RateVec) error {
+	np := e.fab.NumPorts()
+	if len(e.valEgress) < np {
+		e.valEgress = make([]float64, np)
+		e.valIngress = make([]float64, np)
 	}
-	flows, egress, ingress := e.valFlows, e.valEgress, e.valIngress
-	clear(flows)
-	clear(egress)
-	clear(ingress)
+	egress, ingress := e.valEgress[:np], e.valIngress[:np]
+	for i := range egress {
+		egress[i], ingress[i] = 0, 0
+	}
+	if len(e.valFlows) < e.snap.FlowCap {
+		e.valFlows = make([]*coflow.Flow, e.snap.FlowCap)
+	}
+	flows := e.valFlows
 	for _, c := range e.active {
 		for _, f := range c.Flows {
-			flows[f.ID] = f
+			if f.Idx >= 0 && f.Idx < len(flows) {
+				flows[f.Idx] = f
+			}
 		}
 	}
-	for id, r := range alloc {
-		f, ok := flows[id]
-		if !ok {
-			return fmt.Errorf("sim: schedule names unknown flow %v", id)
+	err := e.validateFilled(alloc, flows, egress, ingress)
+	for _, c := range e.active {
+		for _, f := range c.Flows {
+			if f.Idx >= 0 && f.Idx < len(flows) {
+				flows[f.Idx] = nil
+			}
 		}
+	}
+	return err
+}
+
+func (e *engine) validateFilled(alloc *sched.RateVec, flows []*coflow.Flow, egress, ingress []float64) error {
+	var err error
+	alloc.Range(func(idx int, r coflow.Rate) bool {
+		if idx >= len(flows) || flows[idx] == nil {
+			err = fmt.Errorf("sim: schedule names unknown flow index %d", idx)
+			return false
+		}
+		f := flows[idx]
 		if r < 0 {
-			return fmt.Errorf("sim: negative rate %v for flow %v", r, id)
+			err = fmt.Errorf("sim: negative rate %v for flow %v", r, f.ID)
+			return false
 		}
 		if r > 0 && !f.Sendable() {
-			return fmt.Errorf("sim: rate %v for non-sendable flow %v", r, id)
+			err = fmt.Errorf("sim: rate %v for non-sendable flow %v", r, f.ID)
+			return false
 		}
 		egress[f.Src] += float64(r)
 		ingress[f.Dst] += float64(r)
+		return true
+	})
+	if err != nil {
+		return err
 	}
 	limit := float64(e.cfg.PortRate) * 1.0001
-	for p, sum := range egress {
-		if sum > limit {
-			return fmt.Errorf("sim: egress port %d oversubscribed: %.0f > %.0f B/s", p, sum, float64(e.cfg.PortRate))
+	for p := range egress {
+		if egress[p] > limit {
+			return fmt.Errorf("sim: egress port %d oversubscribed: %.0f > %.0f B/s", p, egress[p], float64(e.cfg.PortRate))
 		}
-	}
-	for p, sum := range ingress {
-		if sum > limit {
-			return fmt.Errorf("sim: ingress port %d oversubscribed: %.0f > %.0f B/s", p, sum, float64(e.cfg.PortRate))
+		if ingress[p] > limit {
+			return fmt.Errorf("sim: ingress port %d oversubscribed: %.0f > %.0f B/s", p, ingress[p], float64(e.cfg.PortRate))
 		}
 	}
 	return nil
@@ -536,15 +629,18 @@ func (e *engine) activeSorted() []*coflow.CoFlow {
 
 // advance moves bytes for one interval and retires finished coflows.
 // Survivors are compacted into the active slice in place (writes trail
-// reads), so steady-state ticks reuse its backing array.
-func (e *engine) advance(alloc sched.Allocation, dt coflow.Time) {
+// reads), so steady-state ticks reuse its backing array. CoFlows whose
+// sendable set changed (a flow completed) have their derived-state
+// caches invalidated.
+func (e *engine) advance(alloc *sched.RateVec, dt coflow.Time) {
 	still := e.active[:0]
 	for _, c := range e.active {
+		completed := false
 		for _, f := range c.Flows {
 			if !f.Sendable() {
 				continue
 			}
-			rate, ok := alloc[f.ID]
+			rate, ok := alloc.Get(f.Idx)
 			if !ok || rate <= 0 {
 				continue
 			}
@@ -558,10 +654,14 @@ func (e *engine) advance(alloc sched.Allocation, dt coflow.Time) {
 				if f.DoneAt > e.now+dt {
 					f.DoneAt = e.now + dt
 				}
+				completed = true
 			} else {
 				f.Sent += moved
 				e.maybeRestart(f)
 			}
+		}
+		if completed {
+			c.Invalidate()
 		}
 		if c.RefreshDone() {
 			e.retire(c)
@@ -593,6 +693,7 @@ func (e *engine) maybeRestart(f *coflow.Flow) {
 func (e *engine) retire(c *coflow.CoFlow) {
 	e.doneAt[c.ID()] = c.DoneAt
 	e.sched.Depart(c, e.now)
+	e.space.Release(c) // after Depart, which still reads the indices
 	res := CoFlowResult{
 		ID:      c.ID(),
 		Arrival: c.Arrived,

@@ -271,10 +271,10 @@ func TestPipeliningDelaysCompletion(t *testing.T) {
 // horizon rather than loop forever.
 type nullScheduler struct{}
 
-func (nullScheduler) Name() string                              { return "null" }
-func (nullScheduler) Arrive(*coflow.CoFlow, coflow.Time)        {}
-func (nullScheduler) Depart(*coflow.CoFlow, coflow.Time)        {}
-func (nullScheduler) Schedule(*sched.Snapshot) sched.Allocation { return nil }
+func (nullScheduler) Name() string                            { return "null" }
+func (nullScheduler) Arrive(*coflow.CoFlow, coflow.Time)      {}
+func (nullScheduler) Depart(*coflow.CoFlow, coflow.Time)      {}
+func (nullScheduler) Schedule(*sched.Snapshot) *sched.RateVec { return nil }
 
 func TestHorizonAbortsLivelock(t *testing.T) {
 	tr := &trace.Trace{Name: "stuck", NumPorts: 2, Specs: []*coflow.Spec{

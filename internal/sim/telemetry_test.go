@@ -111,23 +111,25 @@ func TestUtilizationUnchangedByProbes(t *testing.T) {
 
 // observeFixture builds an engine mid-interval state directly (same
 // package) so the emission path can be exercised in isolation.
-func observeFixture(probes []telemetry.Probe) (*engine, sched.Allocation) {
+func observeFixture(probes []telemetry.Probe) (*engine, *sched.RateVec) {
 	cfg := Config{Probes: probes}.withDefaults()
 	e := &engine{
 		cfg:    cfg,
 		fab:    fabric.New(4, cfg.PortRate),
+		space:  coflow.NewIndexSpace(),
 		result: &Result{Intervals: 1},
 	}
 	c := coflow.New(&coflow.Spec{ID: 1, Flows: []coflow.FlowSpec{
 		{Src: 0, Dst: 2, Size: coflow.MB},
 		{Src: 1, Dst: 3, Size: coflow.MB},
 	}})
+	e.space.Assign(c)
 	e.active = []*coflow.CoFlow{c}
 	e.snapScratch = append(e.snapScratch, c)
-	return e, sched.Allocation{
-		c.Flows[0].ID: cfg.PortRate,
-		c.Flows[1].ID: cfg.PortRate / 2,
-	}
+	alloc := sched.NewRateVec(e.space.FlowCap())
+	alloc.Set(c.Flows[0].Idx, cfg.PortRate)
+	alloc.Set(c.Flows[1].Idx, cfg.PortRate/2)
+	return e, alloc
 }
 
 // TestObserveIntervalNoProbesZeroAlloc is the CI guard for the

@@ -19,22 +19,23 @@ func (r rogueScheduler) Name() string                       { return "rogue-" + 
 func (r rogueScheduler) Arrive(*coflow.CoFlow, coflow.Time) {}
 func (r rogueScheduler) Depart(*coflow.CoFlow, coflow.Time) {}
 
-func (r rogueScheduler) Schedule(snap *sched.Snapshot) sched.Allocation {
-	alloc := make(sched.Allocation)
+func (r rogueScheduler) Schedule(snap *sched.Snapshot) *sched.RateVec {
+	alloc := snap.Allocation()
 	for _, c := range snap.Active {
 		for _, f := range c.Flows {
 			switch r.mode {
 			case "oversubscribe":
 				// Hand every flow full line rate without drawing the
 				// fabric ledger down: two flows on one port overflow it.
-				alloc[f.ID] = snap.Fabric.PortRate()
+				alloc.Set(f.Idx, snap.Fabric.PortRate())
 			case "negative":
-				alloc[f.ID] = -1
+				alloc.Set(f.Idx, -1)
 			case "unknown":
-				alloc[coflow.FlowID{CoFlow: 9999, Index: 0}] = 1
+				// An index no live flow holds: past the engine's cap.
+				alloc.Set(snap.FlowCap+7, 1)
 			case "done":
 				f.Done = true
-				alloc[f.ID] = snap.Fabric.PortRate()
+				alloc.Set(f.Idx, snap.Fabric.PortRate())
 			}
 		}
 	}

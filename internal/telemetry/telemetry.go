@@ -42,8 +42,9 @@ type Interval struct {
 
 	// Active lists the live CoFlows in arrival order.
 	Active []*coflow.CoFlow
-	// Alloc is the schedule for this interval.
-	Alloc sched.Allocation
+	// Alloc is the schedule for this interval: the dense per-flow rate
+	// vector, keyed by Flow.Idx. It may be nil (nothing scheduled).
+	Alloc *sched.RateVec
 
 	// AllocatedRate is the total egress rate handed out this interval,
 	// accumulated by the engine in deterministic flow order (the PR 1
@@ -174,6 +175,10 @@ type Suite struct {
 	intervals    int64             // intervals observed (pre-stride)
 	sampled      int64             // intervals recorded (post-stride)
 	egOcc, inOcc []int             // per-port scratch, reused
+
+	// cindex maintains k_c incrementally across observations instead of
+	// rebuilding the full port-occupancy map every sampled interval.
+	cindex *sched.ContentionIndex
 }
 
 // NewSuite builds the standard collector set from spec (defaults
@@ -188,6 +193,7 @@ func NewSuite(spec Spec) *Suite {
 		hIngress:    NewHistogram(HistIngressOccupancy, nil),
 		hContention: NewHistogram(HistContention, nil),
 		progress:    make(map[coflow.CoFlowID]*progressEntry),
+		cindex:      sched.NewContentionIndex(),
 	}
 	for _, d := range []struct{ name, unit string }{
 		{SeriesActiveCoFlows, "coflows"},
@@ -249,7 +255,7 @@ func (s *Suite) Observe(iv *Interval) {
 			eg[f.Src]++
 			in[f.Dst]++
 			queuedBytes += f.Remaining()
-			if r, ok := iv.Alloc[f.ID]; ok {
+			if r, ok := iv.Alloc.Get(f.Idx); ok {
 				granted += float64(r)
 			}
 		}
@@ -272,11 +278,11 @@ func (s *Suite) Observe(iv *Interval) {
 	s.byName[SeriesBlockedCoFlows].Record(now, float64(blocked))
 
 	// Contention histogram: k_c per active CoFlow, the LCoF ordering
-	// signal (§3 idea 3). Iteration over the deterministic Active slice
-	// keeps histogram feeding order-independent of map layout.
-	kc := sched.Contention(iv.Active)
+	// signal (§3 idea 3), maintained incrementally and fed in the
+	// deterministic Active order.
+	s.cindex.Sync(iv.Active)
 	for _, c := range iv.Active {
-		s.hContention.Add(float64(kc[c.ID()]))
+		s.hContention.Add(float64(s.cindex.K(c)))
 	}
 
 	// Per-CoFlow progress for the first N admitted CoFlows.

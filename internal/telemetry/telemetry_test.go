@@ -175,9 +175,10 @@ func fakeInterval(idx int) *Interval {
 	c1 := coflow.New(&coflow.Spec{ID: 2, Flows: []coflow.FlowSpec{
 		{Src: 0, Dst: 3, Size: 50},
 	}})
-	alloc := sched.Allocation{
-		c0.Flows[0].ID: 100, c0.Flows[1].ID: 50,
-	}
+	flowCap, _ := coflow.EnsureIndexed([]*coflow.CoFlow{c0, c1})
+	alloc := sched.NewRateVec(flowCap)
+	alloc.Set(c0.Flows[0].Idx, 100)
+	alloc.Set(c0.Flows[1].Idx, 50)
 	return &Interval{
 		Index: idx, Now: coflow.Time(idx) * coflow.Millisecond, Delta: coflow.Millisecond,
 		NumPorts: 4, PortRate: 1000,

@@ -83,6 +83,10 @@ type (
 	// feature toggles); see Params.Queues for the priority-queue
 	// ladder (K, S, E).
 	Params = sched.Params
+	// RateVec is the dense per-interval allocation vector (rates keyed
+	// by flow index) that schedulers return and telemetry probes read
+	// via TelemetryInterval.Alloc.
+	RateVec = sched.RateVec
 )
 
 // Simulation types.
