@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-sched bench-telemetry fmt fmt-check vet ci
+.PHONY: build test race bench bench-sched bench-sweep bench-telemetry fmt fmt-check vet staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,16 @@ bench-sched:
 	$(GO) test -run TestScheduleAllocGuards -count=1 .
 	$(GO) test -run TestEngineTickSteadyStateZeroAlloc -count=1 ./internal/sim/
 
+# Sweep-layer smoke: one iteration of the grid-expansion / summary
+# digest / pool benchmarks plus the allocation guard against the
+# sweep_layer section of BENCH_baseline.json and the grid-key
+# uniqueness pin (the guard needs a non-race build — it skips under
+# -race).
+bench-sweep:
+	$(GO) test -bench 'BenchmarkSweep' -benchtime=1x -benchmem -run '^$$' -timeout 10m . ./internal/sweep/
+	$(GO) test -run TestSweepAllocGuards -count=1 .
+	$(GO) test -run TestGridJobKeyUniqueness -count=1 ./internal/sweep/
+
 # Telemetry smoke: one iteration of the telemetry benchmarks plus the
 # zero-allocation guard on the engine's no-probe emission path (the
 # guard needs a non-race build — AllocsPerRun skips itself under -race).
@@ -45,4 +55,14 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check build vet race bench bench-sched bench-telemetry
+# staticcheck runs when the binary is installed and skips (with a
+# note) when it is not, so `make ci` stays runnable on minimal
+# machines; the CI pipeline always installs and runs it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+ci: fmt-check build vet staticcheck race bench bench-sched bench-sweep bench-telemetry

@@ -1,0 +1,141 @@
+package saath
+
+// Sweep-layer microbenchmarks and their allocation-regression guard.
+// The scheduling hot path is already pinned by bench_sched_test.go;
+// this file guards the orchestration layer on top of it — grid
+// expansion and per-job Summary digestion — so full-scale studies
+// (thousands of jobs, sharded across processes) do not silently grow
+// per-job overhead. BENCH_baseline.json's "sweep_layer" section
+// records the numbers at the Study-API introduction; the guard fails
+// if a change regresses either path past 1.25x of that baseline. Run
+// `make bench-sweep` for the smoke + guard.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"saath/internal/coflow"
+)
+
+// benchSweepSource is the tiny deterministic workload behind the
+// sweep-layer measurements (simulation cost must not drown the
+// orchestration cost being measured).
+func benchSweepSource(name string) TraceSource {
+	return SynthSource(name, func(seed int64) *Trace {
+		return Synthesize(SynthConfig{
+			Seed: seed, NumPorts: 10, NumCoFlows: 16,
+			MeanInterArrival: 20 * coflow.Millisecond,
+			SingleFlowFrac:   0.25, EqualLengthFrac: 0.5, WideFracNarrowCF: 0.3,
+			SmallFracNarrow: 0.8, SmallFracWide: 0.5,
+			MinSmall: 100 * coflow.KB, MaxSmall: coflow.MB,
+			MinLarge: coflow.MB, MaxLarge: 20 * coflow.MB,
+		}, name)
+	})
+}
+
+// benchSweepGrid is the 24-job expansion subject: 2 traces × 2
+// variants × 3 seeds × 2 schedulers.
+func benchSweepGrid() SweepGrid {
+	p := DefaultParams()
+	return SweepGrid{
+		Traces:     []TraceSource{benchSweepSource("bench-a"), benchSweepSource("bench-b")},
+		Schedulers: []string{"aalo", "saath"},
+		Seeds:      []int64{1, 2, 3},
+		Variants: []SweepVariant{
+			{Name: "delta=8ms", Params: p, Config: SimConfig{Delta: 8 * coflow.Millisecond}},
+			{Name: "delta=16ms", Params: p, Config: SimConfig{Delta: 16 * coflow.Millisecond}},
+		},
+	}
+}
+
+// benchJobResult produces one completed job for Summary digestion
+// measurements.
+func benchJobResult(tb testing.TB) SweepJobResult {
+	tb.Helper()
+	g := benchSweepGrid()
+	g.Traces = g.Traces[:1]
+	g.Schedulers = g.Schedulers[:1]
+	g.Seeds = g.Seeds[:1]
+	g.Variants = g.Variants[:1]
+	res := RunSweep(context.Background(), g.Jobs(), SweepOptions{Parallel: 1})
+	if err := res.FirstErr(); err != nil {
+		tb.Fatal(err)
+	}
+	return res.Jobs[0]
+}
+
+// BenchmarkSweepGridJobs measures expanding the 24-job declarative
+// grid into bound jobs (the per-study compile step).
+func BenchmarkSweepGridJobs(b *testing.B) {
+	g := benchSweepGrid()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if jobs := g.Jobs(); len(jobs) != 24 {
+			b.Fatalf("jobs = %d", len(jobs))
+		}
+	}
+}
+
+// BenchmarkSweepSummaryAdd measures digesting one completed job into
+// the aggregate (the per-job collector step every sweep and shard
+// pays).
+func BenchmarkSweepSummaryAdd(b *testing.B) {
+	jr := benchJobResult(b)
+	sum := NewSweepSummary()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum.Add(jr)
+	}
+}
+
+// sweepBaseline mirrors BENCH_baseline.json's sweep_layer section.
+type sweepBaseline struct {
+	SweepLayer map[string]struct {
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"sweep_layer"`
+}
+
+// TestSweepAllocGuards enforces the sweep-layer overhead contract:
+// grid expansion and Summary digestion must stay within 1.25x of the
+// allocation counts recorded when the Study API landed.
+func TestSweepAllocGuards(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	raw, err := os.ReadFile("BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base sweepBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, got float64) {
+		t.Helper()
+		b, ok := base.SweepLayer[name]
+		if !ok {
+			t.Errorf("%s: missing from BENCH_baseline.json sweep_layer", name)
+			return
+		}
+		if limit := b.AllocsPerOp * 1.25; got > limit {
+			t.Errorf("%s: %.0f allocs/op exceeds 1.25x baseline %.0f", name, got, b.AllocsPerOp)
+		}
+	}
+
+	g := benchSweepGrid()
+	check("grid_jobs_24", testing.AllocsPerRun(100, func() {
+		if jobs := g.Jobs(); len(jobs) != 24 {
+			t.Fatalf("jobs = %d", len(jobs))
+		}
+	}))
+
+	jr := benchJobResult(t)
+	sum := NewSweepSummary()
+	sum.Add(jr) // warm the entry map
+	check("summary_add", testing.AllocsPerRun(100, func() { sum.Add(jr) }))
+}

@@ -10,9 +10,20 @@
 //	experiments -scale full            # published scale (minutes)
 //	experiments -parallel 16 -progress # fan simulations out, show jobs
 //	experiments -json out/             # also export tables as JSON
+//
+// Named studies from the internal/study catalog run with -study
+// (-studies lists them) and shard across processes: -shard i/n
+// simulates one stripe into a mergeable dump under -out, and -merge
+// reassembles the dumps into output byte-identical to an unsharded
+// run:
+//
+//	experiments -study headline -shard 0/2 -out shards
+//	experiments -study headline -shard 1/2 -out shards
+//	experiments -study headline -merge shards
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +35,7 @@ import (
 
 	"saath/internal/experiments"
 	"saath/internal/report"
+	"saath/internal/study"
 	"saath/internal/sweep"
 )
 
@@ -36,8 +48,35 @@ func main() {
 		jsonDir  = flag.String("json", "", "also write each table as JSON into this directory")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "simulation worker pool size for figure sweeps")
 		progress = flag.Bool("progress", false, "print each sweep job completion to stderr")
+
+		studyName = flag.String("study", "", "run a registered study from the catalog instead of the figures (see -studies)")
+		studies   = flag.Bool("studies", false, "list registered studies and exit")
+		shardArg  = flag.String("shard", "", `with -study: simulate only shard i of n ("i/n") into a dump under -out`)
+		outDir    = flag.String("out", "shards", "directory -shard writes its partial dump into")
+		mergeDir  = flag.String("merge", "", "with -study: merge shard dumps from this directory instead of simulating")
 	)
 	flag.Parse()
+
+	if *studies {
+		for _, n := range study.Names() {
+			fmt.Printf("%-20s %s\n", n, study.Describe(n))
+		}
+		return
+	}
+	if *studyName != "" {
+		if err := runStudy(studyCLI{
+			name: *studyName, shardArg: *shardArg, mergeDir: *mergeDir, outDir: *outDir,
+			csvDir: *csvDir, jsonDir: *jsonDir, parallel: *parallel, progress: *progress,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shardArg != "" || *mergeDir != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -shard/-merge require -study (figures are assembled in-process)")
+		os.Exit(1)
+	}
 	for _, dir := range []string{*csvDir, *jsonDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -136,6 +175,90 @@ func main() {
 			}
 		}
 	}
+}
+
+// studyCLI carries the flag values of one -study invocation.
+type studyCLI struct {
+	name, shardArg, mergeDir, outDir string
+	csvDir, jsonDir                  string
+	parallel                         int
+	progress                         bool
+}
+
+// runStudy executes (or shards, or merges) one registered study.
+func runStudy(c studyCLI) error {
+	st, err := study.Build(c.name)
+	if err != nil {
+		return err
+	}
+	pool := study.Pool{Parallel: c.parallel}
+	if c.progress {
+		pool.Progress = sweep.ProgressPrinter(os.Stderr)
+	}
+	var res *study.Result
+	switch {
+	case c.mergeDir != "":
+		if res, err = study.MergeShardDir(st, c.mergeDir); err != nil {
+			return err
+		}
+	case c.shardArg != "":
+		sh, err := study.ParseShard(c.shardArg)
+		if err != nil {
+			return err
+		}
+		sh.Pool = pool
+		if res, err = st.Run(context.Background(), sh); err != nil {
+			return err
+		}
+		// Write the dump before reporting job errors: error entries
+		// round-trip through the merge (Result.Err resurfaces them),
+		// and hours of completed sibling simulations must not be
+		// discarded over one failed cell.
+		path, err := res.WriteShardFile(c.outDir, sh)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("study %s shard %d/%d: %d jobs -> %s\n",
+			c.name, sh.Index, sh.Count, len(res.Sweep().Jobs), path)
+		return res.Err()
+	default:
+		if res, err = st.Run(context.Background(), pool); err != nil {
+			return err
+		}
+	}
+	if err := res.Err(); err != nil {
+		return err
+	}
+	tables, err := res.Tables()
+	if err != nil {
+		return err
+	}
+	for i, t := range tables {
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if c.csvDir != "" {
+			if err := exportStudyTable(c.csvDir, c.name, i, "csv", t.CSV); err != nil {
+				return err
+			}
+		}
+		if c.jsonDir != "" {
+			if err := exportStudyTable(c.jsonDir, c.name, i, "json", t.JSON); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// exportStudyTable writes one study table into dir (created if
+// needed), mirroring the figure path's <id>_<NN>.<ext> naming.
+func exportStudyTable(dir, study string, i int, ext string, export func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeTable(filepath.Join(dir, fmt.Sprintf("%s_%02d.%s", study, i, ext)), export)
 }
 
 // writeTable creates path and streams one table export into it.

@@ -1,7 +1,8 @@
 // saath-sim replays a CoFlow trace under one or more scheduling
 // policies and reports per-policy CCT statistics and speedups. The
-// scheduler × seed grid fans out over a bounded worker pool; output is
-// identical at any -parallel setting.
+// scheduler × seed grid is declared as an internal/study Study and
+// fans out over a bounded worker pool; output is identical at any
+// -parallel setting.
 //
 // Usage:
 //
@@ -25,6 +26,19 @@
 // byte-identical at any -parallel setting:
 //
 //	saath-sim -trace incast -sched aalo,saath -metrics -metrics-out m.json
+//
+// -study runs a named study from the built-in catalog (-studies lists
+// them) instead of the flag-built grid, rendering its derived tables.
+//
+// Any study — flag-built or named — shards across processes: -shard
+// i/n simulates only the i-th of n stripes of the grid and writes a
+// mergeable partial dump into -out; -merge reads the dumps back (run
+// with the SAME workload/scheduler flags or -study name) and renders
+// output byte-identical to the unsharded run:
+//
+//	saath-sim -trace fb -seed 1,2 -shard 0/2 -out shards   # machine A
+//	saath-sim -trace fb -seed 1,2 -shard 1/2 -out shards   # machine B
+//	saath-sim -trace fb -seed 1,2 -merge shards            # anywhere
 package main
 
 import (
@@ -40,6 +54,7 @@ import (
 	"saath/internal/coflow"
 	"saath/internal/sched"
 	"saath/internal/sim"
+	"saath/internal/study"
 	"saath/internal/sweep"
 	"saath/internal/telemetry"
 	"saath/internal/trace"
@@ -71,6 +86,12 @@ func main() {
 		metrics     = flag.Bool("metrics", false, "collect per-interval telemetry (queue occupancy, contention histograms)")
 		metricsStep = flag.Duration("metrics-interval", 0, "telemetry sampling interval (rounded to a multiple of δ; 0 = every interval)")
 		metricsOut  = flag.String("metrics-out", "", `write per-job telemetry to this path (.csv for CSV, otherwise JSON; "-" for stdout); implies -metrics`)
+
+		studyName = flag.String("study", "", "run a registered study from the catalog instead of the flag-built grid (see -studies)")
+		studies   = flag.Bool("studies", false, "list registered studies and exit")
+		shardArg  = flag.String("shard", "", `simulate only shard i of n ("i/n") and write a mergeable dump into -out`)
+		outDir    = flag.String("out", "shards", "directory -shard writes its partial dump into")
+		mergeDir  = flag.String("merge", "", "merge shard dumps from this directory (same flags / -study as the shard runs) instead of simulating")
 	)
 	flag.Parse()
 
@@ -80,52 +101,180 @@ func main() {
 		}
 		return
 	}
+	if *studies {
+		for _, n := range study.Names() {
+			fmt.Printf("%-20s %s\n", n, study.Describe(n))
+		}
+		return
+	}
+	if *metricsOut != "" {
+		*metrics = true
+	}
 
-	seedList, err := parseSeeds(*seeds)
+	var (
+		st      *study.Study
+		fromCLI bool
+		err     error
+	)
+	if *studyName != "" {
+		st, err = study.Build(*studyName)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		fromCLI = true
+		st, err = studyFromFlags(flagGrid{
+			traceArg: *traceArg, seeds: *seeds, scheds: *scheds,
+			delta: *delta, rateGbps: *rateGbps, arrival: *arrival,
+			start: *start, growth: *growth, queues: *queues, deadline: *deadline,
+			metrics: *metrics, metricsStep: *metricsStep,
+			describe: *mergeDir == "", // the banner line, skipped when only merging
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	// Merge mode: no simulation — reassemble shard dumps and render
+	// exactly what the unsharded run would have.
+	if *mergeDir != "" {
+		res, err := study.MergeShardDir(st, *mergeDir)
+		if err != nil {
+			fatal(err)
+		}
+		render(res, fromCLI, *metrics, *jsonPath, *metricsOut)
+		if res.Err() != nil {
+			os.Exit(1)
+		}
+		return
+	}
+
+	pool := study.Pool{Parallel: *parallel}
+	if *progress {
+		pool.Progress = sweep.ProgressPrinter(os.Stderr)
+	}
+
+	// Shard mode: simulate this stripe only and write the dump.
+	if *shardArg != "" {
+		sh, err := study.ParseShard(*shardArg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonPath != "" || *metricsOut != "" {
+			fmt.Fprintln(os.Stderr, "saath-sim: -json/-metrics-out apply to the full study; export them from the -merge run")
+		}
+		sh.Pool = pool
+		res, err := st.Run(context.Background(), sh)
+		if err != nil {
+			fatal(err)
+		}
+		path, err := res.WriteShardFile(*outDir, sh)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("shard %d/%d: %d/%d jobs in %.1fs -> %s\n",
+			sh.Index, sh.Count, res.Sweep().Completed(), len(res.Sweep().Jobs),
+			res.Sweep().Elapsed.Seconds(), path)
+		for _, jr := range res.Sweep().Failed() {
+			fmt.Fprintln(os.Stderr, "saath-sim:", jr.Err)
+		}
+		if res.Err() != nil {
+			os.Exit(1)
+		}
+		return
+	}
+
+	res, err := st.Run(context.Background(), pool)
 	if err != nil {
 		fatal(err)
 	}
+	fmt.Printf("%d/%d simulations in %.1fs (-parallel %d)\n",
+		res.Sweep().Completed(), len(res.Sweep().Jobs), res.Sweep().Elapsed.Seconds(), *parallel)
+	for _, jr := range res.Sweep().Failed() {
+		fmt.Fprintln(os.Stderr, "saath-sim:", jr.Err)
+	}
+	render(res, fromCLI, *metrics, *jsonPath, *metricsOut)
+	if res.Err() != nil {
+		os.Exit(1)
+	}
+}
 
+// flagGrid carries the flag values studyFromFlags compiles.
+type flagGrid struct {
+	traceArg, seeds, scheds string
+	delta                   time.Duration
+	rateGbps, arrival       float64
+	start                   string
+	growth, deadline        float64
+	queues                  int
+	metrics                 bool
+	metricsStep             time.Duration
+	describe                bool
+}
+
+// studyFromFlags declares the CLI's ad-hoc grid as a Study, named
+// after the workload so shard dumps from the same flag set find each
+// other. The first scheduler becomes the study baseline when more than
+// one is given (read it back with Study.Baseline).
+func studyFromFlags(fg flagGrid) (*study.Study, error) {
+	seedList, err := parseSeeds(fg.seeds)
+	if err != nil {
+		return nil, err
+	}
 	params := sched.DefaultParams()
-	params.Queues.NumQueues = *queues
-	params.Queues.Growth = *growth
-	params.DeadlineFactor = *deadline
-	if *start != "" {
-		b, err := parseBytes(*start)
+	params.Queues.NumQueues = fg.queues
+	params.Queues.Growth = fg.growth
+	params.DeadlineFactor = fg.deadline
+	if fg.start != "" {
+		b, err := parseBytes(fg.start)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		params.Queues.StartThreshold = b
 	}
 	cfg := sim.Config{
-		Delta:    coflow.Time(delta.Microseconds()) * coflow.Microsecond,
-		PortRate: coflow.GbpsRate(*rateGbps),
+		Delta:    coflow.Time(fg.delta.Microseconds()) * coflow.Microsecond,
+		PortRate: coflow.GbpsRate(fg.rateGbps),
 	}
 
 	// Describe the workload using the first seed's draw.
-	first, err := loadTrace(*traceArg, seedList[0])
+	first, err := loadTrace(fg.traceArg, seedList[0])
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	if *arrival != 1 {
-		first.ScaleArrivals(1 / *arrival)
+	if fg.arrival != 1 {
+		first.ScaleArrivals(1 / fg.arrival)
 	}
-	summary := trace.Summarize(first)
-	fmt.Printf("trace %s: %d coflows, %d ports, %.1f GB total, mean width %.1f\n",
-		first.Name, summary.NumCoFlows, summary.NumPorts,
-		float64(summary.TotalBytes)/float64(coflow.GB), summary.MeanWidth)
+	if fg.describe {
+		summary := trace.Summarize(first)
+		fmt.Printf("trace %s: %d coflows, %d ports, %.1f GB total, mean width %.1f\n",
+			first.Name, summary.NumCoFlows, summary.NumPorts,
+			float64(summary.TotalBytes)/float64(coflow.GB), summary.MeanWidth)
+	}
 
 	var names []string
-	for _, n := range strings.Split(*scheds, ",") {
+	for _, n := range strings.Split(fg.scheds, ",") {
 		names = append(names, strings.TrimSpace(n))
 	}
 
+	// The grid name carries the arrival factor: it is the one flag
+	// applied inside the trace generator (invisible to params/config),
+	// so putting it in the trace name lands it in every Job.Key and
+	// thus in the shard fingerprint — a -A drift between shard runs
+	// fails the merge instead of silently mixing workloads.
+	gridName := first.Name
+	if fg.arrival != 1 {
+		gridName = fmt.Sprintf("%s@A=%g", first.Name, fg.arrival)
+	}
+
 	var source sweep.TraceSource
-	if isSynthetic(*traceArg) {
-		source = sweep.SynthSource(first.Name, func(seed int64) *trace.Trace {
-			tr, _ := loadTrace(*traceArg, seed) // synthetic: cannot fail
-			if *arrival != 1 {
-				tr.ScaleArrivals(1 / *arrival)
+	if isSynthetic(fg.traceArg) {
+		arrival := fg.arrival
+		traceArg := fg.traceArg
+		source = sweep.SynthSource(gridName, func(seed int64) *trace.Trace {
+			tr, _ := loadTrace(traceArg, seed) // synthetic: cannot fail
+			if arrival != 1 {
+				tr.ScaleArrivals(1 / arrival)
 			}
 			return tr
 		})
@@ -135,65 +284,76 @@ func main() {
 		// statistics, so collapse the seed list.
 		if len(seedList) > 1 {
 			fmt.Fprintf(os.Stderr, "saath-sim: %s is a fixed trace; ignoring extra seeds %v\n",
-				*traceArg, seedList[1:])
+				fg.traceArg, seedList[1:])
 			seedList = seedList[:1]
 		}
 		source = sweep.FixedTrace(first)
+		source.Name = gridName
 	}
-	grid := sweep.Grid{
-		Traces:     []sweep.TraceSource{source},
-		Schedulers: names,
-		Seeds:      seedList,
-		Params:     params,
-		Config:     cfg,
+	opts := []study.Option{
+		study.WithTraces(source),
+		study.WithSchedulers(names...),
+		study.WithSeeds(seedList...),
+		study.WithParams(params),
+		study.WithSimConfig(cfg),
 	}
-	if *metricsOut != "" {
-		*metrics = true
-	}
-	if *metrics {
-		grid.Telemetry = telemetry.Spec{Enabled: true, Stride: metricsStride(*metricsStep, cfg.Delta)}
-	}
-	jobs := grid.Jobs()
-
-	agg := sweep.NewSummary()
-	opts := sweep.Options{Parallel: *parallel, Collectors: []sweep.Collector{agg}}
-	if *progress {
-		opts.Progress = sweep.ProgressPrinter(os.Stderr)
-	}
-	res := sweep.Run(context.Background(), jobs, opts)
-	fmt.Printf("%d/%d simulations in %.1fs (-parallel %d)\n",
-		res.Completed(), len(jobs), res.Elapsed.Seconds(), *parallel)
-	for _, jr := range res.Failed() {
-		fmt.Fprintln(os.Stderr, "saath-sim:", jr.Err)
-	}
-
-	if err := agg.CCTTable("per-scheduler CCT").Render(os.Stdout); err != nil {
-		fatal(err)
+	if fg.metrics {
+		opts = append(opts, study.WithTelemetry(telemetry.Spec{
+			Enabled: true,
+			Stride:  metricsStride(fg.metricsStep, cfg.Delta),
+		}))
 	}
 	if len(names) > 1 {
-		title := fmt.Sprintf("per-coflow speedup over %s", names[0])
-		if err := agg.SpeedupTable(title, names[0]).Render(os.Stdout); err != nil {
-			fatal(err)
-		}
+		opts = append(opts, study.WithBaseline(names[0]))
 	}
-	if *metrics {
-		if err := agg.TelemetryTable("telemetry (per-interval)").Render(os.Stdout); err != nil {
-			fatal(err)
-		}
+	st, err := study.New(gridName, opts...)
+	if err != nil {
+		return nil, err
 	}
+	return st, nil
+}
 
-	if *jsonPath != "" {
-		if err := exportJSON(*jsonPath, agg); err != nil {
+// render prints the study's tables and writes the requested exports.
+// Flag-built grids keep the CLI's classic table set; named studies
+// render their own derived tables.
+func render(res *study.Result, fromCLI bool, metrics bool, jsonPath, metricsOut string) {
+	agg := res.Summary()
+	if fromCLI {
+		if err := agg.CCTTable("per-scheduler CCT").Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if baseline := res.Study().Baseline(); baseline != "" {
+			title := fmt.Sprintf("per-coflow speedup over %s", baseline)
+			if err := agg.SpeedupTable(title, baseline).Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if metrics {
+			if err := agg.TelemetryTable("telemetry (per-interval)").Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		tables, err := res.Tables()
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+	if jsonPath != "" {
+		if err := exportJSON(jsonPath, agg); err != nil {
 			fatal(err)
 		}
 	}
-	if *metricsOut != "" {
-		if err := exportMetrics(*metricsOut, agg); err != nil {
+	if metricsOut != "" {
+		if err := exportMetrics(metricsOut, agg); err != nil {
 			fatal(err)
 		}
-	}
-	if res.FirstErr() != nil {
-		os.Exit(1)
 	}
 }
 

@@ -111,3 +111,59 @@ func TestLoadTrace(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+// TestStudyFromFlags: the CLI's ad-hoc grid compiles to a validated
+// study with the flag semantics intact — seeds × schedulers expansion,
+// first scheduler as baseline, telemetry spec threaded through.
+func TestStudyFromFlags(t *testing.T) {
+	st, err := studyFromFlags(flagGrid{
+		traceArg: "fb", seeds: "1,2", scheds: "aalo,saath",
+		delta: 8 * time.Millisecond, rateGbps: 1, arrival: 1,
+		growth: 10, queues: 10, deadline: 2,
+		metrics: true, metricsStep: 16 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Baseline() != "aalo" {
+		t.Fatalf("baseline = %q", st.Baseline())
+	}
+	jobs := st.Jobs()
+	if len(jobs) != 4 { // 2 seeds × 2 schedulers
+		t.Fatalf("jobs = %d, want 4", len(jobs))
+	}
+	j := jobs[0]
+	if !j.Telemetry.Enabled || j.Telemetry.Stride != 2 {
+		t.Fatalf("telemetry spec = %+v", j.Telemetry)
+	}
+	if j.Config.Delta != 8*coflow.Millisecond {
+		t.Fatalf("delta = %v", j.Config.Delta)
+	}
+
+	// A typo'd scheduler fails at compile time, before any simulation.
+	if _, err := studyFromFlags(flagGrid{
+		traceArg: "fb", seeds: "1", scheds: "aalo,typo",
+		delta: 8 * time.Millisecond, rateGbps: 1, arrival: 1,
+		growth: 10, queues: 10, deadline: 2,
+	}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+
+	// The arrival factor lands in the study (and thus job-key /
+	// shard-fingerprint) namespace: a -A drift between shard runs must
+	// not merge.
+	st2, err := studyFromFlags(flagGrid{
+		traceArg: "fb", seeds: "1", scheds: "aalo,saath",
+		delta: 8 * time.Millisecond, rateGbps: 1, arrival: 2,
+		growth: 10, queues: 10, deadline: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Name() == st.Name() {
+		t.Fatalf("arrival factor invisible in study name %q", st2.Name())
+	}
+	if got := st2.Jobs()[0].Trace; got != st2.Name() {
+		t.Fatalf("trace name %q != study name %q", got, st2.Name())
+	}
+}

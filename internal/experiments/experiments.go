@@ -8,11 +8,12 @@
 // scheduler) pair — e.g. Fig. 9 through Fig. 13 all need Aalo and
 // Saath on both traces — pay for each simulation once.
 //
-// Figures that need several simulations fan them out through the
-// internal/sweep worker pool: each figure declares the (trace,
-// scheduler, params) grid it needs, Prime or the sweep engine runs the
-// missing cells on Env.Parallel workers, and the figure assembles its
-// tables from the memoized results. Output is identical at any
+// Figures that need several simulations declare them as internal/study
+// Studies: each figure states the (trace, scheduler, params) grid it
+// needs as a study declaration, Prime or the figure's own study runs
+// the missing cells on the Env's Runner backend (default: the bounded
+// in-process pool on Env.Parallel workers), and the figure assembles
+// its tables from the memoized results. Output is identical at any
 // parallelism (see internal/sweep's determinism contract).
 //
 // Scale: the paper's full traces take hours of simulated time; the
@@ -32,6 +33,7 @@ import (
 	"saath/internal/sched"
 	"saath/internal/sim"
 	"saath/internal/stats"
+	"saath/internal/study"
 	"saath/internal/sweep"
 	"saath/internal/trace"
 
@@ -70,6 +72,14 @@ type Env struct {
 	// Progress, when set, receives a callback after every simulation
 	// a figure sweep completes (for cmd/experiments' -progress).
 	Progress func(done, total int, jr sweep.JobResult)
+	// Runner, when set, overrides the execution backend figure studies
+	// run on (default: study.Pool{Parallel, Progress}). Figure output
+	// is a pure function of the study declarations, so any runner that
+	// executes the full grid reproduces the same tables. Subset
+	// runners (study.Sharded) are rejected by runStudy — figures
+	// assemble from every cell; sharding belongs to the study CLIs,
+	// which merge before rendering.
+	Runner study.Runner
 
 	mu    sync.Mutex
 	cache map[string]*sim.Result
@@ -141,55 +151,73 @@ func (e *Env) Run(tr *trace.Trace, scheduler string) (*sim.Result, error) {
 	return r, nil
 }
 
-// Prime runs every not-yet-memoized (trace, scheduler) pair of the
-// cross product through the sweep engine on Env.Parallel workers.
-// After Prime returns nil, Run hits the cache for each pair.
+// runner returns the execution backend figure studies run on.
+func (e *Env) runner() study.Runner {
+	if e.Runner != nil {
+		return e.Runner
+	}
+	return study.Pool{Parallel: e.Parallel, Progress: e.Progress}
+}
+
+// runStudy executes a figure's study declaration on the Env's runner,
+// failing on the first job error or an under-covering runner —
+// figures index every cell of their grid, so a partial result must
+// error here rather than panic during table assembly.
+func (e *Env) runStudy(st *study.Study) (*study.Result, error) {
+	res, err := st.Run(context.Background(), e.runner())
+	if err != nil {
+		return nil, err
+	}
+	if got, want := len(res.Sweep().Jobs), len(st.Jobs()); got != want {
+		return nil, fmt.Errorf("experiments: study %s: runner executed %d of %d jobs (figures need a full-coverage runner, not a shard)",
+			st.Name(), got, want)
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Prime declares the (trace × scheduler) cross product as a study and
+// runs every not-yet-memoized cell on the Env's runner. After Prime
+// returns nil, Run hits the cache for each pair.
 func (e *Env) Prime(traces []*trace.Trace, schedulers ...string) error {
-	var jobs []sweep.Job
-	var keys []string
+	sources := make([]sweep.TraceSource, len(traces))
+	for i, tr := range traces {
+		sources[i] = sweep.FixedTrace(tr)
+	}
+	st, err := study.New("prime",
+		study.WithTraces(sources...),
+		study.WithSchedulers(schedulers...),
+		study.WithParams(e.Params),
+		study.WithSimConfig(e.SimCfg))
+	if err != nil {
+		return err
+	}
+	var missing []sweep.Job
 	e.mu.Lock()
-	for _, tr := range traces {
-		for _, scheduler := range schedulers {
-			key := tr.Name + "|" + scheduler
-			if _, ok := e.cache[key]; ok {
-				continue
-			}
-			tr := tr
-			jobs = append(jobs, sweep.Job{
-				Index:     len(jobs),
-				Trace:     tr.Name,
-				Scheduler: scheduler,
-				Seed:      1,
-				Params:    e.Params,
-				Config:    e.SimCfg,
-				Gen:       func() *trace.Trace { return tr.Clone() },
-			})
-			keys = append(keys, key)
+	for _, j := range st.Jobs() {
+		if _, ok := e.cache[j.Trace+"|"+j.Scheduler]; !ok {
+			missing = append(missing, j)
 		}
 	}
 	e.mu.Unlock()
-	if len(jobs) == 0 {
+	if len(missing) == 0 {
 		return nil
 	}
-	res := sweep.Run(context.Background(), jobs, sweep.Options{Parallel: e.Parallel, Progress: e.Progress})
+	res, err := e.runner().Run(context.Background(), missing, nil)
+	if err != nil {
+		return err
+	}
 	if err := res.FirstErr(); err != nil {
 		return err
 	}
 	e.mu.Lock()
-	for i, jr := range res.Jobs {
-		e.cache[keys[i]] = jr.Res
+	for _, jr := range res.Jobs {
+		e.cache[jr.Job.Trace+"|"+jr.Job.Scheduler] = jr.Res
 	}
 	e.mu.Unlock()
 	return nil
-}
-
-// sweepRun executes hand-built jobs with the Env's pool settings.
-func (e *Env) sweepRun(jobs []sweep.Job) (*sweep.Result, error) {
-	res := sweep.Run(context.Background(), jobs, sweep.Options{Parallel: e.Parallel, Progress: e.Progress})
-	if err := res.FirstErr(); err != nil {
-		return nil, err
-	}
-	return res, nil
 }
 
 // RunWith simulates without memoization, for parameter sweeps.

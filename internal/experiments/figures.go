@@ -8,6 +8,7 @@ import (
 	"saath/internal/sched"
 	"saath/internal/sim"
 	"saath/internal/stats"
+	"saath/internal/study"
 	"saath/internal/sweep"
 	"saath/internal/trace"
 )
@@ -323,8 +324,9 @@ func (e *Env) fig14Points() []fig14Point {
 
 // Fig14 runs the five sensitivity sweeps of §6.3. Each point reports
 // the median per-CoFlow speedup of the varied scheduler over Aalo at
-// default parameters, matching the paper's y-axis. All points fan out
-// through one sweep over Env.Parallel workers.
+// default parameters, matching the paper's y-axis. The whole grid is
+// one study declaration — every point is a parameter variant, Fig 14e
+// restricting itself to Saath — executed on the Env's runner.
 func (e *Env) Fig14() ([]*report.Table, error) {
 	tr := e.FB
 	base, err := e.Run(tr, "aalo") // default-parameter baseline
@@ -334,35 +336,30 @@ func (e *Env) Fig14() ([]*report.Table, error) {
 	baseCCT := base.CCTByID()
 
 	points := e.fig14Points()
-	var jobs []sweep.Job
-	for _, pt := range points {
-		pt := pt
-		for _, sn := range pt.scheds {
-			jobs = append(jobs, sweep.Job{
-				Index:     len(jobs),
-				Trace:     tr.Name,
-				Scheduler: sn,
-				Seed:      1,
-				Variant:   pt.variant(),
-				Params:    pt.params,
-				Config:    pt.cfg,
-				Gen: func() *trace.Trace {
-					t2 := tr.Clone()
-					if pt.mutate != nil {
-						pt.mutate(t2)
-					}
-					return t2
-				},
-			})
+	variants := make([]sweep.Variant, len(points))
+	for i, pt := range points {
+		variants[i] = sweep.Variant{
+			Name:       pt.variant(),
+			Params:     pt.params,
+			Config:     pt.cfg,
+			Mutate:     pt.mutate,
+			Schedulers: pt.scheds,
 		}
 	}
-	res, err := e.sweepRun(jobs)
+	st, err := study.New("fig14-sensitivity",
+		study.WithDescription("§6.3 sensitivity: S, E, δ, arrival scaling, deadline factor"),
+		study.WithTraces(sweep.FixedTrace(tr)),
+		study.WithParamGrid(variants...))
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.runStudy(st)
 	if err != nil {
 		return nil, err
 	}
 	type cellKey struct{ variant, sched string }
-	byCell := make(map[cellKey]*sim.Result, len(jobs))
-	for _, jr := range res.Jobs {
+	byCell := make(map[cellKey]*sim.Result, len(res.Sweep().Jobs))
+	for _, jr := range res.Sweep().Jobs {
 		byCell[cellKey{jr.Job.Variant, jr.Job.Scheduler}] = jr.Res
 	}
 	median := func(variant, sn string) string {
@@ -498,15 +495,21 @@ func (e *Env) AblationDynamics() ([]*report.Table, error) {
 	}
 	pOff := e.Params
 	pOff.DynamicsSRTF = false
-	gen := func() *trace.Trace { return e.FB.Clone() }
-	res, err := e.sweepRun([]sweep.Job{
-		{Index: 0, Trace: e.FB.Name, Scheduler: "saath", Seed: 1, Variant: "srtf=on", Params: e.Params, Config: cfg, Gen: gen},
-		{Index: 1, Trace: e.FB.Name, Scheduler: "saath", Seed: 1, Variant: "srtf=off", Params: pOff, Config: cfg, Gen: gen},
-	})
+	st, err := study.New("ablation-dynamics",
+		study.WithTraces(sweep.FixedTrace(e.FB)),
+		study.WithSchedulers("saath"),
+		study.WithParamGrid(
+			sweep.Variant{Name: "srtf=on", Params: e.Params, Config: cfg},
+			sweep.Variant{Name: "srtf=off", Params: pOff, Config: cfg},
+		))
 	if err != nil {
 		return nil, err
 	}
-	withDyn, s := res.Jobs[0].Res, res.Jobs[1].Res
+	res, err := e.runStudy(st)
+	if err != nil {
+		return nil, err
+	}
+	withDyn, s := res.Sweep().Jobs[0].Res, res.Sweep().Jobs[1].Res
 	sum := stats.Summarize(stats.Speedups(s.CCTByID(), withDyn.CCTByID()))
 	t.AddRow("dynamics SRTF on", fmt.Sprintf("%.3f", withDyn.AvgCCT()),
 		fmt.Sprintf("%.2f", sum.P10), fmt.Sprintf("%.2f", sum.Median), fmt.Sprintf("%.2f", sum.P90))

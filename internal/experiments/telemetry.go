@@ -1,11 +1,11 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 
 	"saath/internal/coflow"
 	"saath/internal/report"
+	"saath/internal/study"
 	"saath/internal/sweep"
 	"saath/internal/telemetry"
 	"saath/internal/trace"
@@ -31,7 +31,7 @@ func QuickIncastConfig(seed int64) trace.FanConfig {
 // hot aggregator ports over time, the pooled contention (k_c)
 // histogram, and head-of-line blocking. This is not a paper figure;
 // it is the instrumentation every §6-style scenario sweep can now
-// export.
+// export, expressed as a Study with derived telemetry tables.
 func (e *Env) Telemetry() ([]*report.Table, error) {
 	name := "incast-quick"
 	cfg := QuickIncastConfig(1)
@@ -39,50 +39,57 @@ func (e *Env) Telemetry() ([]*report.Table, error) {
 		name = "incast"
 		cfg = trace.DefaultIncastConfig(1)
 	}
-	grid := sweep.Grid{
-		Traces: []sweep.TraceSource{sweep.SynthSource(name, func(seed int64) *trace.Trace {
+	st, err := study.New(name,
+		study.WithDescription("incast observability: queue buildup, HOL blocking, contention k_c"),
+		study.WithTraces(sweep.SynthSource(name, func(seed int64) *trace.Trace {
 			c := cfg
 			c.Seed = seed
 			return trace.SynthesizeIncast(c, name)
-		})},
-		Schedulers: []string{"aalo", "saath"},
-		Seeds:      []int64{1},
-		Params:     e.Params,
-		Config:     e.SimCfg,
-		Telemetry:  telemetry.Spec{Enabled: true},
-	}
-	sum := sweep.NewSummary()
-	res := sweep.Run(context.Background(), grid.Jobs(), sweep.Options{
-		Parallel:   e.Parallel,
-		Progress:   e.Progress,
-		Collectors: []sweep.Collector{sum},
-	})
-	if err := res.FirstErr(); err != nil {
+		})),
+		study.WithSchedulers("aalo", "saath"),
+		study.WithSeeds(1),
+		study.WithParams(e.Params),
+		study.WithSimConfig(e.SimCfg),
+		study.WithTelemetry(telemetry.Spec{Enabled: true}),
+		study.WithDerived(
+			study.DerivedTelemetry(fmt.Sprintf("Telemetry — %s summary", name)),
+			telemetryDrilldown(name),
+		))
+	if err != nil {
 		return nil, err
 	}
-
-	tables := []*report.Table{sum.TelemetryTable(fmt.Sprintf("Telemetry — %s summary", name))}
-	for _, jr := range res.Jobs {
-		m := jr.Metrics
-		if m == nil {
-			continue
-		}
-		sn := jr.Job.Scheduler
-		if t := m.SeriesTable(
-			fmt.Sprintf("Telemetry — ingress queue max over time (%s, %s)", name, sn),
-			telemetry.SeriesIngressQueueMax, cdfPoints); t != nil {
-			tables = append(tables, t)
-		}
-		if t := m.SeriesTable(
-			fmt.Sprintf("Telemetry — HOL-blocked CoFlows over time (%s, %s)", name, sn),
-			telemetry.SeriesBlockedCoFlows, cdfPoints); t != nil {
-			tables = append(tables, t)
-		}
-		if t := m.HistogramTable(
-			fmt.Sprintf("Telemetry — contention k_c histogram (%s, %s)", name, sn),
-			telemetry.HistContention); t != nil {
-			tables = append(tables, t)
-		}
+	res, err := e.runStudy(st)
+	if err != nil {
+		return nil, err
 	}
-	return tables, nil
+	return res.Tables()
+}
+
+// telemetryDrilldown renders the per-run detail tables behind the
+// pooled summary: the hot-port queue series, the HOL-blocking series
+// and the contention histogram for every (scheduler, seed) run of the
+// study, in grid order.
+func telemetryDrilldown(name string) study.Derived {
+	return func(st *study.Study, sum *sweep.Summary) ([]*report.Table, error) {
+		var tables []*report.Table
+		for _, jt := range sum.Telemetry() {
+			m, sn := jt.Metrics, jt.Scheduler
+			if t := m.SeriesTable(
+				fmt.Sprintf("Telemetry — ingress queue max over time (%s, %s)", name, sn),
+				telemetry.SeriesIngressQueueMax, cdfPoints); t != nil {
+				tables = append(tables, t)
+			}
+			if t := m.SeriesTable(
+				fmt.Sprintf("Telemetry — HOL-blocked CoFlows over time (%s, %s)", name, sn),
+				telemetry.SeriesBlockedCoFlows, cdfPoints); t != nil {
+				tables = append(tables, t)
+			}
+			if t := m.HistogramTable(
+				fmt.Sprintf("Telemetry — contention k_c histogram (%s, %s)", name, sn),
+				telemetry.HistContention); t != nil {
+				tables = append(tables, t)
+			}
+		}
+		return tables, nil
+	}
 }

@@ -49,6 +49,19 @@ type Config struct {
 	Probes []telemetry.Probe
 }
 
+// WithProbe returns a copy of c with p appended to a freshly-copied
+// probe list. The copy never aliases the receiver's backing array, so
+// configurations derived from one shared base (sweep jobs, facade
+// helpers) cannot race on a probe slot or leak a probe into a sibling
+// run — the copy-safe replacement for the append-with-full-slice
+// idiom. The receiver is unchanged.
+func (c Config) WithProbe(p telemetry.Probe) Config {
+	probes := make([]telemetry.Probe, len(c.Probes), len(c.Probes)+1)
+	copy(probes, c.Probes)
+	c.Probes = append(probes, p)
+	return c
+}
+
 func (c Config) withDefaults() Config {
 	if c.Delta <= 0 {
 		c.Delta = 8 * coflow.Millisecond

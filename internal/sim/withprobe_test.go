@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"testing"
+
+	"saath/internal/telemetry"
+)
+
+type nopProbe struct{ id int }
+
+func (nopProbe) Observe(*telemetry.Interval) {}
+
+// TestConfigWithProbeCopySafe: WithProbe must never alias the
+// receiver's probe array. The old append-with-full-slice idiom at call
+// sites was correct but fragile — one naked append on a shared base
+// config would hand two simulations the same probe. WithProbe owns
+// that invariant in one place.
+func TestConfigWithProbeCopySafe(t *testing.T) {
+	base := Config{Probes: make([]telemetry.Probe, 1, 8)} // spare capacity invites aliasing
+	base.Probes[0] = nopProbe{0}
+
+	a := base.WithProbe(nopProbe{1})
+	b := base.WithProbe(nopProbe{2})
+
+	if len(base.Probes) != 1 {
+		t.Fatalf("receiver mutated: %d probes", len(base.Probes))
+	}
+	if len(a.Probes) != 2 || len(b.Probes) != 2 {
+		t.Fatalf("derived configs: %d and %d probes, want 2 and 2", len(a.Probes), len(b.Probes))
+	}
+	if a.Probes[1].(nopProbe).id != 1 || b.Probes[1].(nopProbe).id != 2 {
+		t.Fatalf("sibling configs share a probe slot: %v vs %v", a.Probes[1], b.Probes[1])
+	}
+	// Writing through one derived config must not show through the other.
+	a.Probes[0] = nopProbe{99}
+	if base.Probes[0].(nopProbe).id != 0 || b.Probes[0].(nopProbe).id != 0 {
+		t.Fatal("derived config aliases the base backing array")
+	}
+}

@@ -1,0 +1,79 @@
+package study
+
+import (
+	"fmt"
+
+	"saath/internal/coflow"
+	"saath/internal/sim"
+	"saath/internal/sweep"
+	"saath/internal/telemetry"
+	"saath/internal/trace"
+)
+
+// The catalog registers the canonical full-scale studies every binary
+// with the policy packages linked in can run by name (saath-sim
+// -study, experiments -study). Each is a plain declaration — the
+// scenario PRs the ROADMAP calls for add entries here instead of
+// hand-rolled loops.
+func init() {
+	Register("headline",
+		"Fig 9-style headline: saath vs varys/aalo/uc-tcp on the FB and OSP workloads, 3 seeds",
+		func() (*Study, error) {
+			return New("headline",
+				WithDescription("per-CoFlow CCT speedup using Saath over the paper's baselines"),
+				WithTraces(
+					sweep.SynthSource("fb", trace.SynthFB),
+					sweep.SynthSource("osp", trace.SynthOSP),
+				),
+				WithSchedulers("aalo", "varys", "uc-tcp", "saath"),
+				WithSeeds(1, 2, 3),
+				WithBaseline("aalo"),
+				WithDerived(
+					DerivedCCT("headline — per-scheduler CCT"),
+					DerivedSpeedup("headline — per-coflow speedup over aalo", ""),
+					DerivedCCTCDF("headline", 25),
+				),
+			)
+		})
+
+	Register("incast-telemetry",
+		"incast hotspot workload under aalo vs saath with full per-interval telemetry",
+		func() (*Study, error) {
+			return New("incast-telemetry",
+				WithDescription("where the contention lives: queue buildup, HOL blocking and k_c on a fan-in workload"),
+				WithTraces(sweep.SynthSource("incast", trace.SynthIncast)),
+				WithSchedulers("aalo", "saath"),
+				WithSeeds(1, 2),
+				WithBaseline("aalo"),
+				WithTelemetry(telemetry.Spec{Enabled: true}),
+				WithDerived(
+					DerivedCCT("incast-telemetry — per-scheduler CCT"),
+					DerivedSpeedup("incast-telemetry — per-coflow speedup over aalo", ""),
+					DerivedTelemetry("incast-telemetry — telemetry (per-interval)"),
+				),
+			)
+		})
+
+	Register("delta-sensitivity",
+		"Fig 14c-style sweep of the sync interval δ on the FB workload",
+		func() (*Study, error) {
+			var variants []sweep.Variant
+			for _, d := range []coflow.Time{2, 4, 8, 12, 16, 20} {
+				variants = append(variants, sweep.Variant{
+					Name:   fmt.Sprintf("delta=%dms", d),
+					Config: sim.Config{Delta: d * coflow.Millisecond},
+				})
+			}
+			return New("delta-sensitivity",
+				WithDescription("how coarse the coordination interval can get before the speedup decays"),
+				WithTraces(sweep.SynthSource("fb", trace.SynthFB)),
+				WithSchedulers("aalo", "saath"),
+				WithParamGrid(variants...),
+				WithBaseline("aalo"),
+				WithDerived(
+					DerivedCCT("delta-sensitivity — per-scheduler CCT"),
+					DerivedSpeedup("delta-sensitivity — per-coflow speedup over aalo", ""),
+				),
+			)
+		})
+}

@@ -1,0 +1,242 @@
+package study
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"saath/internal/coflow"
+	"saath/internal/sim"
+	"saath/internal/telemetry"
+)
+
+// shardStudy is the golden-test subject: saath + aalo over two seeds
+// with full telemetry, the shape the ISSUE's acceptance criterion
+// names.
+func shardStudy(t *testing.T) *Study {
+	t.Helper()
+	st, err := New("shard-golden",
+		WithTraces(tinySource("tiny")),
+		WithSchedulers("aalo", "saath"),
+		WithSeeds(1, 2),
+		WithBaseline("aalo"),
+		WithTelemetry(telemetry.Spec{Enabled: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// exports renders every deterministic artifact of a study result: the
+// summary JSON, the telemetry CSV and JSON, and the derived tables.
+func exports(t *testing.T, res *Result) (summaryJSON, metricsCSV, metricsJSON, tables string) {
+	t.Helper()
+	var js, csv, mjs bytes.Buffer
+	if err := res.Summary().WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Summary().WriteMetricsCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Summary().WriteMetricsJSON(&mjs); err != nil {
+		t.Fatal(err)
+	}
+	tbls, err := res.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tbl := range tbls {
+		if err := tbl.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return js.String(), csv.String(), mjs.String(), sb.String()
+}
+
+// TestShardedMergeGolden is the sharded determinism contract: running
+// shard 0/2 and shard 1/2 in separate Summaries, exporting each
+// through the JSON shard dump, and merging must reproduce the
+// single-process run byte for byte — summary JSON, telemetry CSV and
+// JSON, and every derived table.
+func TestShardedMergeGolden(t *testing.T) {
+	st := shardStudy(t)
+	ctx := context.Background()
+
+	whole, err := st.Run(ctx, Pool{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := whole.Err(); err != nil {
+		t.Fatal(err)
+	}
+	wantJS, wantCSV, wantMJS, wantTables := exports(t, whole)
+
+	// Each shard runs in its own Summary — as it would in its own
+	// process — and round-trips through the serialized dump.
+	var dumps []*ShardDump
+	for i := 0; i < 2; i++ {
+		sh := Sharded{Index: i, Count: 2, Pool: Pool{Parallel: 2}}
+		res, err := st.Run(ctx, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteShard(&buf, sh); err != nil {
+			t.Fatal(err)
+		}
+		dump, err := ReadShard(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dump.Shard != i || dump.Of != 2 || dump.Jobs != len(st.Jobs()) {
+			t.Fatalf("dump identity: %+v", dump)
+		}
+		dumps = append(dumps, dump)
+	}
+
+	merged, err := MergeShards(st, dumps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Err(); err != nil {
+		t.Fatal(err)
+	}
+	gotJS, gotCSV, gotMJS, gotTables := exports(t, merged)
+
+	if gotJS != wantJS {
+		t.Errorf("summary JSON differs:\n--- single ---\n%s\n--- merged ---\n%s", wantJS, gotJS)
+	}
+	if gotCSV != wantCSV {
+		t.Errorf("telemetry CSV differs:\n--- single ---\n%s\n--- merged ---\n%s", wantCSV, gotCSV)
+	}
+	if gotMJS != wantMJS {
+		t.Errorf("telemetry JSON differs (lengths %d vs %d)", len(wantMJS), len(gotMJS))
+	}
+	if gotTables != wantTables {
+		t.Errorf("derived tables differ:\n--- single ---\n%s\n--- merged ---\n%s", wantTables, gotTables)
+	}
+}
+
+// TestShardFileRoundTrip: the on-disk shard workflow (WriteShardFile +
+// MergeShardDir) reassembles the study.
+func TestShardFileRoundTrip(t *testing.T) {
+	st := shardStudy(t)
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		sh := Sharded{Index: i, Count: 2, Pool: Pool{Parallel: 2}}
+		res, err := st.Run(context.Background(), sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, err := res.WriteShardFile(dir, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if filepath.Base(path) != ShardFileName(st.Name(), sh) {
+			t.Errorf("shard file name = %s", path)
+		}
+	}
+	merged, err := MergeShardDir(st, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.Summary().Len(), len(st.Jobs()); got != want {
+		t.Fatalf("merged %d jobs, want %d", got, want)
+	}
+}
+
+// TestShardFileNameSanitized: study names may be workload file paths
+// (saath-sim's ad-hoc grids); the dump file name must stay flat and
+// glob-safe so dumps land inside -out and the merge glob finds them.
+func TestShardFileNameSanitized(t *testing.T) {
+	got := ShardFileName("/tmp/tiny trace*.txt", Sharded{Index: 0, Count: 2})
+	if strings.ContainsAny(got, "/*? []") {
+		t.Fatalf("unsafe shard file name %q", got)
+	}
+	if got != "_tmp_tiny_trace_.txt-shard-0-of-2.json" {
+		t.Fatalf("shard file name = %q", got)
+	}
+}
+
+// TestMergeValidation: incomplete, duplicated and mismatched shard
+// sets are rejected instead of silently producing partial output.
+func TestMergeValidation(t *testing.T) {
+	st := shardStudy(t)
+	ctx := context.Background()
+	dump := func(i, n int) *ShardDump {
+		sh := Sharded{Index: i, Count: n, Pool: Pool{Parallel: 2}}
+		res, err := st.Run(ctx, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteShard(&buf, sh); err != nil {
+			t.Fatal(err)
+		}
+		d, err := ReadShard(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d0, d1 := dump(0, 2), dump(1, 2)
+
+	if _, err := MergeShards(st, d0); err == nil || !strings.Contains(err.Error(), "missing shard") {
+		t.Errorf("incomplete merge: err = %v", err)
+	}
+	if _, err := MergeShards(st, d0, d0); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate shard: err = %v", err)
+	}
+	if _, err := MergeShards(st, d0, dump(0, 3)); err == nil || !strings.Contains(err.Error(), "mixed shard partitions") {
+		t.Errorf("mixed partitions: err = %v", err)
+	}
+
+	other, err := New("other-study",
+		WithTraces(tinySource("tiny")),
+		WithSchedulers("aalo", "saath"),
+		WithSeeds(1, 2),
+		WithTelemetry(telemetry.Spec{Enabled: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards(other, d0, d1); err == nil {
+		t.Error("merge into a different study accepted")
+	}
+
+	// A flag-set drift that keeps the job count but changes keys is
+	// caught by the grid fingerprint.
+	drift, err := New("shard-golden",
+		WithTraces(tinySource("tiny")),
+		WithSchedulers("aalo", "saath"),
+		WithSeeds(1, 3), // seed 3 instead of 2
+		WithTelemetry(telemetry.Spec{Enabled: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards(drift, d0, d1); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("grid drift: err = %v", err)
+	}
+
+	// Physical-config drift that keeps every job key identical (a
+	// different -rate) must also fail — the fingerprint covers params
+	// and sim config, not just keys.
+	rateDrift, err := New("shard-golden",
+		WithTraces(tinySource("tiny")),
+		WithSchedulers("aalo", "saath"),
+		WithSeeds(1, 2),
+		WithBaseline("aalo"),
+		WithSimConfig(sim.Config{PortRate: coflow.GbpsRate(10)}),
+		WithTelemetry(telemetry.Spec{Enabled: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards(rateDrift, d0, d1); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("rate drift: err = %v", err)
+	}
+}

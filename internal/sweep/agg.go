@@ -82,6 +82,67 @@ func (s *Summary) Add(jr JobResult) {
 	s.mu.Unlock()
 }
 
+// Entry is the serializable snapshot of one job's digest: everything
+// the Summary keeps per job, in JSON-round-trippable form. CCTs holds
+// per-CoFlow completion times in simulation-result order (order
+// matters: pooled means accumulate floats in this order, so a restored
+// Summary reproduces table bytes exactly); CCTByID keys the same
+// values by CoFlow for cross-scheduler speedup matching, in exact
+// integer microseconds. A sharded study run exports its entries and a
+// merge restores them — see internal/study.
+type Entry struct {
+	Index     int                             `json:"index"`
+	Metrics   JobMetrics                      `json:"metrics"`
+	CCTs      []float64                       `json:"ccts,omitempty"`
+	CCTByID   map[coflow.CoFlowID]coflow.Time `json:"cct_by_id,omitempty"`
+	Telemetry *telemetry.Metrics              `json:"telemetry,omitempty"`
+}
+
+// Entries snapshots every digested job in grid order. The snapshot
+// shares slices and maps with the Summary; callers must not mutate it.
+func (s *Summary) Entries() []Entry {
+	s.mu.Lock()
+	idx := make([]int, 0, len(s.entries))
+	for i := range s.entries {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	out := make([]Entry, len(idx))
+	for i, j := range idx {
+		e := s.entries[j]
+		out[i] = Entry{Index: j, Metrics: e.metrics, CCTs: e.ccts, CCTByID: e.byID, Telemetry: e.telemetry}
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// Restore inserts previously-exported entries, keyed by their grid
+// index — the merge half of the shard workflow. It refuses to
+// overwrite an already-present index, so merging overlapping shards
+// fails loudly instead of silently double-counting.
+func (s *Summary) Restore(entries ...Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		if e.Index < 0 {
+			return fmt.Errorf("sweep: restore: negative job index %d", e.Index)
+		}
+		if _, dup := s.entries[e.Index]; dup {
+			return fmt.Errorf("sweep: restore: duplicate job index %d (%s|%s|%d|%s)",
+				e.Index, e.Metrics.Trace, e.Metrics.Variant, e.Metrics.Seed, e.Metrics.Scheduler)
+		}
+		s.entries[e.Index] = &jobEntry{metrics: e.Metrics, ccts: e.CCTs, byID: e.CCTByID, telemetry: e.Telemetry}
+	}
+	return nil
+}
+
+// Len returns the number of digested jobs.
+func (s *Summary) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
 // sorted returns the entries in grid order.
 func (s *Summary) sorted() []*jobEntry {
 	s.mu.Lock()
@@ -156,6 +217,27 @@ func (c *cell) label() string {
 		return c.trace
 	}
 	return c.trace + " " + c.variant
+}
+
+// CCTGroup pools one (trace, variant, scheduler) cell's per-CoFlow
+// CCTs across seeds, in first-seen grid order — the grouping behind
+// CCTTable, exported so derived consumers (study CDF tables) share one
+// implementation of the cell key and label rules.
+type CCTGroup struct {
+	Label     string // trace plus variant, as rendered in tables
+	Scheduler string
+	CCTs      []float64 // pooled, grid order within each job
+}
+
+// CCTGroups returns the pooled per-cell CCT distributions, skipping
+// errored jobs.
+func (s *Summary) CCTGroups() []CCTGroup {
+	cells := s.cells()
+	out := make([]CCTGroup, len(cells))
+	for i, c := range cells {
+		out[i] = CCTGroup{Label: c.label(), Scheduler: c.scheduler, CCTs: c.ccts}
+	}
+	return out
 }
 
 // CCTTable renders per-(trace, variant, scheduler) CCT statistics with

@@ -10,6 +10,27 @@
 // slot keyed by job index, and aggregation iterates jobs in index
 // order. A grid executed with Parallel=1 therefore produces output
 // byte-identical to the same grid with Parallel=N.
+//
+// # Seed derivation
+//
+// DeriveSeed(base, salt) is the engine's only source of implicit
+// randomness, and its salting contract is what keeps grids both
+// reproducible and collision-free:
+//
+//   - The base is the job's grid seed (Job.Seed); the salt is the
+//     job's Key() — trace|variant|seed|scheduler — plus a
+//     consumer-specific suffix ("|dynamics", "|pipelining",
+//     "|telemetry"). Two jobs from the same grid therefore never share
+//     an RNG stream, and the same cell re-run (any worker count, any
+//     process, any shard) always gets the same stream.
+//   - Key() must be unique across a grid expansion for the contract to
+//     hold; Grid.Jobs guarantees it as long as trace names, variant
+//     names and seeds are themselves distinct (enforced by the
+//     compile-time validation in internal/study, and pinned by
+//     TestGridJobKeyUniqueness).
+//   - Explicit non-zero seeds (Dynamics.Seed, Pipelining.Seed,
+//     telemetry.Spec.Seed) are always respected; derivation only fills
+//     zeros.
 package sweep
 
 import (
@@ -58,6 +79,10 @@ type Variant struct {
 	// Mutate, if set, transforms the job's private trace copy before
 	// simulation (Fig 14d's arrival scaling is expressed this way).
 	Mutate func(tr *trace.Trace)
+	// Schedulers, if non-empty, restricts this variant to the listed
+	// policies instead of the grid's scheduler list (Fig 14e evaluates
+	// the deadline factor for Saath only).
+	Schedulers []string
 }
 
 // Grid declares a sweep: the cross product of traces, parameter
@@ -97,8 +122,12 @@ func (g Grid) Jobs() []Job {
 	var jobs []Job
 	for _, ts := range g.Traces {
 		for _, v := range variants {
+			schedulers := g.Schedulers
+			if len(v.Schedulers) > 0 {
+				schedulers = v.Schedulers
+			}
 			for _, seed := range seeds {
-				for _, sn := range g.Schedulers {
+				for _, sn := range schedulers {
 					jobs = append(jobs, Job{
 						Index:     len(jobs),
 						Trace:     ts.Name,
@@ -331,9 +360,9 @@ func runJob(ctx context.Context, j Job) JobResult {
 			spec.Seed = DeriveSeed(j.Seed, j.Key()+"|telemetry")
 		}
 		suite = telemetry.NewSuite(spec)
-		// Full-slice append: never share a probe backing array (and
+		// Copy-safe attach: never share a probe backing array (and
 		// thus a Suite) with sibling jobs of the same grid.
-		cfg.Probes = append(cfg.Probes[:len(cfg.Probes):len(cfg.Probes)], suite)
+		cfg = cfg.WithProbe(suite)
 	}
 	res, err := sim.Run(j.Gen(), s, cfg)
 	if err != nil {

@@ -77,6 +77,42 @@ func TestGridExpansion(t *testing.T) {
 	}
 }
 
+// TestGridJobKeyUniqueness pins the DeriveSeed salting contract (see
+// the package doc): Key() must be unique across a full grid expansion
+// — traces × param variants × seeds × schedulers, including a
+// variant-scoped scheduler restriction — because every derived RNG
+// stream (dynamics, pipelining, telemetry) is salted with it.
+func TestGridJobKeyUniqueness(t *testing.T) {
+	g := testGrid()
+	g.Variants = append(g.Variants, Variant{Name: "saath-only", Schedulers: []string{"saath"}})
+	jobs := g.Jobs()
+	// 2 traces × (2 variants × 3 seeds × 2 scheds + 1 restricted
+	// variant × 3 seeds × 1 sched).
+	if want := 30; len(jobs) != want {
+		t.Fatalf("jobs = %d, want %d", len(jobs), want)
+	}
+	seen := make(map[string]int, len(jobs))
+	for _, j := range jobs {
+		if prev, dup := seen[j.Key()]; dup {
+			t.Fatalf("jobs %d and %d share key %q", prev, j.Index, j.Key())
+		}
+		seen[j.Key()] = j.Index
+	}
+	// Distinct keys must yield distinct streams for every derived-seed
+	// consumer — and the consumers of one job must not collide with
+	// each other either.
+	streams := make(map[int64]string, 3*len(jobs))
+	for _, j := range jobs {
+		for _, salt := range []string{"|dynamics", "|pipelining", "|telemetry"} {
+			s := DeriveSeed(j.Seed, j.Key()+salt)
+			if prev, dup := streams[s]; dup {
+				t.Fatalf("derived seed collision between %q and %q", prev, j.Key()+salt)
+			}
+			streams[s] = j.Key() + salt
+		}
+	}
+}
+
 // runSummary executes the grid at the given parallelism and returns
 // the JSON export plus rendered aggregate tables.
 func runSummary(t *testing.T, jobs []Job, parallel int) (string, string) {

@@ -9,7 +9,9 @@
 // (Saath and the baselines it is evaluated against: Aalo, Varys'
 // SEBF+MADD, clairvoyant SCF/SRTF/LWTF, UC-TCP), the discrete-time
 // cluster simulator, the statistics helpers behind the paper's
-// figures, and the distributed coordinator/agent prototype.
+// figures, the declarative study layer (NewStudy: experiment grids
+// with pluggable in-process or sharded execution), and the distributed
+// coordinator/agent prototype.
 //
 // Quick start (see examples/quickstart for a runnable version):
 //
@@ -21,12 +23,14 @@ package saath
 
 import (
 	"context"
+	"io"
 
 	"saath/internal/coflow"
 	"saath/internal/runtime"
 	"saath/internal/sched"
 	"saath/internal/sim"
 	"saath/internal/stats"
+	"saath/internal/study"
 	"saath/internal/sweep"
 	"saath/internal/telemetry"
 	"saath/internal/trace"
@@ -190,7 +194,7 @@ func SimulateWithTelemetry(tr *Trace, scheduler string, cfg SimConfig, spec Tele
 	var suite *TelemetrySuite
 	if spec.Enabled {
 		suite = telemetry.NewSuite(spec)
-		cfg.Probes = append(cfg.Probes[:len(cfg.Probes):len(cfg.Probes)], suite)
+		cfg = cfg.WithProbe(suite)
 	}
 	res, err := SimulateWith(tr, scheduler, DefaultParams(), cfg)
 	if err != nil {
@@ -201,6 +205,86 @@ func SimulateWithTelemetry(tr *Trace, scheduler string, cfg SimConfig, spec Tele
 	}
 	return res, suite.Metrics(), nil
 }
+
+// Declarative study types (internal/study): one composable experiment
+// layer over sweep, telemetry and report. A Study is declared once
+// with NewStudy + functional options, validated at construction,
+// compiled to a SweepGrid, executed on a pluggable StudyRunner
+// (in-process pool or i-of-n shard), and rendered to derived tables;
+// shard outputs merge byte-identically to a single-process run.
+type (
+	// Study is a validated, immutable experiment declaration.
+	Study = study.Study
+	// StudyOption configures a Study under construction (see the
+	// With* constructors below).
+	StudyOption = study.Option
+	// StudyResult is one study execution: aggregate summary, raw
+	// per-job results (live runs), derived tables.
+	StudyResult = study.Result
+	// StudyRunner is a pluggable execution backend for a study.
+	StudyRunner = study.Runner
+	// StudyPool is the in-process bounded worker-pool runner.
+	StudyPool = study.Pool
+	// StudySharded runs shard i of n of a study's grid; see
+	// MergeStudyShards for reassembly.
+	StudySharded = study.Sharded
+	// StudyDerived computes tables from a study's aggregated summary.
+	StudyDerived = study.Derived
+	// StudyShardDump is the serialized output of one sharded run.
+	StudyShardDump = study.ShardDump
+)
+
+// NewStudy builds and validates a declarative study; see the study
+// option constructors (WithTraces, WithSchedulers, WithParamGrid,
+// WithSeeds, WithSimConfig, WithTelemetry, WithBaseline, WithDerived).
+func NewStudy(name string, opts ...StudyOption) (*Study, error) {
+	return study.New(name, opts...)
+}
+
+// Study option constructors, re-exported from internal/study.
+var (
+	WithDescription = study.WithDescription
+	WithTraces      = study.WithTraces
+	WithSchedulers  = study.WithSchedulers
+	WithSeeds       = study.WithSeeds
+	WithParams      = study.WithParams
+	WithSimConfig   = study.WithSimConfig
+	WithParamGrid   = study.WithParamGrid
+	WithTelemetry   = study.WithTelemetry
+	WithBaseline    = study.WithBaseline
+	WithDerived     = study.WithDerived
+)
+
+// Derived-table constructors for WithDerived.
+var (
+	DerivedCCT       = study.DerivedCCT
+	DerivedSpeedup   = study.DerivedSpeedup
+	DerivedTelemetry = study.DerivedTelemetry
+	DerivedCCTCDF    = study.DerivedCCTCDF
+)
+
+// RegisteredStudies lists the named studies of the built-in catalog
+// (plus anything the program registered via RegisterStudy) — the
+// namespace behind saath-sim/experiments -study.
+func RegisteredStudies() []string { return study.Names() }
+
+// RegisterStudy adds a named study to the catalog.
+func RegisterStudy(name, description string, build func() (*Study, error)) {
+	study.Register(name, description, build)
+}
+
+// BuildStudy constructs a registered study by name.
+func BuildStudy(name string) (*Study, error) { return study.Build(name) }
+
+// MergeStudyShards reassembles a full study result from shard dumps,
+// validating completeness; the merged summary and telemetry exports
+// are byte-identical to a single-process run of the same study.
+func MergeStudyShards(st *Study, dumps ...*StudyShardDump) (*StudyResult, error) {
+	return study.MergeShards(st, dumps...)
+}
+
+// ReadStudyShard parses one shard dump written by StudyResult.WriteShard.
+func ReadStudyShard(r io.Reader) (*StudyShardDump, error) { return study.ReadShard(r) }
 
 // SynthIncast generates the incast workload: Degree senders converging
 // on one of a few hot aggregator ports per CoFlow.
