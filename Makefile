@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-sched bench-sweep bench-telemetry fmt fmt-check vet staticcheck ci
+.PHONY: build test race bench bench-sched bench-sweep bench-telemetry bench-trace fmt fmt-check vet staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,13 @@ bench-telemetry:
 	$(GO) test -bench Telemetry -benchtime=1x -run '^$$' -timeout 10m ./...
 	$(GO) test -run TestObserveIntervalNoProbesZeroAlloc -count=1 ./internal/sim/
 
+# Trace-layer smoke: one iteration of the synthetic-generation and
+# trace.Mix benchmarks plus the allocation guard against the
+# trace_layer section of BENCH_baseline.json (skips under -race).
+bench-trace:
+	$(GO) test -bench 'BenchmarkTrace' -benchtime=1x -benchmem -run '^$$' -timeout 10m .
+	$(GO) test -run TestTraceAllocGuards -count=1 .
+
 fmt:
 	gofmt -w .
 
@@ -65,4 +72,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
-ci: fmt-check build vet staticcheck race bench bench-sched bench-sweep bench-telemetry
+ci: fmt-check build vet staticcheck race bench bench-sched bench-sweep bench-telemetry bench-trace

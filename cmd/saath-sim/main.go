@@ -13,17 +13,20 @@
 //
 // The -trace flag accepts "fb" (synthetic Facebook-like), "osp"
 // (synthetic OSP-like), "incast" / "broadcast" (synthetic fan-in /
-// fan-out hotspot workloads), or a path to a file in the
+// fan-out hotspot workloads), "mix" (fb and incast deterministically
+// interleaved, see trace.SynthMix), or a path to a file in the
 // coflow-benchmark format. When more than one scheduler is given, the
 // first is the baseline for speedup reporting. -seed takes a
 // comma-separated list: synthetic workloads are regenerated per seed
 // and statistics pool across the draws.
 //
 // -metrics streams per-interval telemetry (queue occupancy, fabric
-// utilization, head-of-line blocking, contention histograms) out of
-// every simulation, prints a condensed table, and -metrics-out exports
-// the full series as JSON (or CSV with a .csv path). The export is
-// byte-identical at any -parallel setting:
+// utilization, head-of-line blocking, contention histograms,
+// queue-transition counters against the configured K/S/E ladder, and
+// per-port occupancy heatmaps) out of every simulation, prints the
+// condensed tables, and -metrics-out exports the full series as JSON
+// (or CSV with a .csv path). The export is byte-identical at any
+// -parallel setting:
 //
 //	saath-sim -trace incast -sched aalo,saath -metrics -metrics-out m.json
 //
@@ -68,7 +71,7 @@ import (
 
 func main() {
 	var (
-		traceArg = flag.String("trace", "fb", `workload: "fb", "osp", or a coflow-benchmark file path`)
+		traceArg = flag.String("trace", "fb", `workload: "fb", "osp", "incast", "broadcast", "mix", or a coflow-benchmark file path`)
 		seeds    = flag.String("seed", "1", "comma-separated seeds; each regenerates the synthetic workload")
 		scheds   = flag.String("sched", "aalo,saath", "comma-separated schedulers; first is the speedup baseline")
 		delta    = flag.Duration("delta", 8*time.Millisecond, "schedule recomputation interval δ")
@@ -301,6 +304,12 @@ func studyFromFlags(fg flagGrid) (*study.Study, error) {
 		opts = append(opts, study.WithTelemetry(telemetry.Spec{
 			Enabled: true,
 			Stride:  metricsStride(fg.metricsStep, cfg.Delta),
+			// Observe queue transitions against the ladder the CLI's
+			// K/S/E flags configure (Aalo's total-bytes placement, the
+			// paper's Fig. 4 baseline view), plus the per-port heatmaps.
+			QueueTransitions: true,
+			TransitionQueues: params.Queues,
+			PortHeatmap:      true,
 		}))
 	}
 	if len(names) > 1 {
@@ -330,6 +339,12 @@ func render(res *study.Result, fromCLI bool, metrics bool, jsonPath, metricsOut 
 		}
 		if metrics {
 			if err := agg.TelemetryTable("telemetry (per-interval)").Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			if err := agg.QueueTransitionTable("queue transitions (Fig. 4-style)").Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			if err := agg.PortHeatmapTable("per-port occupancy heatmap (hottest ports)", 8).Render(os.Stdout); err != nil {
 				fatal(err)
 			}
 		}
@@ -412,7 +427,7 @@ func metricsStride(step time.Duration, delta coflow.Time) int {
 // synthetic family (regenerated per sweep seed) rather than a file.
 func isSynthetic(arg string) bool {
 	switch arg {
-	case "fb", "osp", "incast", "broadcast":
+	case "fb", "osp", "incast", "broadcast", "mix":
 		return true
 	}
 	return false
@@ -441,6 +456,8 @@ func loadTrace(arg string, seed int64) (*trace.Trace, error) {
 		return trace.SynthIncast(seed), nil
 	case "broadcast":
 		return trace.SynthBroadcast(seed), nil
+	case "mix":
+		return trace.SynthMix(seed), nil
 	default:
 		return trace.ParseFile(arg)
 	}

@@ -29,7 +29,7 @@ func TestMetricsStride(t *testing.T) {
 }
 
 func TestIsSynthetic(t *testing.T) {
-	for _, name := range []string{"fb", "osp", "incast", "broadcast"} {
+	for _, name := range []string{"fb", "osp", "incast", "broadcast", "mix"} {
 		if !isSynthetic(name) {
 			t.Errorf("isSynthetic(%q) = false", name)
 		}
@@ -98,6 +98,10 @@ func TestLoadTrace(t *testing.T) {
 	if err != nil || bcast.NumPorts != 60 {
 		t.Fatalf("broadcast: %v", err)
 	}
+	mix, err := loadTrace("mix", 1)
+	if err != nil || mix.NumPorts != 150 { // the FB component's port space
+		t.Fatalf("mix: %v", err)
+	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.txt")
 	if err := os.WriteFile(path, []byte("2 1\n0 0 1 0 1 1:1\n"), 0o644); err != nil {
@@ -135,6 +139,14 @@ func TestStudyFromFlags(t *testing.T) {
 	j := jobs[0]
 	if !j.Telemetry.Enabled || j.Telemetry.Stride != 2 {
 		t.Fatalf("telemetry spec = %+v", j.Telemetry)
+	}
+	// -metrics turns on the Fig. 4-style consumers, observing the
+	// ladder the CLI's K/S/E flags configure.
+	if !j.Telemetry.QueueTransitions || !j.Telemetry.PortHeatmap {
+		t.Fatalf("spatial telemetry not enabled: %+v", j.Telemetry)
+	}
+	if j.Telemetry.TransitionQueues.NumQueues != 10 {
+		t.Fatalf("transition ladder = %+v", j.Telemetry.TransitionQueues)
 	}
 	if j.Config.Delta != 8*coflow.Millisecond {
 		t.Fatalf("delta = %v", j.Config.Delta)

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		kind     = flag.String("kind", "fb", `workload family: "fb", "osp", "incast", "broadcast", or "custom"`)
+		kind     = flag.String("kind", "fb", `workload family: "fb", "osp", "incast", "broadcast", "mix", or "custom"`)
 		seed     = flag.Int64("seed", 1, "generator seed")
 		out      = flag.String("out", "-", `output path ("-" for stdout)`)
 		ports    = flag.Int("ports", 0, "[custom/incast/broadcast] cluster size (0 = family default)")
@@ -49,10 +49,18 @@ func main() {
 		tr = trace.SynthOSP(*seed)
 	case "incast":
 		cfg := fanConfig(trace.DefaultIncastConfig(*seed), *ports, *coflows, *gap, *fanIn, *skew, *hotspots)
-		tr = trace.SynthesizeIncast(cfg, "incast")
+		var err error
+		if tr, err = trace.SynthesizeIncast(cfg, "incast"); err != nil {
+			fatal(err)
+		}
 	case "broadcast":
 		cfg := fanConfig(trace.DefaultBroadcastConfig(*seed), *ports, *coflows, *gap, *fanOut, *skew, *hotspots)
-		tr = trace.SynthesizeBroadcast(cfg, "broadcast")
+		var err error
+		if tr, err = trace.SynthesizeBroadcast(cfg, "broadcast"); err != nil {
+			fatal(err)
+		}
+	case "mix":
+		tr = trace.SynthMix(*seed)
 	case "custom":
 		cfg := trace.DefaultFBConfig(*seed)
 		if *ports > 0 {
@@ -97,13 +105,11 @@ func main() {
 	}
 }
 
-// fanConfig overlays the non-default flags onto a family default,
-// rejecting values the generator cannot satisfy (it would panic).
+// fanConfig overlays the non-default flags onto a family default;
+// values the generator cannot satisfy are reported by the generator's
+// own validation (see trace.FanConfig.Validate).
 func fanConfig(cfg trace.FanConfig, ports, coflows int, gap time.Duration, degree int, skew float64, hotspots int) trace.FanConfig {
 	if ports > 0 {
-		if ports < 2 {
-			fatal(fmt.Errorf("-ports %d: fan workloads need at least 2 ports", ports))
-		}
 		cfg.NumPorts = ports
 	}
 	if coflows > 0 {

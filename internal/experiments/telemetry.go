@@ -44,15 +44,29 @@ func (e *Env) Telemetry() ([]*report.Table, error) {
 		study.WithTraces(sweep.SynthSource(name, func(seed int64) *trace.Trace {
 			c := cfg
 			c.Seed = seed
-			return trace.SynthesizeIncast(c, name)
+			tr, err := trace.SynthesizeIncast(c, name)
+			if err != nil {
+				panic("experiments: telemetry incast config rejected: " + err.Error())
+			}
+			return tr
 		})),
 		study.WithSchedulers("aalo", "saath"),
 		study.WithSeeds(1),
 		study.WithParams(e.Params),
 		study.WithSimConfig(e.SimCfg),
-		study.WithTelemetry(telemetry.Spec{Enabled: true}),
+		study.WithTelemetry(telemetry.Spec{
+			Enabled: true,
+			// Observe queue transitions against the experiment's own
+			// ladder and map where the queues build per port — the
+			// Fig. 4-style spatial views.
+			QueueTransitions: true,
+			TransitionQueues: e.Params.Queues,
+			PortHeatmap:      true,
+		}),
 		study.WithDerived(
 			study.DerivedTelemetry(fmt.Sprintf("Telemetry — %s summary", name)),
+			study.DerivedQueueTransitions(fmt.Sprintf("Telemetry — %s queue transitions (Fig. 4-style)", name)),
+			study.DerivedPortHeatmap(fmt.Sprintf("Telemetry — %s per-port occupancy heatmap", name), 6),
 			telemetryDrilldown(name),
 		))
 	if err != nil {

@@ -206,6 +206,60 @@ func BucketTable(title, xLabel string, uppers []float64, counts []int64, overflo
 	return t
 }
 
+// HeatmapRow is one labeled row of a heatmap table: occupancy-bucket
+// counts (per ascending upper bound, plus overflow above the last
+// bound) and exact scalar statistics.
+type HeatmapRow struct {
+	Label    string
+	Counts   []int64
+	Overflow int64
+	Mean     float64
+	Max      float64
+}
+
+// HeatmapTable renders a label × bucket matrix as per-row fractions —
+// the terminal rendering of the telemetry per-port occupancy heatmaps
+// (Fig. 4-style "where the queues build"). Buckets are disjoint
+// intervals, NOT cumulative: each cell is the fraction of the row's
+// observations that fell in (prevBound, bound] — the first bound
+// (typically 0) reads as idle time, and a row's cells sum to one.
+func HeatmapTable(title, rowLabel string, bounds []float64, rows []HeatmapRow) *Table {
+	headers := []string{rowLabel, "mean", "max"}
+	for i, b := range bounds {
+		if i == 0 {
+			headers = append(headers, fmt.Sprintf("=%.4g", b))
+		} else {
+			headers = append(headers, fmt.Sprintf("(%.4g,%.4g]", bounds[i-1], b))
+		}
+	}
+	if len(bounds) > 0 {
+		headers = append(headers, fmt.Sprintf(">%.4g", bounds[len(bounds)-1]))
+	}
+	t := &Table{Title: title, Headers: headers}
+	for _, r := range rows {
+		var total int64
+		for _, c := range r.Counts {
+			total += c
+		}
+		total += r.Overflow
+		frac := func(c int64) string {
+			if total == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f", float64(c)/float64(total))
+		}
+		cells := []any{r.Label, fmt.Sprintf("%.2f", r.Mean), fmt.Sprintf("%.0f", r.Max)}
+		for _, c := range r.Counts {
+			cells = append(cells, frac(c))
+		}
+		if len(bounds) > 0 {
+			cells = append(cells, frac(r.Overflow))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
 // SpeedupBar renders the paper's bar-with-error-bars presentation:
 // one row per series with P10/median/P90.
 func SpeedupBar(title string, series map[string]stats.SpeedupSummary, order []string) *Table {

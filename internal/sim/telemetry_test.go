@@ -16,12 +16,16 @@ import (
 // telemetryTrace is a small contended workload: 12 coflows fanning
 // into 2 aggregator ports on an 8-port cluster.
 func telemetryTrace(seed int64) *trace.Trace {
-	return trace.SynthesizeIncast(trace.FanConfig{
+	tr, err := trace.SynthesizeIncast(trace.FanConfig{
 		Seed: seed, NumPorts: 8, NumCoFlows: 12,
 		MeanInterArrival: 10 * coflow.Millisecond,
 		Degree:           4, Skew: 0.5, Hotspots: 2,
 		MinSize: 100 * coflow.KB, MaxSize: 4 * coflow.MB,
 	}, "telemetry-tiny")
+	if err != nil {
+		panic(err)
+	}
+	return tr
 }
 
 func runWithSuite(t testing.TB, seed int64) (*Result, *telemetry.Metrics) {

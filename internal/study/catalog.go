@@ -10,6 +10,54 @@ import (
 	"saath/internal/trace"
 )
 
+// fanDegreeBase is the incast configuration the fan-degree study's
+// variants specialize: modest scale (a full run of the 24-job grid
+// stays in seconds) with enough load that hotspot queues visibly
+// build. Degree/Hotspots/Skew are overwritten per variant.
+func fanDegreeBase(seed int64) trace.FanConfig {
+	return trace.FanConfig{
+		Seed:             seed,
+		NumPorts:         36,
+		NumCoFlows:       90,
+		MeanInterArrival: 20 * coflow.Millisecond,
+		Degree:           12,
+		Skew:             0.5,
+		Hotspots:         4,
+		MinSize:          coflow.MB,
+		MaxSize:          96 * coflow.MB,
+	}
+}
+
+// mixFBComponent is the trace-mix study's shuffle-shaped ingredient: a
+// reduced FB-like draw sharing the incast component's 48-port space.
+func mixFBComponent(seed int64) *trace.Trace {
+	cfg := trace.DefaultFBConfig(seed)
+	cfg.NumPorts = 48
+	cfg.NumCoFlows = 220
+	cfg.MaxLarge = 2 * coflow.GB // trim the tail so the ratio sweep runs in seconds
+	return trace.Synthesize(cfg, "fb-mix")
+}
+
+// mixIncastComponent is the fan-in ingredient, matched to the same
+// port space so the two workloads genuinely share hotspots.
+func mixIncastComponent(seed int64) *trace.Trace {
+	tr, err := trace.SynthesizeIncast(trace.FanConfig{
+		Seed:             seed,
+		NumPorts:         48,
+		NumCoFlows:       220,
+		MeanInterArrival: 20 * coflow.Millisecond,
+		Degree:           10,
+		Skew:             0.6,
+		Hotspots:         5,
+		MinSize:          coflow.MB,
+		MaxSize:          128 * coflow.MB,
+	}, "incast-mix")
+	if err != nil {
+		panic("study trace-mix: " + err.Error())
+	}
+	return tr
+}
+
 // The catalog registers the canonical full-scale studies every binary
 // with the policy packages linked in can run by name (saath-sim
 // -study, experiments -study). Each is a plain declaration — the
@@ -50,6 +98,100 @@ func init() {
 					DerivedCCT("incast-telemetry — per-scheduler CCT"),
 					DerivedSpeedup("incast-telemetry — per-coflow speedup over aalo", ""),
 					DerivedTelemetry("incast-telemetry — telemetry (per-interval)"),
+				),
+			)
+		})
+
+	Register("fan-degree",
+		"incast fan-in sweep: degree × hotspot count × skew under aalo vs saath, with Fig. 4-style queue-transition and per-port heatmap telemetry",
+		func() (*Study, error) {
+			var variants []sweep.Variant
+			for _, deg := range []int{4, 12, 24} {
+				for _, hot := range []int{2, 6} {
+					for _, skew := range []float64{0, 1} {
+						deg, hot, skew := deg, hot, skew
+						variants = append(variants, sweep.Variant{
+							Name: fmt.Sprintf("deg=%d,hot=%d,skew=%g", deg, hot, skew),
+							MutateSeeded: func(tr *trace.Trace, seed int64) {
+								cfg := fanDegreeBase(seed)
+								cfg.Degree, cfg.Hotspots, cfg.Skew = deg, hot, skew
+								gen, err := trace.SynthesizeIncast(cfg, tr.Name)
+								if err != nil {
+									panic("study fan-degree: " + err.Error())
+								}
+								*tr = *gen
+							},
+						})
+					}
+				}
+			}
+			return New("fan-degree",
+				WithDescription("how fan-in width and hotspot concentration drive queue buildup and CCT"),
+				WithTraces(sweep.SynthSource("fan", func(seed int64) *trace.Trace {
+					// Placeholder draw; every variant regenerates it with
+					// its own degree/hotspot/skew point (MutateSeeded).
+					gen, err := trace.SynthesizeIncast(fanDegreeBase(seed), "fan")
+					if err != nil {
+						panic("study fan-degree: " + err.Error())
+					}
+					return gen
+				})),
+				WithSchedulers("aalo", "saath"),
+				WithParamGrid(variants...),
+				WithBaseline("aalo"),
+				WithTelemetry(telemetry.Spec{
+					Enabled:          true,
+					QueueTransitions: true,
+					PerFlowPlacement: true,
+					PortHeatmap:      true,
+				}),
+				WithDerived(
+					DerivedCCT("fan-degree — per-variant CCT"),
+					DerivedSpeedup("fan-degree — per-coflow speedup over aalo", ""),
+					DerivedTelemetry("fan-degree — occupancy/HOL telemetry"),
+					DerivedQueueTransitions("fan-degree — queue transitions (Fig. 4-style)"),
+					DerivedPortHeatmap("fan-degree — per-port occupancy heatmap", 4),
+				),
+			)
+		})
+
+	Register("trace-mix",
+		"fb + incast interleaved at swept mix ratios (trace.Mix), with queue-transition and heatmap telemetry",
+		func() (*Study, error) {
+			var sources []sweep.TraceSource
+			for _, pct := range []int{0, 25, 50, 75, 100} {
+				pct := pct
+				name := fmt.Sprintf("mix-incast%d", pct)
+				sources = append(sources, sweep.SynthSource(name, func(seed int64) *trace.Trace {
+					tr, err := trace.Mix(name, trace.MixConfig{
+						Seed:             seed,
+						NumCoFlows:       220,
+						MeanInterArrival: 25 * coflow.Millisecond,
+					},
+						trace.MixComponent{Name: "fb", Weight: float64(100 - pct), Gen: mixFBComponent},
+						trace.MixComponent{Name: "incast", Weight: float64(pct), Gen: mixIncastComponent},
+					)
+					if err != nil {
+						panic("study trace-mix: " + err.Error())
+					}
+					return tr
+				}))
+			}
+			return New("trace-mix",
+				WithDescription("how much fan-in a shuffle-dominated cluster absorbs before spatial contention dominates CCT"),
+				WithTraces(sources...),
+				WithSchedulers("aalo", "saath"),
+				WithBaseline("aalo"),
+				WithTelemetry(telemetry.Spec{
+					Enabled:          true,
+					QueueTransitions: true,
+					PortHeatmap:      true,
+				}),
+				WithDerived(
+					DerivedCCT("trace-mix — per-ratio CCT"),
+					DerivedSpeedup("trace-mix — per-coflow speedup over aalo", ""),
+					DerivedQueueTransitions("trace-mix — queue transitions (Fig. 4-style)"),
+					DerivedPortHeatmap("trace-mix — per-port occupancy heatmap", 4),
 				),
 			)
 		})

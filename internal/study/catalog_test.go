@@ -1,0 +1,69 @@
+package study
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestFanDegreeShardMergeGolden is the ISSUE 5 acceptance pin for the
+// scenario catalog: the registered fan-degree study run as shard 0/2 +
+// shard 1/2 and merged (the exact pipeline behind `saath-sim -study
+// fan-degree -shard i/2` + `-merge`) renders output byte-identical to
+// the unsharded run — summary JSON, telemetry CSV/JSON, and every
+// derived table including the new queue-transition and per-port
+// heatmap views.
+func TestFanDegreeShardMergeGolden(t *testing.T) {
+	st, err := Build("fan-degree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	whole, err := st.Run(ctx, Pool{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := whole.Err(); err != nil {
+		t.Fatal(err)
+	}
+	wantJS, wantCSV, wantMJS, wantTables := exports(t, whole)
+	for _, want := range []string{"queue transitions", "heatmap", "deg=24,hot=2,skew=1"} {
+		if !strings.Contains(wantTables, want) {
+			t.Errorf("fan-degree tables missing %q", want)
+		}
+	}
+
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		sh := Sharded{Index: i, Count: 2, Pool: Pool{Parallel: 4}}
+		res, err := st.Run(ctx, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := res.WriteShardFile(dir, sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := MergeShardDir(st, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJS, gotCSV, gotMJS, gotTables := exports(t, merged)
+
+	if gotJS != wantJS {
+		t.Error("fan-degree summary JSON differs between sharded and unsharded runs")
+	}
+	if gotCSV != wantCSV {
+		t.Error("fan-degree telemetry CSV differs between sharded and unsharded runs")
+	}
+	if gotMJS != wantMJS {
+		t.Error("fan-degree telemetry JSON differs between sharded and unsharded runs")
+	}
+	if gotTables != wantTables {
+		t.Errorf("fan-degree derived tables differ:\n--- single ---\n%s\n--- merged ---\n%s", wantTables, gotTables)
+	}
+}

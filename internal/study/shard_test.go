@@ -3,6 +3,7 @@ package study
 import (
 	"bytes"
 	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -238,5 +239,118 @@ func TestMergeValidation(t *testing.T) {
 	}
 	if _, err := MergeShards(rateDrift, d0, d1); err == nil || !strings.Contains(err.Error(), "fingerprint") {
 		t.Errorf("rate drift: err = %v", err)
+	}
+}
+
+// TestMergeShardDirFailureModes is the on-disk merge counterpart of
+// TestMergeValidation: the failure modes an operator actually hits
+// when pointing `saath-sim -merge <dir>` at a bad shard directory — a
+// duplicated shard dump, a dump from a drifted flag set (grid
+// fingerprint mismatch), a missing shard, mixed partitions — each fail
+// with a distinct, actionable error instead of rendering partial or
+// double-counted output.
+func TestMergeShardDirFailureModes(t *testing.T) {
+	st := shardStudy(t)
+	ctx := context.Background()
+
+	// Produce the canonical dump files once; each case assembles its
+	// own directory from copies.
+	dumpFile := func(t *testing.T, st *Study, i, n int) (name string, data []byte) {
+		t.Helper()
+		sh := Sharded{Index: i, Count: n, Pool: Pool{Parallel: 2}}
+		res, err := st.Run(ctx, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteShard(&buf, sh); err != nil {
+			t.Fatal(err)
+		}
+		return ShardFileName(st.Name(), sh), buf.Bytes()
+	}
+	name0, dump0 := dumpFile(t, st, 0, 2)
+	name1, dump1 := dumpFile(t, st, 1, 2)
+	_, dumpThird := dumpFile(t, st, 0, 3)
+
+	// A same-name study with a drifted seed list: identical job count,
+	// different grid fingerprint.
+	drifted, err := New(st.Name(),
+		WithTraces(tinySource("tiny")),
+		WithSchedulers("aalo", "saath"),
+		WithSeeds(1, 3),
+		WithBaseline("aalo"),
+		WithTelemetry(telemetry.Spec{Enabled: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dumpDrift := dumpFile(t, drifted, 1, 2)
+
+	cases := []struct {
+		name  string
+		files map[string][]byte
+		want  string // substring of the expected error
+	}{
+		{
+			name: "duplicated shard dump",
+			files: map[string][]byte{
+				name0: dump0,
+				name1: dump1,
+				// A second copy of shard 0 under another glob-matching name.
+				strings.Replace(name0, "shard-0", "shard-00", 1): dump0,
+			},
+			want: "supplied twice",
+		},
+		{
+			name: "mismatched grid fingerprint",
+			files: map[string][]byte{
+				name0: dump0,
+				name1: dumpDrift,
+			},
+			want: "fingerprint mismatch",
+		},
+		{
+			name:  "missing shard",
+			files: map[string][]byte{name0: dump0},
+			want:  "missing shard",
+		},
+		{
+			name: "mixed partitions",
+			files: map[string][]byte{
+				name0: dump0,
+				name1: dump1,
+				strings.Replace(name0, "of-2", "of-3", 1): dumpThird,
+			},
+			want: "mixed shard partitions",
+		},
+		{
+			name:  "empty directory",
+			files: nil,
+			want:  "no shard dumps",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			for name, data := range tc.files {
+				if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			_, err := MergeShardDir(st, dir)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	// Control: the clean pair still merges.
+	dir := t.TempDir()
+	for name, data := range map[string][]byte{name0: dump0, name1: dump1} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := MergeShardDir(st, dir); err != nil {
+		t.Fatalf("clean merge failed: %v", err)
 	}
 }

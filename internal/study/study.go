@@ -470,6 +470,26 @@ func DerivedTelemetry(title string) Derived {
 	}
 }
 
+// DerivedQueueTransitions renders the pooled Fig. 4-style
+// queue-transition table: promotions/demotions between priority
+// queues and the queue-level distribution per (workload, scheduler)
+// cell. The study's telemetry spec must set QueueTransitions.
+func DerivedQueueTransitions(title string) Derived {
+	return func(st *Study, sum *sweep.Summary) ([]*report.Table, error) {
+		return []*report.Table{sum.QueueTransitionTable(title)}, nil
+	}
+}
+
+// DerivedPortHeatmap renders the pooled per-port occupancy heatmap:
+// the hottest maxPorts egress and ingress ports of every (workload,
+// scheduler) cell with their occupancy-bucket time fractions. The
+// study's telemetry spec must set PortHeatmap.
+func DerivedPortHeatmap(title string, maxPorts int) Derived {
+	return func(st *Study, sum *sweep.Summary) ([]*report.Table, error) {
+		return []*report.Table{sum.PortHeatmapTable(title, maxPorts)}, nil
+	}
+}
+
 // DerivedCCTCDF renders one empirical-CDF table per (workload,
 // variant, scheduler) cell, seeds pooled, downsampled to maxRows — the
 // shape of the paper's CDF figures, computed from the study itself.

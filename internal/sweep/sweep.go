@@ -79,6 +79,12 @@ type Variant struct {
 	// Mutate, if set, transforms the job's private trace copy before
 	// simulation (Fig 14d's arrival scaling is expressed this way).
 	Mutate func(tr *trace.Trace)
+	// MutateSeeded, if set, transforms — or wholly regenerates — the
+	// job's private trace copy with access to the job's grid seed; it
+	// runs after Mutate. Trace-regenerating parameter grids (the
+	// fan-degree study rebuilds its incast workload per variant) use it
+	// so every grid seed still yields an independent workload draw.
+	MutateSeeded func(tr *trace.Trace, seed int64)
 	// Schedulers, if non-empty, restricts this variant to the listed
 	// policies instead of the grid's scheduler list (Fig 14e evaluates
 	// the deadline factor for Saath only).
@@ -149,8 +155,22 @@ func (g Grid) Jobs() []Job {
 func bindGen(ts TraceSource, v Variant, seed int64) func() *trace.Trace {
 	return func() *trace.Trace {
 		tr := ts.Gen(seed)
+		if v.Mutate == nil && v.MutateSeeded == nil {
+			return tr
+		}
+		// Defensive clone before mutating: Gen's contract says the
+		// returned trace is private to the job, but a hand-built source
+		// that returns a shared instance would otherwise leak this
+		// variant's mutation into every sibling job of the grid. The
+		// clone makes that class of bug structurally impossible, at the
+		// cost of one trace copy per mutating job (microseconds against
+		// a simulation's seconds).
+		tr = tr.Clone()
 		if v.Mutate != nil {
 			v.Mutate(tr)
+		}
+		if v.MutateSeeded != nil {
+			v.MutateSeeded(tr, seed)
 		}
 		return tr
 	}

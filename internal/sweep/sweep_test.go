@@ -256,3 +256,97 @@ func TestDynamicsSeedDerivation(t *testing.T) {
 		t.Fatal("DeriveSeed collisions across base/salt")
 	}
 }
+
+// TestBindGenPrivateTraceCopy pins the Variant.Mutate aliasing
+// contract: a mutating variant always operates on a private per-job
+// trace copy, even when a misbehaving TraceSource.Gen returns a shared
+// instance. The shared base must stay untouched and repeated
+// generations must not compound the mutation.
+func TestBindGenPrivateTraceCopy(t *testing.T) {
+	shared := tinySource("shared").Gen(1)
+	wantArrivals := make([]coflow.Time, len(shared.Specs))
+	for i, s := range shared.Specs {
+		wantArrivals[i] = s.Arrival
+	}
+	badSource := TraceSource{Name: "shared", Gen: func(int64) *trace.Trace { return shared }}
+
+	scale := Variant{Name: "A=2", Mutate: func(tr *trace.Trace) { tr.ScaleArrivals(0.5) }}
+	reseed := Variant{Name: "regen", MutateSeeded: func(tr *trace.Trace, seed int64) {
+		*tr = *tinySource("shared").Gen(seed + 100)
+	}}
+
+	genScale := bindGen(badSource, scale, 1)
+	genReseed := bindGen(badSource, reseed, 1)
+
+	first := genScale()
+	if first == shared {
+		t.Fatal("mutating variant returned the shared trace instance")
+	}
+	second := genScale()
+	for i := range shared.Specs {
+		if shared.Specs[i].Arrival != wantArrivals[i] {
+			t.Fatalf("shared base trace mutated at coflow %d", i)
+		}
+		if first.Specs[i].Arrival != wantArrivals[i]/2 {
+			t.Fatalf("variant mutation missing on job copy at coflow %d", i)
+		}
+		if second.Specs[i].Arrival != first.Specs[i].Arrival {
+			t.Fatalf("repeated generation compounded the mutation at coflow %d", i)
+		}
+	}
+
+	// MutateSeeded sees the grid seed and its regeneration is likewise
+	// private.
+	re := genReseed()
+	if re == shared {
+		t.Fatal("seeded-mutating variant returned the shared trace instance")
+	}
+	for i := range shared.Specs {
+		if shared.Specs[i].Arrival != wantArrivals[i] {
+			t.Fatalf("shared base trace mutated by MutateSeeded at coflow %d", i)
+		}
+	}
+
+	// A variant with no mutation hands the source's trace through
+	// unchanged (no gratuitous clone on the common path).
+	if got := bindGen(badSource, Variant{Name: "plain"}, 1)(); got != shared {
+		t.Fatal("non-mutating variant cloned the source trace")
+	}
+}
+
+// TestMutatingVariantsNoCrossJobLeak runs mutating variants over one
+// shared trace instance at parallelism > 1, twice: results must be
+// reproducible (a mutation leaking into a sibling job's trace would
+// perturb the rerun) and the two variants must actually diverge.
+func TestMutatingVariantsNoCrossJobLeak(t *testing.T) {
+	shared := tinySource("shared").Gen(1)
+	g := Grid{
+		Traces:     []TraceSource{{Name: "shared", Gen: func(int64) *trace.Trace { return shared }}},
+		Schedulers: []string{"saath"},
+		Seeds:      []int64{1, 2, 3},
+		Variants: []Variant{
+			{Name: "A=1", Params: sched.DefaultParams()},
+			{Name: "A=4", Params: sched.DefaultParams(), Mutate: func(tr *trace.Trace) { tr.ScaleArrivals(0.25) }},
+		},
+	}
+	run1 := Run(context.Background(), g.Jobs(), Options{Parallel: 4})
+	run2 := Run(context.Background(), g.Jobs(), Options{Parallel: 4})
+	if err := run1.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	var makespan [2]coflow.Time
+	for i := range run1.Jobs {
+		a, b := run1.Jobs[i], run2.Jobs[i]
+		if a.Res.AvgCCT() != b.Res.AvgCCT() || a.Res.Makespan != b.Res.Makespan {
+			t.Fatalf("job %s not reproducible across runs (cross-job trace mutation?)", a.Job.Key())
+		}
+		if a.Job.Variant == "A=1" {
+			makespan[0] = a.Res.Makespan
+		} else {
+			makespan[1] = a.Res.Makespan
+		}
+	}
+	if makespan[0] <= makespan[1] {
+		t.Fatalf("4x-faster arrivals did not shorten the makespan (%v vs %v): mutation lost?", makespan[0], makespan[1])
+	}
+}

@@ -80,6 +80,24 @@ func (s *Summary) WriteMetricsCSV(w io.Writer) error {
 				fmt.Fprintf(bw, "%s,hist,%s,+Inf,%d\n", prefix, csvCell(h.Name), h.Overflow)
 			}
 		}
+		// Heatmaps flatten to one row per (port, bucket): the name
+		// carries the bucket's upper bound, x is the port, y the count.
+		// Buckets are disjoint intervals (prev, b], not cumulative —
+		// hence "b=", not Prometheus's cumulative "le=".
+		for _, hm := range jt.Metrics.Heatmaps {
+			for _, p := range hm.Ports {
+				for bi, b := range hm.Bounds {
+					if bi < len(p.Counts) && p.Counts[bi] > 0 {
+						fmt.Fprintf(bw, "%s,heatmap,%s,%d,%d\n", prefix,
+							csvCell(fmt.Sprintf("%s/b=%s", hm.Name, g(b))), p.Port, p.Counts[bi])
+					}
+				}
+				if p.Overflow > 0 {
+					fmt.Fprintf(bw, "%s,heatmap,%s,%d,%d\n", prefix,
+						csvCell(hm.Name+"/b=+Inf"), p.Port, p.Overflow)
+				}
+			}
+		}
 	}
 	return bw.Flush()
 }
@@ -168,5 +186,149 @@ func (s *Summary) TelemetryTable(title string) *report.Table {
 			fmt.Sprintf("%.2f", tc.blockedSum/n),
 			p50, p90)
 	}
+	return t
+}
+
+// transitionCell pools one (trace, variant, scheduler) group's
+// queue-transition telemetry across seeds.
+type transitionCell struct {
+	cell         cell
+	n            int
+	sampled      int64
+	promotions   float64 // exact per-job totals (series mean × count)
+	demotions    float64
+	observations int64 // (coflow, interval) placements
+	level        *telemetry.HistogramDump
+}
+
+// QueueTransitionTable condenses the Fig. 4-style queue-transition
+// telemetry into one row per (trace, variant, scheduler) cell with
+// seeds pooled: total promotions/demotions, the demotion rate per
+// thousand sampled intervals, and the pooled queue-level distribution
+// (median / P90 / max). Cells whose jobs ran without
+// Spec.QueueTransitions are skipped.
+func (s *Summary) QueueTransitionTable(title string) *report.Table {
+	var order []*transitionCell
+	index := make(map[string]*transitionCell)
+	for _, e := range s.sorted() {
+		if e.telemetry == nil {
+			continue
+		}
+		demos := e.telemetry.FindSeries(telemetry.SeriesQueueDemotions)
+		if demos == nil {
+			continue // transitions not collected for this job
+		}
+		m := e.metrics
+		key := m.Trace + "|" + m.Variant + "|" + m.Scheduler
+		tc, ok := index[key]
+		if !ok {
+			tc = &transitionCell{cell: cell{trace: m.Trace, variant: m.Variant, scheduler: m.Scheduler}}
+			index[key] = tc
+			order = append(order, tc)
+		}
+		tc.n++
+		tc.sampled += e.telemetry.Sampled
+		tc.demotions += demos.Mean * float64(demos.Count)
+		if promos := e.telemetry.FindSeries(telemetry.SeriesQueuePromotions); promos != nil {
+			tc.promotions += promos.Mean * float64(promos.Count)
+		}
+		if h := e.telemetry.FindHistogram(telemetry.HistQueueLevel); h != nil {
+			tc.observations += h.Count
+			if tc.level == nil {
+				tc.level = h.Clone()
+			} else {
+				tc.level.Merge(h)
+			}
+		}
+	}
+	t := &report.Table{
+		Title: title,
+		Headers: []string{"workload", "scheduler", "runs", "intervals",
+			"promotions", "demotions", "demote/1k ivs", "level p50", "level p90", "level max"},
+	}
+	for _, tc := range order {
+		p50, p90, max := "-", "-", "-"
+		if tc.level != nil && tc.level.Count > 0 {
+			p50 = fmt.Sprintf("%.0f", tc.level.Quantile(0.50))
+			p90 = fmt.Sprintf("%.0f", tc.level.Quantile(0.90))
+			max = fmt.Sprintf("%.0f", tc.level.Max)
+		}
+		rate := "-"
+		if tc.sampled > 0 {
+			rate = fmt.Sprintf("%.1f", tc.demotions/float64(tc.sampled)*1000)
+		}
+		t.AddRow(tc.cell.label(), tc.cell.scheduler, tc.n, tc.sampled,
+			fmt.Sprintf("%.0f", tc.promotions), fmt.Sprintf("%.0f", tc.demotions),
+			rate, p50, p90, max)
+	}
+	return t
+}
+
+// heatmapCell pools one (trace, variant, scheduler) group's heatmaps.
+type heatmapCell struct {
+	cell   cell
+	egress *telemetry.HeatmapDump
+	ingres *telemetry.HeatmapDump
+}
+
+// PortHeatmapTable condenses the per-port occupancy heatmaps into one
+// row per (cell, side, port): the hottest maxPorts egress and ingress
+// ports of every (trace, variant, scheduler) cell with seeds pooled,
+// each with its time-weighted mean/max occupancy and the fraction of
+// sampled intervals spent in each occupancy bucket. Cells whose jobs
+// ran without Spec.PortHeatmap are skipped.
+func (s *Summary) PortHeatmapTable(title string, maxPorts int) *report.Table {
+	var order []*heatmapCell
+	index := make(map[string]*heatmapCell)
+	merge := func(dst **telemetry.HeatmapDump, src *telemetry.HeatmapDump) {
+		if src == nil {
+			return
+		}
+		if *dst == nil {
+			*dst = src.Clone()
+		} else {
+			(*dst).Merge(src)
+		}
+	}
+	for _, e := range s.sorted() {
+		if e.telemetry == nil {
+			continue
+		}
+		eg := e.telemetry.FindHeatmap(telemetry.HeatmapEgressOccupancy)
+		in := e.telemetry.FindHeatmap(telemetry.HeatmapIngressOccupancy)
+		if eg == nil && in == nil {
+			continue
+		}
+		m := e.metrics
+		key := m.Trace + "|" + m.Variant + "|" + m.Scheduler
+		hc, ok := index[key]
+		if !ok {
+			hc = &heatmapCell{cell: cell{trace: m.Trace, variant: m.Variant, scheduler: m.Scheduler}}
+			index[key] = hc
+			order = append(order, hc)
+		}
+		merge(&hc.egress, eg)
+		merge(&hc.ingres, in)
+	}
+	var bounds []float64
+	var rows []report.HeatmapRow
+	for _, hc := range order {
+		for _, side := range []struct {
+			name string
+			hm   *telemetry.HeatmapDump
+		}{{"egress", hc.egress}, {"ingress", hc.ingres}} {
+			if side.hm == nil {
+				continue
+			}
+			if bounds == nil {
+				bounds = side.hm.Bounds
+			}
+			prefix := fmt.Sprintf("%s %s %s", hc.cell.label(), hc.cell.scheduler, side.name)
+			rows = append(rows, telemetry.HeatmapRows(side.hm, maxPorts, func(p *telemetry.HeatmapPortDump) string {
+				return fmt.Sprintf("%s p%d", prefix, p.Port)
+			})...)
+		}
+	}
+	t := report.HeatmapTable(title, "workload scheduler side port", bounds, rows)
 	return t
 }

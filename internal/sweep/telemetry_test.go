@@ -16,12 +16,16 @@ import (
 // 2 seeds × 2 schedulers × 2 variants = 8 jobs.
 func telemetryGrid() Grid {
 	src := SynthSource("incast-tiny", func(seed int64) *trace.Trace {
-		return trace.SynthesizeIncast(trace.FanConfig{
+		tr, err := trace.SynthesizeIncast(trace.FanConfig{
 			Seed: seed, NumPorts: 10, NumCoFlows: 12,
 			MeanInterArrival: 15 * coflow.Millisecond,
 			Degree:           4, Skew: 0.8, Hotspots: 2,
 			MinSize: 100 * coflow.KB, MaxSize: 2 * coflow.MB,
 		}, "incast-tiny")
+		if err != nil {
+			panic(err)
+		}
+		return tr
 	})
 	g := testGrid()
 	g.Traces = []TraceSource{src}
@@ -88,12 +92,15 @@ func TestTelemetryDeterminismAcrossParallelism(t *testing.T) {
 // (same seed ⇒ same samples). A fixed trace makes the two jobs'
 // simulations identical, isolating the reservoir RNG.
 func TestTelemetrySeedDerivation(t *testing.T) {
-	tr := trace.SynthesizeIncast(trace.FanConfig{
+	tr, err := trace.SynthesizeIncast(trace.FanConfig{
 		Seed: 1, NumPorts: 10, NumCoFlows: 24,
 		MeanInterArrival: 10 * coflow.Millisecond,
 		Degree:           4, Skew: 0.8, Hotspots: 2,
 		MinSize: 200 * coflow.KB, MaxSize: 4 * coflow.MB,
 	}, "incast-fixed")
+	if err != nil {
+		t.Fatal(err)
+	}
 	g := Grid{
 		Traces:     []TraceSource{FixedTrace(tr)},
 		Schedulers: []string{"aalo"},
@@ -161,5 +168,73 @@ func TestTelemetryDisabledByDefault(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), `"jobs": null`) && !strings.Contains(b.String(), `"jobs": []`) {
 		t.Fatalf("empty export unexpected: %s", b.String())
+	}
+}
+
+// TestQueueTransitionHeatmapDeterminism: the Fig. 4-style derived
+// tables (queue transitions, per-port occupancy heatmap) are
+// byte-identical at any parallelism, and the CSV export carries the
+// heatmap rows.
+func TestQueueTransitionHeatmapDeterminism(t *testing.T) {
+	g := telemetryGrid()
+	g.Telemetry.QueueTransitions = true
+	g.Telemetry.PerFlowPlacement = true
+	g.Telemetry.PortHeatmap = true
+	jobs := g.Jobs()
+
+	render := func(parallel int) (trans, heat, csv string) {
+		sum := NewSummary()
+		res := Run(context.Background(), jobs, Options{Parallel: parallel, Collectors: []Collector{sum}})
+		if err := res.FirstErr(); err != nil {
+			t.Fatal(err)
+		}
+		var tb, hb strings.Builder
+		if err := sum.QueueTransitionTable("transitions").Render(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := sum.PortHeatmapTable("heatmap", 4).Render(&hb); err != nil {
+			t.Fatal(err)
+		}
+		var cb bytes.Buffer
+		if err := sum.WriteMetricsCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.String(), hb.String(), cb.String()
+	}
+	t1, h1, c1 := render(1)
+	t8, h8, c8 := render(8)
+	if t1 != t8 {
+		t.Errorf("queue-transition tables differ:\n--- 1 ---\n%s\n--- 8 ---\n%s", t1, t8)
+	}
+	if h1 != h8 {
+		t.Errorf("heatmap tables differ:\n--- 1 ---\n%s\n--- 8 ---\n%s", h1, h8)
+	}
+	if c1 != c8 {
+		t.Error("metrics CSV with heatmaps differs between -parallel 1 and -parallel 8")
+	}
+	// The workload is incast onto 2 hotspots: demotions must be
+	// observed and the tables must carry rows for every cell.
+	if !strings.Contains(t1, "incast-tiny") || strings.Contains(t1, " 0.0 ") && !strings.Contains(t1, "demote") {
+		t.Errorf("transition table empty:\n%s", t1)
+	}
+	if !strings.Contains(h1, "ingress") || !strings.Contains(h1, "egress") {
+		t.Errorf("heatmap table missing sides:\n%s", h1)
+	}
+	if !strings.Contains(c1, ",heatmap,") || !strings.Contains(c1, telemetry.HeatmapIngressOccupancy) {
+		t.Error("CSV export missing heatmap rows")
+	}
+
+	// Jobs run without the spatial consumers produce empty tables, not
+	// errors.
+	plain := telemetryGrid()
+	sum := NewSummary()
+	if err := Run(context.Background(), plain.Jobs()[:2], Options{Parallel: 2, Collectors: []Collector{sum}}).FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl := sum.QueueTransitionTable("t"); len(tbl.Rows) != 0 {
+		t.Errorf("transition table has %d rows without QueueTransitions", len(tbl.Rows))
+	}
+	if tbl := sum.PortHeatmapTable("h", 4); len(tbl.Rows) != 0 {
+		t.Errorf("heatmap table has %d rows without PortHeatmap", len(tbl.Rows))
 	}
 }

@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"math"
+	"sort"
+	"strconv"
 
 	"saath/internal/report"
 )
@@ -88,6 +90,69 @@ func (h *HistogramDump) Clone() *HistogramDump {
 	return &cp
 }
 
+// HeatmapPortDump is one port's row of a heatmap: occupancy-bucket
+// counts plus exact integer scalar statistics. Everything is integral,
+// so shard dumps round-trip through JSON without loss.
+type HeatmapPortDump struct {
+	Port     int     `json:"port"`
+	Counts   []int64 `json:"counts"`
+	Overflow int64   `json:"overflow,omitempty"`
+	Sum      int64   `json:"sum"`
+	Max      int64   `json:"max"`
+}
+
+// Mean returns the port's time-weighted mean occupancy over intervals
+// observations.
+func (p *HeatmapPortDump) Mean(intervals int64) float64 {
+	if intervals == 0 {
+		return 0
+	}
+	return float64(p.Sum) / float64(intervals)
+}
+
+// HeatmapDump is the exported form of one per-port occupancy heatmap.
+type HeatmapDump struct {
+	Name      string            `json:"name"`
+	Bounds    []float64         `json:"bounds"`
+	Intervals int64             `json:"intervals"`
+	Ports     []HeatmapPortDump `json:"ports"`
+}
+
+// Merge adds other's observations into h. Layouts must match (same
+// bounds, same port count — heatmaps from the same workload cell do);
+// mismatched layouts merge only the interval count.
+func (h *HeatmapDump) Merge(other *HeatmapDump) {
+	h.Intervals += other.Intervals
+	if len(h.Ports) != len(other.Ports) || len(h.Bounds) != len(other.Bounds) {
+		return
+	}
+	for i := range h.Ports {
+		p, o := &h.Ports[i], &other.Ports[i]
+		p.Overflow += o.Overflow
+		p.Sum += o.Sum
+		if o.Max > p.Max {
+			p.Max = o.Max
+		}
+		if len(p.Counts) == len(o.Counts) {
+			for b := range p.Counts {
+				p.Counts[b] += o.Counts[b]
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy (Merge mutates).
+func (h *HeatmapDump) Clone() *HeatmapDump {
+	cp := *h
+	cp.Bounds = append([]float64(nil), h.Bounds...)
+	cp.Ports = make([]HeatmapPortDump, len(h.Ports))
+	for i, p := range h.Ports {
+		p.Counts = append([]int64(nil), p.Counts...)
+		cp.Ports[i] = p
+	}
+	return &cp
+}
+
 // Metrics is one run's exported telemetry: every series and histogram
 // in a stable order, fully deterministic for a given simulation.
 type Metrics struct {
@@ -97,6 +162,7 @@ type Metrics struct {
 	Sampled    int64           `json:"sampled"`
 	Series     []SeriesDump    `json:"series"`
 	Histograms []HistogramDump `json:"histograms"`
+	Heatmaps   []HeatmapDump   `json:"heatmaps,omitempty"`
 }
 
 // Metrics exports the suite's state. It may be called mid-run (the
@@ -111,6 +177,12 @@ func (s *Suite) Metrics() *Metrics {
 	}
 	for _, h := range []*Histogram{s.hEgress, s.hIngress, s.hContention} {
 		m.Histograms = append(m.Histograms, h.Export())
+	}
+	if s.qt != nil {
+		m.Histograms = append(m.Histograms, s.qt.level.Export())
+	}
+	if s.heatEg != nil {
+		m.Heatmaps = append(m.Heatmaps, s.heatEg.Export(), s.heatIn.Export())
 	}
 	return m
 }
@@ -168,4 +240,63 @@ func (m *Metrics) HistogramTable(title, name string) *report.Table {
 		uppers[i], counts[i] = b.LE, b.Count
 	}
 	return report.BucketTable(title, name, uppers, counts, h.Overflow)
+}
+
+// FindHeatmap returns the named heatmap dump, or nil.
+func (m *Metrics) FindHeatmap(name string) *HeatmapDump {
+	for i := range m.Heatmaps {
+		if m.Heatmaps[i].Name == name {
+			return &m.Heatmaps[i]
+		}
+	}
+	return nil
+}
+
+// HeatmapTable renders the named per-port occupancy heatmap, one row
+// per port (busiest first by total occupancy, at most maxPorts rows,
+// idle ports dropped). Returns nil if the heatmap is absent.
+func (m *Metrics) HeatmapTable(title, name string, maxPorts int) *report.Table {
+	h := m.FindHeatmap(name)
+	if h == nil {
+		return nil
+	}
+	rows := HeatmapRows(h, maxPorts, func(p *HeatmapPortDump) string {
+		return strconv.Itoa(p.Port)
+	})
+	return report.HeatmapTable(title, "port", h.Bounds, rows)
+}
+
+// HeatmapRows converts a heatmap dump into report rows: ports with any
+// occupancy, ranked by total occupancy descending (ties by port
+// ascending), truncated to maxPorts (<=0: no cap). The label callback
+// names each row, letting pooled consumers prefix workload/scheduler.
+func HeatmapRows(h *HeatmapDump, maxPorts int, label func(*HeatmapPortDump) string) []report.HeatmapRow {
+	idx := make([]int, 0, len(h.Ports))
+	for i := range h.Ports {
+		if h.Ports[i].Sum > 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := &h.Ports[idx[a]], &h.Ports[idx[b]]
+		if pa.Sum != pb.Sum {
+			return pa.Sum > pb.Sum
+		}
+		return pa.Port < pb.Port
+	})
+	if maxPorts > 0 && len(idx) > maxPorts {
+		idx = idx[:maxPorts]
+	}
+	rows := make([]report.HeatmapRow, len(idx))
+	for i, j := range idx {
+		p := &h.Ports[j]
+		rows[i] = report.HeatmapRow{
+			Label:    label(p),
+			Counts:   p.Counts,
+			Overflow: p.Overflow,
+			Mean:     p.Mean(h.Intervals),
+			Max:      float64(p.Max),
+		}
+	}
+	return rows
 }

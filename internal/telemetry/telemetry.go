@@ -21,6 +21,7 @@ import (
 	"strconv"
 
 	"saath/internal/coflow"
+	"saath/internal/queues"
 	"saath/internal/sched"
 )
 
@@ -106,6 +107,28 @@ type Spec struct {
 	// from the job identity so exported metrics are reproducible and
 	// independent of worker interleaving.
 	Seed int64
+
+	// QueueTransitions enables the Fig. 4-style queue-transition
+	// tracker: per-interval counts of CoFlow promotions/demotions
+	// between the priority queues of TransitionQueues, plus the
+	// queue-level histogram. Memory is bounded by the live CoFlow
+	// index space.
+	QueueTransitions bool
+
+	// TransitionQueues is the priority-queue ladder the tracker places
+	// CoFlows into (zero value: queues.Default()). Pass the
+	// scheduler's own ladder to observe the exact queues it schedules
+	// from.
+	TransitionQueues queues.Config
+
+	// PerFlowPlacement selects Saath's per-flow threshold rule (Eq. 1)
+	// for transition placement; false uses Aalo's total-bytes rule.
+	PerFlowPlacement bool
+
+	// PortHeatmap enables the per-port occupancy heatmaps: for every
+	// egress and ingress port, a bounded histogram of its sendable-flow
+	// occupancy across sampled intervals.
+	PortHeatmap bool
 }
 
 func (s Spec) withDefaults() Spec {
@@ -124,6 +147,23 @@ func (s Spec) withDefaults() Spec {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
+	if s.QueueTransitions {
+		// Normalize the ladder field by field (mirroring
+		// sched.Params.Normalize): a partially specified config — say
+		// NumQueues set but StartThreshold left zero — would otherwise
+		// place every CoFlow in the last queue forever and silently
+		// produce degenerate transition telemetry.
+		def := queues.Default()
+		if s.TransitionQueues.NumQueues < 1 {
+			s.TransitionQueues.NumQueues = def.NumQueues
+		}
+		if s.TransitionQueues.StartThreshold <= 0 {
+			s.TransitionQueues.StartThreshold = def.StartThreshold
+		}
+		if s.TransitionQueues.Growth <= 1 {
+			s.TransitionQueues.Growth = def.Growth
+		}
+	}
 	return s
 }
 
@@ -139,6 +179,10 @@ const (
 	SeriesIngressQueueMax  = "ingress_queue_max"
 	SeriesQueuedBytes      = "queued_bytes"
 	SeriesBlockedCoFlows   = "blocked_coflows"
+	// SeriesQueuePromotions / SeriesQueueDemotions count per-interval
+	// CoFlow movements between priority queues (Spec.QueueTransitions).
+	SeriesQueuePromotions = "queue_promotions"
+	SeriesQueueDemotions  = "queue_demotions"
 	// ProgressPrefix prefixes per-CoFlow progress series ("progress/<id>").
 	ProgressPrefix = "progress/"
 )
@@ -148,6 +192,15 @@ const (
 	HistEgressOccupancy  = "egress_queue_occupancy"
 	HistIngressOccupancy = "ingress_queue_occupancy"
 	HistContention       = "coflow_contention"
+	// HistQueueLevel is the distribution of priority-queue levels over
+	// (CoFlow, sampled interval) pairs (Spec.QueueTransitions).
+	HistQueueLevel = "queue_level"
+)
+
+// Canonical heatmap names recorded by the Suite (Spec.PortHeatmap).
+const (
+	HeatmapEgressOccupancy  = "egress_port_occupancy"
+	HeatmapIngressOccupancy = "ingress_port_occupancy"
 )
 
 // progressEntry tracks one CoFlow's progress series.
@@ -179,6 +232,11 @@ type Suite struct {
 	// cindex maintains k_c incrementally across observations instead of
 	// rebuilding the full port-occupancy map every sampled interval.
 	cindex *sched.ContentionIndex
+
+	// Fig. 4-style consumers, nil unless enabled in the spec.
+	qt     *queueTracker
+	heatEg *Heatmap
+	heatIn *Heatmap
 }
 
 // NewSuite builds the standard collector set from spec (defaults
@@ -208,6 +266,15 @@ func NewSuite(spec Spec) *Suite {
 		{SeriesBlockedCoFlows, "coflows"},
 	} {
 		s.addSeries(d.name, d.unit)
+	}
+	if spec.QueueTransitions {
+		s.addSeries(SeriesQueuePromotions, "transitions")
+		s.addSeries(SeriesQueueDemotions, "transitions")
+		s.qt = newQueueTracker(spec.TransitionQueues, spec.PerFlowPlacement)
+	}
+	if spec.PortHeatmap {
+		s.heatEg = NewHeatmap(HeatmapEgressOccupancy, nil)
+		s.heatIn = NewHeatmap(HeatmapIngressOccupancy, nil)
 	}
 	return s
 }
@@ -265,6 +332,10 @@ func (s *Suite) Observe(iv *Interval) {
 	}
 	egMean, egMax := busyStats(eg, s.hEgress)
 	inMean, inMax := busyStats(in, s.hIngress)
+	if s.heatEg != nil {
+		s.heatEg.Observe(eg)
+		s.heatIn.Observe(in)
+	}
 
 	s.byName[SeriesActiveCoFlows].Record(now, float64(len(iv.Active)))
 	s.byName[SeriesAdmittedCoFlows].Record(now, float64(iv.Admitted))
@@ -276,6 +347,15 @@ func (s *Suite) Observe(iv *Interval) {
 	s.byName[SeriesIngressQueueMax].Record(now, inMax)
 	s.byName[SeriesQueuedBytes].Record(now, float64(queuedBytes))
 	s.byName[SeriesBlockedCoFlows].Record(now, float64(blocked))
+
+	// Queue transitions: place every CoFlow into the observed
+	// priority-queue ladder and count movements since the previous
+	// sampled interval (Fig. 4-style dynamics).
+	if s.qt != nil {
+		promotions, demotions := s.qt.observe(iv.Active)
+		s.byName[SeriesQueuePromotions].Record(now, float64(promotions))
+		s.byName[SeriesQueueDemotions].Record(now, float64(demotions))
+	}
 
 	// Contention histogram: k_c per active CoFlow, the LCoF ordering
 	// signal (§3 idea 3), maintained incrementally and fed in the

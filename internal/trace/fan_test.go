@@ -2,6 +2,7 @@ package trace
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"saath/internal/coflow"
@@ -9,7 +10,10 @@ import (
 
 func TestSynthIncastShape(t *testing.T) {
 	cfg := DefaultIncastConfig(1)
-	tr := SynthesizeIncast(cfg, "incast")
+	tr, err := SynthesizeIncast(cfg, "incast")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +48,10 @@ func TestSynthIncastShape(t *testing.T) {
 
 func TestSynthBroadcastShape(t *testing.T) {
 	cfg := DefaultBroadcastConfig(2)
-	tr := SynthesizeBroadcast(cfg, "bcast")
+	tr, err := SynthesizeBroadcast(cfg, "bcast")
+	if err != nil {
+		t.Fatal(err)
+	}
 	roots := make(map[coflow.PortID]bool)
 	for _, s := range tr.Specs {
 		src := s.Flows[0].Src
@@ -76,7 +83,10 @@ func TestSynthFanDeterminism(t *testing.T) {
 func TestFanSkew(t *testing.T) {
 	cfg := DefaultIncastConfig(1)
 	cfg.Skew = 0
-	equal := SynthesizeIncast(cfg, "eq")
+	equal, err := SynthesizeIncast(cfg, "eq")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, s := range equal.Specs {
 		first := s.Flows[0].Size
 		for _, f := range s.Flows {
@@ -87,7 +97,10 @@ func TestFanSkew(t *testing.T) {
 		}
 	}
 	cfg.Skew = 1.5
-	skewed := SynthesizeIncast(cfg, "sk")
+	skewed, err := SynthesizeIncast(cfg, "sk")
+	if err != nil {
+		t.Fatal(err)
+	}
 	unequal := false
 	for _, s := range skewed.Specs {
 		first := s.Flows[0].Size
@@ -103,13 +116,90 @@ func TestFanSkew(t *testing.T) {
 }
 
 func TestFanConfigClamping(t *testing.T) {
-	tr := SynthesizeIncast(FanConfig{
+	tr, err := SynthesizeIncast(FanConfig{
 		Seed: 1, NumPorts: 4, NumCoFlows: 10, Degree: 99,
 		MeanInterArrival: coflow.Millisecond,
 	}, "clamped")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, s := range tr.Specs {
 		if len(s.Flows) != 3 { // NumPorts-1
 			t.Fatalf("degree not clamped: width %d", len(s.Flows))
 		}
+	}
+}
+
+// TestFanConfigValidation: configurations the generators cannot
+// satisfy fail with a descriptive error instead of silently producing
+// nonsense (or panicking).
+func TestFanConfigValidation(t *testing.T) {
+	valid := DefaultIncastConfig(1)
+	cases := []struct {
+		name   string
+		mutate func(*FanConfig)
+		want   string // substring of the expected error
+	}{
+		{"one port", func(c *FanConfig) { c.NumPorts = 1 }, "NumPorts"},
+		{"no coflows", func(c *FanConfig) { c.NumCoFlows = 0 }, "NumCoFlows"},
+		{"zero degree", func(c *FanConfig) { c.Degree = 0 }, "Degree"},
+		{"negative degree", func(c *FanConfig) { c.Degree = -3 }, "Degree"},
+		{"hotspots exceed ports", func(c *FanConfig) { c.Hotspots = c.NumPorts + 1 }, "Hotspots"},
+		{"inverted size range", func(c *FanConfig) { c.MinSize = 2 * coflow.GB; c.MaxSize = coflow.MB }, "MinSize"},
+	}
+	for _, tc := range cases {
+		cfg := valid
+		tc.mutate(&cfg)
+		for _, synth := range []struct {
+			kind string
+			gen  func(FanConfig, string) (*Trace, error)
+		}{{"incast", SynthesizeIncast}, {"broadcast", SynthesizeBroadcast}} {
+			if _, err := synth.gen(cfg, "bad"); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("%s/%s: err = %v, want substring %q", synth.kind, tc.name, err, tc.want)
+			}
+		}
+	}
+	// A MaxSize left zero is a defaulted field, not an inverted range.
+	cfg := valid
+	cfg.MinSize, cfg.MaxSize = 2*coflow.GB, 0
+	if _, err := SynthesizeIncast(cfg, "defaulted"); err != nil {
+		t.Errorf("zero MaxSize rejected: %v", err)
+	}
+}
+
+// TestBroadcastNotMirrorOfIncast pins the DefaultBroadcastConfig seed
+// salt: at the same seed, the broadcast trace must not be the
+// flow-for-flow src/dst mirror of the incast trace (both families
+// previously consumed the identical RNG draw sequence).
+func TestBroadcastNotMirrorOfIncast(t *testing.T) {
+	const seed = 7
+	in, bc := SynthIncast(seed), SynthBroadcast(seed)
+	if len(in.Specs) != len(bc.Specs) {
+		return // already not mirrored
+	}
+	mirrored := true
+	for i := range in.Specs {
+		a, b := in.Specs[i], bc.Specs[i]
+		if a.Arrival != b.Arrival || len(a.Flows) != len(b.Flows) {
+			mirrored = false
+			break
+		}
+		for j := range a.Flows {
+			fa, fb := a.Flows[j], b.Flows[j]
+			if fa.Src != fb.Dst || fa.Dst != fb.Src || fa.Size != fb.Size {
+				mirrored = false
+				break
+			}
+		}
+		if !mirrored {
+			break
+		}
+	}
+	if mirrored {
+		t.Fatal("broadcast trace at seed 7 is a byte-for-byte mirror of the incast trace")
+	}
+	// The salt must stay deterministic: same seed, same broadcast trace.
+	if !reflect.DeepEqual(bc, SynthBroadcast(seed)) {
+		t.Fatal("salted broadcast generation is not deterministic")
 	}
 }

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"saath/internal/coflow"
+)
+
+// MixComponent is one ingredient of a mixed workload: a named seeded
+// generator plus the weight with which its CoFlows are drawn into the
+// interleaving. The component's generator seed is salted with its name,
+// so two components of the same family at the same mix seed still draw
+// from independent RNG streams.
+type MixComponent struct {
+	// Name labels the component and salts its generator seed. Required
+	// and unique within a mix.
+	Name string
+	// Gen builds the component's trace for a (salted) seed.
+	Gen func(seed int64) *Trace
+	// Weight is the component's relative share of the mixed CoFlow
+	// stream. Negative weights are errors; all-zero weights mean equal
+	// shares. A component whose CoFlows run out stops being drawn and
+	// the remaining weight renormalizes over the others.
+	Weight float64
+}
+
+// MixConfig controls Mix. The zero value takes defaults for everything
+// but the seed.
+type MixConfig struct {
+	// Seed drives the interleaving choices, the re-timestamped arrival
+	// gaps, and (salted per component name) every component generator.
+	Seed int64
+	// NumCoFlows bounds the mixed trace; 0 takes every CoFlow the
+	// components offer.
+	NumCoFlows int
+	// MeanInterArrival is the mean of the fresh exponential arrival
+	// gaps the mix stamps onto the interleaved stream (default 50 ms).
+	MeanInterArrival coflow.Time
+}
+
+// Mix deterministically interleaves the component workloads into one
+// trace: CoFlows are drawn from each component in that component's own
+// arrival order, weighted by MixComponent.Weight, re-identified
+// 0..n-1 and re-timestamped with fresh exponential inter-arrival gaps.
+// Each drawn CoFlow's flows — sources, destinations and byte sizes —
+// are copied verbatim from the component draw, so the mixed workload
+// is byte-identical for a given (cfg, components) at any parallelism
+// or sharding. The mixed cluster is the widest drawn-from component's
+// port space (zero-weight components are neither generated nor
+// counted); narrower components concentrate on its low ports, which
+// is exactly the port sharing a mix is meant to produce. Cross-CoFlow
+// dependencies (Spec.DependsOn) do not survive the re-identification
+// and are dropped.
+func Mix(name string, cfg MixConfig, components ...MixComponent) (*Trace, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("trace: mix %q: no components", name)
+	}
+	if cfg.MeanInterArrival <= 0 {
+		cfg.MeanInterArrival = 50 * coflow.Millisecond
+	}
+	var totalWeight float64
+	seen := make(map[string]bool, len(components))
+	for _, c := range components {
+		if c.Name == "" {
+			return nil, fmt.Errorf("trace: mix %q: component with empty name", name)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("trace: mix %q: duplicate component %q", name, c.Name)
+		}
+		seen[c.Name] = true
+		if c.Gen == nil {
+			return nil, fmt.Errorf("trace: mix %q: component %q has no generator", name, c.Name)
+		}
+		if c.Weight < 0 {
+			return nil, fmt.Errorf("trace: mix %q: component %q has negative weight %g", name, c.Name, c.Weight)
+		}
+		totalWeight += c.Weight
+	}
+
+	// Generate every component up front (independent salted streams),
+	// tracking the widest port space.
+	type stream struct {
+		specs  []*coflow.Spec
+		next   int
+		weight float64
+	}
+	streams := make([]*stream, 0, len(components))
+	numPorts, available := 0, 0
+	for _, c := range components {
+		w := c.Weight
+		if totalWeight == 0 {
+			w = 1
+		}
+		if w == 0 {
+			// A zero-weight component can never be drawn: skip its
+			// generation entirely and keep it from widening the mixed
+			// port space (an unreachable 150-port tail would dilute
+			// utilization for a workload that only touches 60 ports).
+			continue
+		}
+		tr := c.Gen(saltSeed(cfg.Seed, c.Name))
+		if tr == nil {
+			return nil, fmt.Errorf("trace: mix %q: component %q generated nil trace", name, c.Name)
+		}
+		streams = append(streams, &stream{specs: tr.Specs, weight: w})
+		if tr.NumPorts > numPorts {
+			numPorts = tr.NumPorts
+		}
+		available += len(tr.Specs)
+	}
+	if available == 0 {
+		return nil, fmt.Errorf("trace: mix %q: components offer no coflows", name)
+	}
+	n := cfg.NumCoFlows
+	if n <= 0 || n > available {
+		n = available
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := &Trace{Name: name, NumPorts: numPorts, Specs: make([]*coflow.Spec, 0, n)}
+	var clock coflow.Time
+	for i := 0; i < n; i++ {
+		// Weighted draw over the components that still have CoFlows;
+		// exhausted components drop out and the rest renormalize.
+		var live float64
+		for _, s := range streams {
+			if s.next < len(s.specs) {
+				live += s.weight
+			}
+		}
+		if live <= 0 {
+			break
+		}
+		pick := rng.Float64() * live
+		var src *stream
+		for _, s := range streams {
+			if s.next >= len(s.specs) {
+				continue
+			}
+			pick -= s.weight
+			src = s
+			if pick < 0 {
+				break
+			}
+		}
+		spec := src.specs[src.next]
+		src.next++
+
+		clock += coflow.Time(rng.ExpFloat64() * float64(cfg.MeanInterArrival))
+		cp := *spec
+		cp.ID = coflow.CoFlowID(i)
+		cp.Arrival = clock
+		cp.Flows = append([]coflow.FlowSpec(nil), spec.Flows...)
+		cp.DependsOn = nil
+		out.Specs = append(out.Specs, &cp)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: mix %q: %w", name, err)
+	}
+	return out, nil
+}
+
+// SynthMix generates the default mixed workload: the FB-like shuffle
+// trace interleaved 50/50 with the incast hotspot trace, 400 CoFlows
+// on the FB port space — the trace-mix scenario of the ROADMAP as a
+// one-call synthetic family (saath-sim/tracegen "mix").
+func SynthMix(seed int64) *Trace {
+	tr, err := Mix("mix-synth", MixConfig{
+		Seed:             seed,
+		NumCoFlows:       400,
+		MeanInterArrival: 60 * coflow.Millisecond,
+	},
+		MixComponent{Name: "fb", Gen: SynthFB, Weight: 1},
+		MixComponent{Name: "incast", Gen: SynthIncast, Weight: 1},
+	)
+	if err != nil {
+		panic("trace: default mix config rejected: " + err.Error())
+	}
+	return tr
+}

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"saath/internal/coflow"
+)
+
+// mixPair is the small fb + incast component pair the mix tests share.
+func mixPair(fbWeight, inWeight float64) []MixComponent {
+	fbCfg := DefaultFBConfig(0)
+	fbCfg.NumPorts, fbCfg.NumCoFlows = 20, 40
+	inCfg := DefaultIncastConfig(0)
+	inCfg.NumPorts, inCfg.NumCoFlows, inCfg.Degree, inCfg.Hotspots = 12, 40, 5, 3
+	return []MixComponent{
+		{Name: "fb", Weight: fbWeight, Gen: func(seed int64) *Trace {
+			c := fbCfg
+			c.Seed = seed
+			return Synthesize(c, "fb")
+		}},
+		{Name: "incast", Weight: inWeight, Gen: func(seed int64) *Trace {
+			c := inCfg
+			c.Seed = seed
+			return mustFan(SynthesizeIncast(c, "incast"))
+		}},
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	comps := mixPair(1, 1)
+	cases := []struct {
+		name  string
+		comps []MixComponent
+		want  string
+	}{
+		{"no components", nil, "no components"},
+		{"empty name", []MixComponent{{Gen: comps[0].Gen}}, "empty name"},
+		{"duplicate name", []MixComponent{comps[0], comps[0]}, "duplicate"},
+		{"nil generator", []MixComponent{{Name: "x"}}, "no generator"},
+		{"negative weight", []MixComponent{{Name: "x", Gen: comps[0].Gen, Weight: -1}}, "negative weight"},
+	}
+	for _, tc := range cases {
+		if _, err := Mix("m", MixConfig{Seed: 1}, tc.comps...); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestMixDeterminism: the mix is a pure function of (cfg, components).
+func TestMixDeterminism(t *testing.T) {
+	gen := func(seed int64) *Trace {
+		tr, err := Mix("m", MixConfig{Seed: seed, NumCoFlows: 50}, mixPair(1, 1)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	if !reflect.DeepEqual(gen(3), gen(3)) {
+		t.Fatal("same seed produced different mixes")
+	}
+	if reflect.DeepEqual(gen(3).Specs, gen(4).Specs) {
+		t.Fatal("different seeds produced identical mixes")
+	}
+}
+
+// TestMixByteIdentity: every mixed CoFlow's flows are copied verbatim
+// from one component's draw — the mix re-times and re-identifies, it
+// never resizes or rewires.
+func TestMixByteIdentity(t *testing.T) {
+	comps := mixPair(1, 1)
+	tr, err := Mix("m", MixConfig{Seed: 9}, comps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regenerate each component exactly as Mix does (salted seed) and
+	// index the flow multisets it offered.
+	offered := make(map[string]int)
+	for _, c := range comps {
+		for _, s := range c.Gen(saltSeed(9, c.Name)).Specs {
+			offered[flowKey(s)]++
+		}
+	}
+	for _, s := range tr.Specs {
+		k := flowKey(s)
+		if offered[k] == 0 {
+			t.Fatalf("mixed coflow %d's flows match no component draw", s.ID)
+		}
+		offered[k]--
+	}
+}
+
+// flowKey canonicalizes a spec's flow multiset.
+func flowKey(s *coflow.Spec) string {
+	flows := append([]coflow.FlowSpec(nil), s.Flows...)
+	sort.Slice(flows, func(i, j int) bool {
+		a, b := flows[i], flows[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Size < b.Size
+	})
+	var sb strings.Builder
+	for _, f := range flows {
+		fmt.Fprintf(&sb, "%d>%d:%d;", f.Src, f.Dst, f.Size)
+	}
+	return sb.String()
+}
+
+// TestMixStructure: IDs are dense, arrivals sorted, weights steer the
+// component shares, and exhausted components renormalize.
+func TestMixStructure(t *testing.T) {
+	tr, err := Mix("m", MixConfig{Seed: 5, NumCoFlows: 60}, mixPair(3, 1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Specs) != 60 {
+		t.Fatalf("mixed %d coflows, want 60", len(tr.Specs))
+	}
+	var prev coflow.Time
+	incast := 0
+	for i, s := range tr.Specs {
+		if s.ID != coflow.CoFlowID(i) {
+			t.Fatalf("coflow %d has id %d, want dense re-identification", i, s.ID)
+		}
+		if s.Arrival < prev {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+		prev = s.Arrival
+		// Incast coflows share one destination across >1 flows; the fb
+		// component's multi-flow coflows span several reducers often
+		// enough that this is a serviceable classifier for share counts.
+		if len(s.Flows) == 5 && sameDst(s) {
+			incast++
+		}
+	}
+	// Weight 3:1 over 60 draws: expect roughly 15 incast coflows; allow
+	// a wide deterministic band.
+	if incast < 5 || incast > 30 {
+		t.Fatalf("incast share %d of 60 under 3:1 weights", incast)
+	}
+
+	// Zero weight on one component excludes it entirely.
+	fbOnly, err := Mix("m", MixConfig{Seed: 5}, mixPair(1, 0)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fbOnly.Specs) != 40 {
+		t.Fatalf("fb-only mix has %d coflows, want the fb component's 40", len(fbOnly.Specs))
+	}
+	for _, s := range fbOnly.Specs {
+		if len(s.Flows) == 5 && sameDst(s) {
+			t.Fatal("zero-weight component leaked into the mix")
+		}
+	}
+	// ...including its port space: the 20-port fb component at weight 0
+	// must not widen an incast-only (12-port) mix.
+	inOnly, err := Mix("m", MixConfig{Seed: 5}, mixPair(0, 1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inOnly.NumPorts != 12 {
+		t.Fatalf("incast-only mix spans %d ports, want the live component's 12", inOnly.NumPorts)
+	}
+	// All weights zero means equal shares, not an empty mix.
+	equal, err := Mix("m", MixConfig{Seed: 5}, mixPair(0, 0)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(equal.Specs) != 80 || equal.NumPorts != 20 {
+		t.Fatalf("all-zero-weight mix: %d coflows on %d ports, want 80 on 20", len(equal.Specs), equal.NumPorts)
+	}
+
+	// Asking for more coflows than the components offer caps at the
+	// total available.
+	all, err := Mix("m", MixConfig{Seed: 5, NumCoFlows: 10_000}, mixPair(1, 1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Specs) != 80 {
+		t.Fatalf("uncapped mix has %d coflows, want 80", len(all.Specs))
+	}
+}
+
+func sameDst(s *coflow.Spec) bool {
+	for _, f := range s.Flows {
+		if f.Dst != s.Flows[0].Dst {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSynthMix(t *testing.T) {
+	tr := SynthMix(2)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumPorts != 150 { // the FB component's port space
+		t.Fatalf("ports = %d, want 150", tr.NumPorts)
+	}
+	if len(tr.Specs) != 400 {
+		t.Fatalf("coflows = %d, want 400", len(tr.Specs))
+	}
+	if !reflect.DeepEqual(tr, SynthMix(2)) {
+		t.Fatal("SynthMix is not deterministic")
+	}
+}

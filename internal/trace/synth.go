@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"sort"
@@ -237,44 +238,80 @@ func DefaultIncastConfig(seed int64) FanConfig {
 }
 
 // DefaultBroadcastConfig mirrors DefaultIncastConfig for one-to-many
-// distribution: 6 hot root ports each fanning out to 12 receivers.
+// distribution: 6 hot root ports each fanning out to 12 receivers. The
+// generator seed is salted with the family name so that broadcast and
+// incast traces built from the same seed draw from independent RNG
+// streams instead of mirroring each other flow for flow.
 func DefaultBroadcastConfig(seed int64) FanConfig {
-	return DefaultIncastConfig(seed)
+	cfg := DefaultIncastConfig(seed)
+	cfg.Seed = saltSeed(seed, "broadcast")
+	return cfg
 }
 
 // SynthIncast generates an incast workload (see DefaultIncastConfig).
 func SynthIncast(seed int64) *Trace {
-	return SynthesizeIncast(DefaultIncastConfig(seed), "incast-synth")
+	return mustFan(SynthesizeIncast(DefaultIncastConfig(seed), "incast-synth"))
 }
 
 // SynthBroadcast generates a broadcast workload (see
 // DefaultBroadcastConfig).
 func SynthBroadcast(seed int64) *Trace {
-	return SynthesizeBroadcast(DefaultBroadcastConfig(seed), "broadcast-synth")
+	return mustFan(SynthesizeBroadcast(DefaultBroadcastConfig(seed), "broadcast-synth"))
+}
+
+// mustFan unwraps the fan generators for the default configurations,
+// which are valid by construction.
+func mustFan(tr *Trace, err error) *Trace {
+	if err != nil {
+		panic("trace: default fan config rejected: " + err.Error())
+	}
+	return tr
+}
+
+// Validate reports configuration errors the fan generators cannot
+// repair: too few ports, a non-positive CoFlow count or degree, more
+// hotspots than ports, or an inverted size range. Degrees above
+// NumPorts-1 are not errors — the generators clamp them, since "fan as
+// wide as the cluster allows" is a meaningful request.
+func (cfg FanConfig) Validate() error {
+	if cfg.NumPorts < 2 {
+		return fmt.Errorf("trace: fan config: NumPorts=%d, need >=2 (a fan needs a root and at least one peer)", cfg.NumPorts)
+	}
+	if cfg.NumCoFlows <= 0 {
+		return fmt.Errorf("trace: fan config: NumCoFlows=%d, need >0", cfg.NumCoFlows)
+	}
+	if cfg.Degree <= 0 {
+		return fmt.Errorf("trace: fan config: Degree=%d, need >0 peers per coflow", cfg.Degree)
+	}
+	if cfg.Hotspots > cfg.NumPorts {
+		return fmt.Errorf("trace: fan config: Hotspots=%d exceeds NumPorts=%d", cfg.Hotspots, cfg.NumPorts)
+	}
+	if cfg.MaxSize > 0 && cfg.MinSize > cfg.MaxSize {
+		return fmt.Errorf("trace: fan config: MinSize=%d > MaxSize=%d", cfg.MinSize, cfg.MaxSize)
+	}
+	return nil
 }
 
 // SynthesizeIncast generates an incast trace from cfg: every CoFlow is
 // Degree senders converging on one aggregator port. The same (cfg,
-// name) always yields byte-identical traces.
-func SynthesizeIncast(cfg FanConfig, name string) *Trace {
+// name) always yields byte-identical traces. Invalid configurations
+// (see FanConfig.Validate) return a descriptive error.
+func SynthesizeIncast(cfg FanConfig, name string) (*Trace, error) {
 	return synthesizeFan(cfg, name, true)
 }
 
 // SynthesizeBroadcast generates a broadcast trace from cfg: every
 // CoFlow is one root port fanning out to Degree receivers.
-func SynthesizeBroadcast(cfg FanConfig, name string) *Trace {
+func SynthesizeBroadcast(cfg FanConfig, name string) (*Trace, error) {
 	return synthesizeFan(cfg, name, false)
 }
 
-func synthesizeFan(cfg FanConfig, name string, incast bool) *Trace {
-	if cfg.NumPorts <= 1 || cfg.NumCoFlows <= 0 {
-		panic(fmt.Sprintf("trace.synthesizeFan: bad config ports=%d coflows=%d", cfg.NumPorts, cfg.NumCoFlows))
+func synthesizeFan(cfg FanConfig, name string, incast bool) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.MeanInterArrival <= 0 {
 		cfg.MeanInterArrival = 30 * coflow.Millisecond
-	}
-	if cfg.Degree < 1 {
-		cfg.Degree = 1
 	}
 	if cfg.Degree > cfg.NumPorts-1 {
 		cfg.Degree = cfg.NumPorts - 1
@@ -322,7 +359,7 @@ func synthesizeFan(cfg FanConfig, name string, incast bool) *Trace {
 	if err := t.Validate(); err != nil {
 		panic("trace.synthesizeFan: generated invalid trace: " + err.Error())
 	}
-	return t
+	return t, nil
 }
 
 // samplePeers draws n distinct ports from [0, numPorts) excluding
@@ -401,4 +438,18 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// saltSeed mixes a base seed with a label into a stable non-zero RNG
+// seed (FNV-1a), so sibling generator families (incast vs broadcast,
+// the components of a mix) draw from independent streams while staying
+// a pure function of the caller's seed.
+func saltSeed(seed int64, label string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", seed, label)
+	s := int64(h.Sum64())
+	if s == 0 {
+		s = 1
+	}
+	return s
 }

@@ -257,10 +257,12 @@ var (
 
 // Derived-table constructors for WithDerived.
 var (
-	DerivedCCT       = study.DerivedCCT
-	DerivedSpeedup   = study.DerivedSpeedup
-	DerivedTelemetry = study.DerivedTelemetry
-	DerivedCCTCDF    = study.DerivedCCTCDF
+	DerivedCCT              = study.DerivedCCT
+	DerivedSpeedup          = study.DerivedSpeedup
+	DerivedTelemetry        = study.DerivedTelemetry
+	DerivedCCTCDF           = study.DerivedCCTCDF
+	DerivedQueueTransitions = study.DerivedQueueTransitions
+	DerivedPortHeatmap      = study.DerivedPortHeatmap
 )
 
 // RegisteredStudies lists the named studies of the built-in catalog
@@ -293,6 +295,29 @@ func SynthIncast(seed int64) *Trace { return trace.SynthIncast(seed) }
 // SynthBroadcast generates the broadcast workload: one root port
 // fanning out to Degree receivers per CoFlow.
 func SynthBroadcast(seed int64) *Trace { return trace.SynthBroadcast(seed) }
+
+// Workload-mix types (internal/trace): deterministic interleaving of
+// several seeded workload families into one trace, the substrate of
+// the trace-mix catalog study.
+type (
+	// MixConfig controls MixTraces (seed, CoFlow budget, arrival gaps).
+	MixConfig = trace.MixConfig
+	// MixComponent is one weighted ingredient of a mixed workload.
+	MixComponent = trace.MixComponent
+)
+
+// MixTraces deterministically interleaves the component workloads:
+// CoFlows are drawn per component weight in component arrival order,
+// re-identified and re-timestamped, with every flow's endpoints and
+// bytes preserved verbatim — byte-identical for a given configuration
+// at any parallelism or sharding.
+func MixTraces(name string, cfg MixConfig, components ...MixComponent) (*Trace, error) {
+	return trace.Mix(name, cfg, components...)
+}
+
+// SynthMix generates the default mixed workload: FB-like shuffle
+// interleaved 50/50 with the incast hotspot family.
+func SynthMix(seed int64) *Trace { return trace.SynthMix(seed) }
 
 // Prototype (distributed runtime) types.
 type (
