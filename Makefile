@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-sched bench-sweep bench-telemetry bench-trace fmt fmt-check vet staticcheck ci
+.PHONY: build test race bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine fmt fmt-check vet staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,15 @@ bench-trace:
 	$(GO) test -bench 'BenchmarkTrace' -benchtime=1x -benchmem -run '^$$' -timeout 10m .
 	$(GO) test -run TestTraceAllocGuards -count=1 .
 
+# Engine-layer smoke: one iteration of the tick-vs-event sparse
+# long-tail benchmarks plus the speedup/alloc guard against the
+# engine_layer section of BENCH_baseline.json and the event loop's
+# steady-state zero-alloc guard (both skip under -race).
+bench-engine:
+	$(GO) test -bench 'BenchmarkEngine(Tick|Event)Sparse' -benchtime=1x -benchmem -run '^$$' -timeout 10m .
+	$(GO) test -run TestEngineLayerGuards -count=1 .
+	$(GO) test -run TestEngineEventSteadyStateZeroAlloc -count=1 ./internal/sim/
+
 fmt:
 	gofmt -w .
 
@@ -72,4 +81,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
-ci: fmt-check build vet staticcheck race bench bench-sched bench-sweep bench-telemetry bench-trace
+ci: fmt-check build vet staticcheck race bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine

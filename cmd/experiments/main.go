@@ -20,6 +20,9 @@
 //	experiments -study headline -shard 0/2 -out shards
 //	experiments -study headline -shard 1/2 -out shards
 //	experiments -study headline -merge shards
+//
+// -engine picks the run loop for -study ("tick" or "event"); the two
+// produce byte-identical output, so it only changes wall-clock time.
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 
 	"saath/internal/experiments"
 	"saath/internal/report"
+	"saath/internal/sim"
 	"saath/internal/study"
 	"saath/internal/sweep"
 )
@@ -49,6 +53,7 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "simulation worker pool size for figure sweeps")
 		progress = flag.Bool("progress", false, "print each sweep job completion to stderr")
 
+		engine    = flag.String("engine", "", `with -study: run loop, "tick" or "event" (default: as the study declares; results are identical)`)
 		studyName = flag.String("study", "", "run a registered study from the catalog instead of the figures (see -studies)")
 		studies   = flag.Bool("studies", false, "list registered studies and exit")
 		shardArg  = flag.String("shard", "", `with -study: simulate only shard i of n ("i/n") into a dump under -out`)
@@ -65,7 +70,8 @@ func main() {
 	}
 	if *studyName != "" {
 		if err := runStudy(studyCLI{
-			name: *studyName, shardArg: *shardArg, mergeDir: *mergeDir, outDir: *outDir,
+			name: *studyName, engine: *engine,
+			shardArg: *shardArg, mergeDir: *mergeDir, outDir: *outDir,
 			csvDir: *csvDir, jsonDir: *jsonDir, parallel: *parallel, progress: *progress,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -73,8 +79,8 @@ func main() {
 		}
 		return
 	}
-	if *shardArg != "" || *mergeDir != "" {
-		fmt.Fprintln(os.Stderr, "experiments: -shard/-merge require -study (figures are assembled in-process)")
+	if *shardArg != "" || *mergeDir != "" || *engine != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -shard/-merge/-engine require -study (figures are assembled in-process)")
 		os.Exit(1)
 	}
 	for _, dir := range []string{*csvDir, *jsonDir} {
@@ -179,10 +185,11 @@ func main() {
 
 // studyCLI carries the flag values of one -study invocation.
 type studyCLI struct {
-	name, shardArg, mergeDir, outDir string
-	csvDir, jsonDir                  string
-	parallel                         int
-	progress                         bool
+	name, engine               string
+	shardArg, mergeDir, outDir string
+	csvDir, jsonDir            string
+	parallel                   int
+	progress                   bool
 }
 
 // runStudy executes (or shards, or merges) one registered study.
@@ -190,6 +197,13 @@ func runStudy(c studyCLI) error {
 	st, err := study.Build(c.name)
 	if err != nil {
 		return err
+	}
+	if c.engine != "" {
+		m, err := sim.ParseMode(c.engine)
+		if err != nil {
+			return err
+		}
+		st = st.InEngineMode(m)
 	}
 	pool := study.Pool{Parallel: c.parallel}
 	if c.progress {

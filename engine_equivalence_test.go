@@ -1,0 +1,149 @@
+package saath
+
+// The event engine (SimConfig.Mode = ModeEvent) is pinned bit-for-bit
+// equivalent to the tick engine, not merely close: same CCT float
+// bits, same makespan, same interval count, same telemetry stream.
+// This test runs both modes over the golden synthetic workload for
+// three policies × two seeds, in plain, Dynamics, Pipelining and
+// DAG-dependency configurations, and compares everything — including
+// the sha256 of the full exported metrics JSON, which pins every
+// per-interval series the probes observed.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// dagTrace builds a small diamond-dependency workload: two root
+// shuffles gate a join stage which gates a final aggregation, plus an
+// independent straggler-bait coflow arriving late.
+func dagTrace() *Trace {
+	flows := func(seed, n int) []FlowSpec {
+		fs := make([]FlowSpec, n)
+		for i := range fs {
+			fs[i] = FlowSpec{
+				Src:  PortID((seed + i) % 8),
+				Dst:  PortID((seed + i + 3) % 8),
+				Size: Bytes(seed+i+1) * 3 * MB,
+			}
+		}
+		return fs
+	}
+	return &Trace{
+		Name:     "dag-diamond",
+		NumPorts: 8,
+		Specs: []*Spec{
+			{ID: 1, Arrival: 0, Flows: flows(0, 4)},
+			{ID: 2, Arrival: 5 * Millisecond, Flows: flows(2, 3)},
+			{ID: 3, Arrival: 0, DependsOn: []CoFlowID{1, 2}, Flows: flows(4, 5)},
+			{ID: 4, Arrival: 0, DependsOn: []CoFlowID{3}, Flows: flows(1, 2)},
+			{ID: 5, Arrival: 200 * Millisecond, Flows: flows(3, 6)},
+		},
+	}
+}
+
+func TestEngineModesByteIdentical(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  SimConfig
+	}{
+		{"plain", SimConfig{}},
+		{"dynamics", SimConfig{Dynamics: &Dynamics{
+			Seed: 11, StragglerProb: 0.2, Slowdown: 3, RestartProb: 0.15, RestartAt: 0.4,
+		}}},
+		{"pipelining", SimConfig{Pipelining: &Pipelining{
+			Seed: 13, Frac: 0.3, AvailDelay: 40 * Millisecond,
+		}}},
+	}
+	type signature struct {
+		avgCCTBits uint64
+		makespan   int64
+		intervals  int
+		metricsSHA string
+	}
+	sig := func(t *testing.T, tr *Trace, scheduler string, cfg SimConfig) signature {
+		t.Helper()
+		res, m, err := SimulateWithTelemetry(tr, scheduler, cfg, TelemetrySpec{Enabled: true, Seed: 7})
+		if err != nil {
+			t.Fatalf("mode %v: %v", cfg.Mode, err)
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return signature{
+			avgCCTBits: math.Float64bits(res.AvgCCT()),
+			makespan:   int64(res.Makespan),
+			intervals:  res.Intervals,
+			metricsSHA: fmt.Sprintf("%x", sha256.Sum256(b)),
+		}
+	}
+	for _, c := range configs {
+		for _, scheduler := range []string{"saath", "varys", "aalo"} {
+			for seed := int64(1); seed <= 2; seed++ {
+				name := fmt.Sprintf("%s/%s/seed%d", c.name, scheduler, seed)
+				t.Run(name, func(t *testing.T) {
+					tr := Synthesize(goldenSynthConfig(seed), fmt.Sprintf("golden-%d", seed))
+					tickCfg, eventCfg := c.cfg, c.cfg
+					tickCfg.Mode, eventCfg.Mode = ModeTick, ModeEvent
+					tick := sig(t, tr, scheduler, tickCfg)
+					event := sig(t, tr, scheduler, eventCfg)
+					if tick != event {
+						t.Errorf("tick %+v\nevent %+v", tick, event)
+					}
+				})
+			}
+		}
+		t.Run(c.name+"/dag", func(t *testing.T) {
+			tickCfg, eventCfg := c.cfg, c.cfg
+			tickCfg.Mode, eventCfg.Mode = ModeTick, ModeEvent
+			tick := sig(t, dagTrace(), "saath", tickCfg)
+			event := sig(t, dagTrace(), "saath", eventCfg)
+			if tick != event {
+				t.Errorf("tick %+v\nevent %+v", tick, event)
+			}
+		})
+	}
+}
+
+// TestEngineModePerCoFlowIdentical drills below the aggregate
+// signature: every CoFlow's exact completion time and every flow's FCT
+// must match across modes, on the harshest configuration (dynamics +
+// pipelining together over the DAG workload).
+func TestEngineModePerCoFlowIdentical(t *testing.T) {
+	cfg := SimConfig{
+		Dynamics:   &Dynamics{Seed: 5, StragglerProb: 0.25, Slowdown: 2.5, RestartProb: 0.2},
+		Pipelining: &Pipelining{Seed: 9, Frac: 0.4, AvailDelay: 24 * Millisecond},
+	}
+	for _, scheduler := range []string{"saath", "aalo", "uc-tcp"} {
+		t.Run(scheduler, func(t *testing.T) {
+			tickCfg, eventCfg := cfg, cfg
+			tickCfg.Mode, eventCfg.Mode = ModeTick, ModeEvent
+			tickRes, err := Simulate(dagTrace(), scheduler, tickCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eventRes, err := Simulate(dagTrace(), scheduler, eventCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tickRes.CoFlows) != len(eventRes.CoFlows) {
+				t.Fatalf("coflow count: tick %d, event %d", len(tickRes.CoFlows), len(eventRes.CoFlows))
+			}
+			for i, tc := range tickRes.CoFlows {
+				ec := eventRes.CoFlows[i]
+				if tc.ID != ec.ID || tc.Arrival != ec.Arrival || tc.DoneAt != ec.DoneAt || tc.CCT != ec.CCT {
+					t.Errorf("coflow[%d]: tick %+v, event %+v", i, tc, ec)
+				}
+				for j, tf := range tc.Flows {
+					if ef := ec.Flows[j]; tf != ef {
+						t.Errorf("coflow %d flow[%d]: tick %+v, event %+v", tc.ID, j, tf, ef)
+					}
+				}
+			}
+		})
+	}
+}

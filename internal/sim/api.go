@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+
+	"saath/internal/sched"
+	"saath/internal/trace"
+)
+
+// Mode selects the engine's run loop. Both modes are pinned
+// byte-identical by the golden equivalence tests — Mode changes how
+// fast a simulation runs, never what it computes.
+type Mode uint8
+
+const (
+	// ModeTick is the fixed-interval reference loop: the engine walks
+	// every δ boundary while work is active and scans the pending trace
+	// for releases each round — the paper's discrete-time simulator,
+	// unchanged. It is the default until a config opts into ModeEvent.
+	ModeTick Mode = iota
+	// ModeEvent is the discrete-event loop: arrivals, availability
+	// injections, schedule epochs and probe emissions are a
+	// deterministic min-heap, so idle stretches and the per-tick
+	// pending-trace scans cost nothing. Schedule epochs still fire at
+	// exactly the tick engine's δ boundaries, which is what keeps the
+	// two modes bit-for-bit equivalent.
+	ModeEvent
+)
+
+// String returns the CLI spelling of the mode ("tick" / "event").
+func (m Mode) String() string {
+	switch m {
+	case ModeTick:
+		return "tick"
+	case ModeEvent:
+		return "event"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// ParseMode parses the CLI spelling accepted by the -engine flags.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "tick":
+		return ModeTick, nil
+	case "event":
+		return ModeEvent, nil
+	}
+	return 0, fmt.Errorf(`sim: unknown engine mode %q (want "tick" or "event")`, s)
+}
+
+// Engine is a reusable, validated simulation engine: one Config,
+// any number of independent Run calls. Engines are stateless between
+// runs and safe to share across goroutines as long as each Run gets
+// its own trace clone and scheduler instance (the same contract the
+// free Run function has always had).
+type Engine interface {
+	// Run replays tr under scheduler s and returns the outcome. The
+	// trace is mutated during simulation — pass a private clone when
+	// the caller retains it.
+	Run(tr *trace.Trace, s sched.Scheduler) (*Result, error)
+	// Mode reports which run loop the engine executes.
+	Mode() Mode
+	// Config returns the engine's validated configuration (defaults
+	// not yet applied — zero fields still mean "paper default").
+	Config() Config
+}
+
+// New validates cfg and returns the Engine for its Mode. This is the
+// construction-time half of the redesigned entry point: configuration
+// mistakes (negative δ, out-of-range dynamics fractions, an unknown
+// mode) surface here as descriptive errors instead of being silently
+// defaulted or exploding mid-run.
+func New(cfg Config) (Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return simEngine{cfg: cfg}, nil
+}
+
+// simEngine implements Engine for both modes; the per-run state lives
+// in the unexported engine struct built inside Run.
+type simEngine struct {
+	cfg Config
+}
+
+func (e simEngine) Mode() Mode     { return e.cfg.Mode }
+func (e simEngine) Config() Config { return e.cfg }
+
+func (e simEngine) Run(tr *trace.Trace, s sched.Scheduler) (*Result, error) {
+	return run(tr, s, e.cfg)
+}
+
+// Validate reports configuration errors: negative Delta/PortRate/
+// Horizon, out-of-range Dynamics/Pipelining probabilities and
+// fractions, an unknown Mode. Zero values are not errors — they mean
+// "use the paper default" throughout (see withDefaults). Run and New
+// both call it, so a bad config fails at construction with a message
+// naming the field rather than mid-simulation.
+func (c Config) Validate() error {
+	if c.Delta < 0 {
+		return fmt.Errorf("sim: negative Delta %v", c.Delta)
+	}
+	if c.PortRate < 0 {
+		return fmt.Errorf("sim: negative PortRate %v B/s", float64(c.PortRate))
+	}
+	if c.Horizon < 0 {
+		return fmt.Errorf("sim: negative Horizon %v", c.Horizon)
+	}
+	if c.Mode != ModeTick && c.Mode != ModeEvent {
+		return fmt.Errorf("sim: unknown engine mode %d", uint8(c.Mode))
+	}
+	if d := c.Dynamics; d != nil {
+		if d.StragglerProb < 0 || d.StragglerProb > 1 {
+			return fmt.Errorf("sim: Dynamics.StragglerProb %g outside [0,1]", d.StragglerProb)
+		}
+		if d.RestartProb < 0 || d.RestartProb > 1 {
+			return fmt.Errorf("sim: Dynamics.RestartProb %g outside [0,1]", d.RestartProb)
+		}
+		if d.Slowdown < 0 {
+			return fmt.Errorf("sim: negative Dynamics.Slowdown %g", d.Slowdown)
+		}
+		if d.RestartAt < 0 || d.RestartAt >= 1 {
+			if d.RestartAt != 0 { // zero means "default 0.5"
+				return fmt.Errorf("sim: Dynamics.RestartAt %g outside (0,1)", d.RestartAt)
+			}
+		}
+	}
+	if p := c.Pipelining; p != nil {
+		if p.Frac < 0 || p.Frac > 1 {
+			return fmt.Errorf("sim: Pipelining.Frac %g outside [0,1]", p.Frac)
+		}
+		if p.AvailDelay < 0 {
+			return fmt.Errorf("sim: negative Pipelining.AvailDelay %v", p.AvailDelay)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"saath/internal/coflow"
+	"saath/internal/sched"
+	"saath/internal/trace"
+)
+
+func TestParseModeRoundTrip(t *testing.T) {
+	for _, m := range []Mode{ModeTick, ModeEvent} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("warp"); err == nil {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+	if s := Mode(7).String(); !strings.Contains(s, "7") {
+		t.Errorf("unknown mode String() = %q", s)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error; empty means valid
+	}{
+		{"zero-is-default", Config{}, ""},
+		{"explicit-sane", Config{
+			Delta: 4 * coflow.Millisecond, PortRate: coflow.GbpsRate(10),
+			Horizon: coflow.Second, Mode: ModeEvent,
+			Dynamics:   &Dynamics{StragglerProb: 0.5, Slowdown: 2, RestartProb: 0.1, RestartAt: 0.5},
+			Pipelining: &Pipelining{Frac: 1, AvailDelay: coflow.Millisecond},
+		}, ""},
+		{"negative-delta", Config{Delta: -1}, "Delta"},
+		{"negative-port-rate", Config{PortRate: -5}, "PortRate"},
+		{"negative-horizon", Config{Horizon: -coflow.Second}, "Horizon"},
+		{"bad-mode", Config{Mode: Mode(9)}, "mode"},
+		{"straggler-prob", Config{Dynamics: &Dynamics{StragglerProb: 1.5}}, "StragglerProb"},
+		{"restart-prob", Config{Dynamics: &Dynamics{RestartProb: -0.1}}, "RestartProb"},
+		{"negative-slowdown", Config{Dynamics: &Dynamics{Slowdown: -2}}, "Slowdown"},
+		{"restart-at-high", Config{Dynamics: &Dynamics{RestartAt: 1}}, "RestartAt"},
+		{"restart-at-negative", Config{Dynamics: &Dynamics{RestartAt: -0.5}}, "RestartAt"},
+		{"pipelining-frac", Config{Pipelining: &Pipelining{Frac: 2}}, "Frac"},
+		{"pipelining-delay", Config{Pipelining: &Pipelining{AvailDelay: -1}}, "AvailDelay"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.cfg.Validate()
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestNewRejectsBadConfig pins validation to construction time for
+// both entry points: New and the one-shot Run.
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Delta: -1}); err == nil {
+		t.Error("New accepted a negative Delta")
+	}
+	s, err := sched.New("saath", sched.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{Name: "t", NumPorts: 2, Specs: []*coflow.Spec{
+		{ID: 1, Arrival: 0, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: 1}}},
+	}}
+	if _, err := Run(tr, s, Config{Dynamics: &Dynamics{StragglerProb: 2}}); err == nil {
+		t.Error("Run accepted an out-of-range StragglerProb")
+	}
+}
+
+// TestEngineReusable runs one Engine twice and requires identical
+// results: engines hold no per-run state.
+func TestEngineReusable(t *testing.T) {
+	eng, err := New(Config{Mode: ModeEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Mode() != ModeEvent || eng.Config().Mode != ModeEvent {
+		t.Fatalf("engine mode = %v, config mode = %v", eng.Mode(), eng.Config().Mode)
+	}
+	tr := trace.Synthesize(smallSynth(4), "reuse")
+	var results [2]*Result
+	for i := range results {
+		s, err := sched.New("saath", sched.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(tr.Clone(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	sameResult(t, "reuse", results[0], results[1])
+}

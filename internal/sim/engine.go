@@ -1,13 +1,46 @@
-// Package sim is the discrete-time cluster simulator that replays a
-// CoFlow trace under a scheduling policy, mirroring the paper's
-// simulator (§6 Setup): full bisection bandwidth, congestion only at
-// ports, and a global schedule recomputed every δ interval (default
-// 8 ms). Flow completions inside an interval are credited at their
-// exact time; the freed capacity becomes usable at the next recompute,
-// as in the pipelined prototype (§5).
+// Package sim is the cluster simulator that replays a CoFlow trace
+// under a scheduling policy, mirroring the paper's simulator (§6
+// Setup): full bisection bandwidth, congestion only at ports, and a
+// global schedule recomputed every δ interval (default 8 ms). Flow
+// completions inside an interval are credited at their exact time; the
+// freed capacity becomes usable at the next recompute, as in the
+// pipelined prototype (§5). The engine also injects cluster dynamics
+// (stragglers, restarts after failures) and models pipelined data
+// availability, exercising §4.3.
 //
-// The engine also injects cluster dynamics (stragglers, restarts after
-// failures) and models pipelined data availability, exercising §4.3.
+// # Entry points
+//
+// New(Config) builds a reusable Engine; Run is the one-shot form.
+// Config.Validate rejects malformed configurations (negative δ,
+// out-of-range dynamics fractions) at construction. Config.Mode
+// selects between two run loops that produce byte-identical results:
+//
+//   - ModeTick (default): the reference discrete-time loop. While any
+//     CoFlow is active it visits every δ boundary, scanning the pending
+//     trace for releases, refreshing pipelined availability, then
+//     running one scheduling interval (schedule → audit → observe →
+//     advance). Idle gaps are skipped in one jump.
+//
+//   - ModeEvent: a discrete-event loop over a deterministic min-heap of
+//     typed events — trace arrivals, exact-time flow completions that
+//     release DAG dependents, pipelining availability injections,
+//     schedule epochs, probe emissions — ordered by (time, kind
+//     priority, key, seq). Idle stretches and the per-boundary
+//     pending-trace scans cost nothing, which is the whole win on
+//     sparse long-tail traces.
+//
+// # Equivalence contract
+//
+// The two modes are bit-for-bit equivalent, not approximately so: same
+// Result (CCT bits, makespan, interval count, utilization sums), same
+// telemetry stream, same RNG draws. The event engine earns this by
+// running schedule epochs at exactly the tick engine's δ boundaries
+// through the same beginInterval/observeInterval/advance code path,
+// admitting simultaneous arrivals in trace order (the heap key is the
+// spec index), and releasing DAG dependents at the same boundary the
+// tick engine's pending scan would. Event mode changes how fast a
+// simulation runs, never what it computes — pinned by the golden
+// equivalence tests and the cross-mode study goldens.
 package sim
 
 import (
@@ -26,6 +59,10 @@ import (
 
 // Config controls one simulation run. Zero values take paper defaults.
 type Config struct {
+	// Mode selects the run loop: ModeTick (the default) or ModeEvent.
+	// Both modes produce byte-identical results — see the package doc's
+	// equivalence contract.
+	Mode Mode
 	// Delta is the schedule recomputation interval δ (default 8 ms).
 	Delta coflow.Time
 	// PortRate is per-port line rate (default 1 Gbps).
@@ -215,8 +252,19 @@ func (r *Result) AvgCCT() float64 {
 	return sum / float64(len(r.CoFlows))
 }
 
-// Run replays tr under scheduler s.
+// Run replays tr under scheduler s in cfg's engine mode. It is the
+// one-shot convenience form of New(cfg) followed by Engine.Run, with
+// the same construction-time validation.
 func Run(tr *trace.Trace, s sched.Scheduler, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return run(tr, s, cfg)
+}
+
+// run builds the per-run engine state and dispatches on Mode. cfg has
+// already passed Validate.
+func run(tr *trace.Trace, s sched.Scheduler, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := tr.Validate(); err != nil {
 		return nil, err
@@ -236,7 +284,13 @@ func Run(tr *trace.Trace, s sched.Scheduler, cfg Config) (*Result, error) {
 		e.pipeRng = rand.New(rand.NewSource(cfg.Pipelining.Seed))
 	}
 	e.load(tr)
-	if err := e.run(); err != nil {
+	var err error
+	if cfg.Mode == ModeEvent {
+		err = e.runEvents()
+	} else {
+		err = e.runTicks()
+	}
+	if err != nil {
 		return nil, err
 	}
 	return e.result, nil
@@ -247,6 +301,7 @@ type pendingSpec struct {
 	spec     *coflow.Spec
 	deps     map[coflow.CoFlowID]bool // unfinished dependencies
 	released bool
+	queued   bool // event mode: arrival event already scheduled
 }
 
 type engine struct {
@@ -290,6 +345,16 @@ type engine struct {
 	valEgress   []float64
 	valIngress  []float64
 
+	// Event-mode state (nil/unused in tick mode): the deterministic
+	// event heap, the timestamp of the single pending schedule epoch
+	// (-1 when none), the spec indices gated on each CoFlow's
+	// completion, and the schedule handed from an epoch event to its
+	// same-timestamp probe event.
+	evq          *eventQueue
+	epochAt      coflow.Time
+	dependents   map[coflow.CoFlowID][]int
+	pendingAlloc *sched.RateVec
+
 	now coflow.Time
 }
 
@@ -327,23 +392,33 @@ func (e *engine) admit(now coflow.Time) {
 		if !e.releasable(p, now) {
 			continue
 		}
-		p.released = true
-		e.admitted++
-		c := coflow.New(p.spec)
-		c.Arrived = now
-		if p.spec.Arrival > 0 && len(p.deps) == 0 {
-			// Standalone CoFlows are charged from their trace arrival,
-			// even though the coordinator only sees them at the next δ
-			// boundary — the CCT clock starts when the first flow
-			// arrives (§2.1).
-			c.Arrived = p.spec.Arrival
-		}
-		e.applyDynamicsOnArrival(c)
-		e.applyPipelining(c)
-		e.space.Assign(c)
-		e.active = append(e.active, c)
-		e.sched.Arrive(c, now)
+		e.admitOne(p, now)
 	}
+}
+
+// admitOne releases one spec at the δ boundary now: build the CoFlow,
+// charge its arrival, roll dynamics and pipelining, hand it to the
+// scheduler. Shared verbatim by the tick engine's per-boundary scan
+// and the event engine's arrival handler, so both modes replay
+// identical RNG streams and scheduler call sequences.
+func (e *engine) admitOne(p *pendingSpec, now coflow.Time) *coflow.CoFlow {
+	p.released = true
+	e.admitted++
+	c := coflow.New(p.spec)
+	c.Arrived = now
+	if p.spec.Arrival > 0 && len(p.deps) == 0 {
+		// Standalone CoFlows are charged from their trace arrival,
+		// even though the coordinator only sees them at the next δ
+		// boundary — the CCT clock starts when the first flow
+		// arrives (§2.1).
+		c.Arrived = p.spec.Arrival
+	}
+	e.applyDynamicsOnArrival(c)
+	e.applyPipelining(c)
+	e.space.Assign(c)
+	e.active = append(e.active, c)
+	e.sched.Arrive(c, now)
+	return c
 }
 
 func (e *engine) applyDynamicsOnArrival(c *coflow.CoFlow) {
@@ -444,7 +519,9 @@ func (e *engine) nextArrival() coflow.Time {
 
 var errHorizon = errors.New("sim: horizon exceeded (scheduler livelock or trace too long)")
 
-func (e *engine) run() error {
+// runTicks is the reference discrete-time loop (ModeTick): visit every
+// δ boundary while work is active, jumping idle gaps in one step.
+func (e *engine) runTicks() error {
 	delta := e.cfg.Delta
 	for {
 		// Jump over idle gaps to the next δ boundary at or after the
@@ -488,6 +565,21 @@ func (e *engine) run() error {
 // completions, no probes) performs zero heap allocations — guarded by
 // TestEngineTickSteadyStateZeroAlloc.
 func (e *engine) tick(delta coflow.Time) error {
+	alloc, err := e.beginInterval()
+	if err != nil {
+		return err
+	}
+	e.observeInterval(alloc)
+	e.advance(alloc, delta)
+	return nil
+}
+
+// beginInterval opens the scheduling interval at e.now: snapshot the
+// active set, compute the schedule, audit it. The remainder of the
+// interval — observeInterval then advance — is split out so the event
+// engine can interpose its probe event between scheduling and
+// emission while both modes share the exact same code path.
+func (e *engine) beginInterval() (*sched.RateVec, error) {
 	e.fab.Reset()
 	e.snap.Now = e.now
 	e.snap.Active = e.activeSorted()
@@ -500,12 +592,10 @@ func (e *engine) tick(delta coflow.Time) error {
 
 	if !e.cfg.SkipValidation {
 		if err := e.validateAllocation(alloc); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	e.observeInterval(alloc)
-	e.advance(alloc, delta)
-	return nil
+	return alloc, nil
 }
 
 // observeInterval is the engine's single per-interval emission path:
@@ -705,6 +795,15 @@ func (e *engine) maybeRestart(f *coflow.Flow) {
 
 func (e *engine) retire(c *coflow.CoFlow) {
 	e.doneAt[c.ID()] = c.DoneAt
+	// Event mode: coflows gating DAG dependents get an exact-time
+	// completion event so releases never need the tick engine's
+	// per-boundary pending scan. DoneAt lies in [now, now+δ], so the
+	// event pops once this interval finishes, before the boundary that
+	// should admit the dependents (releaseDependents clamps to the
+	// post-interval clock).
+	if e.evq != nil && len(e.dependents[c.ID()]) > 0 {
+		e.evq.push(event{time: c.DoneAt, kind: eventFlowDone, co: c})
+	}
 	e.sched.Depart(c, e.now)
 	e.space.Release(c) // after Depart, which still reads the indices
 	res := CoFlowResult{

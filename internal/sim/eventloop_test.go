@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"saath/internal/coflow"
+	"saath/internal/sched"
+	"saath/internal/trace"
+)
+
+// eventCfg flips any Config to the event engine.
+func eventCfg(cfg Config) Config {
+	cfg.Mode = ModeEvent
+	return cfg
+}
+
+// sameResult compares two runs field-for-field at full precision.
+func sameResult(t *testing.T, label string, tick, event *Result) {
+	t.Helper()
+	if tick.Makespan != event.Makespan {
+		t.Errorf("%s: makespan tick %v, event %v", label, tick.Makespan, event.Makespan)
+	}
+	if tick.Intervals != event.Intervals {
+		t.Errorf("%s: intervals tick %d, event %d", label, tick.Intervals, event.Intervals)
+	}
+	if tick.AvgEgressUtilization != event.AvgEgressUtilization {
+		t.Errorf("%s: utilization tick %v, event %v", label, tick.AvgEgressUtilization, event.AvgEgressUtilization)
+	}
+	if len(tick.CoFlows) != len(event.CoFlows) {
+		t.Fatalf("%s: coflows tick %d, event %d", label, len(tick.CoFlows), len(event.CoFlows))
+	}
+	for i := range tick.CoFlows {
+		tc, ec := tick.CoFlows[i], event.CoFlows[i]
+		if tc.ID != ec.ID || tc.Arrival != ec.Arrival || tc.DoneAt != ec.DoneAt ||
+			tc.CCT != ec.CCT || tc.Width != ec.Width || tc.Bytes != ec.Bytes {
+			t.Errorf("%s: coflow[%d] tick %+v, event %+v", label, i, tc, ec)
+		}
+		for j := range tc.Flows {
+			if tc.Flows[j] != ec.Flows[j] {
+				t.Errorf("%s: coflow %d flow[%d] tick %+v, event %+v",
+					label, tc.ID, j, tc.Flows[j], ec.Flows[j])
+			}
+		}
+	}
+}
+
+// TestEventModeScenarioParity replays every engine edge case — DAG
+// gating, stragglers, restarts, pipelining, combined dynamics, idle
+// gaps, zero-size flows — in both modes and requires identical results
+// down to each flow's exact completion time.
+func TestEventModeScenarioParity(t *testing.T) {
+	u := coflow.Bytes(trace.MicroUnitBytes)
+	scenarios := []struct {
+		name string
+		tr   *trace.Trace
+		cfg  Config
+	}{
+		{"dag-chain", &trace.Trace{Name: "dag", NumPorts: 4, Specs: []*coflow.Spec{
+			{ID: 1, Arrival: 0, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: u}}},
+			{ID: 2, Arrival: 0, Stage: 1, DependsOn: []coflow.CoFlowID{1},
+				Flows: []coflow.FlowSpec{{Src: 1, Dst: 2, Size: u}}},
+			{ID: 3, Arrival: 0, Stage: 2, DependsOn: []coflow.CoFlowID{2},
+				Flows: []coflow.FlowSpec{{Src: 2, Dst: 3, Size: u}}},
+		}}, Config{}},
+		{"dag-join-late-arrival", &trace.Trace{Name: "join", NumPorts: 4, Specs: []*coflow.Spec{
+			{ID: 1, Arrival: 0, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: 4 * coflow.MB}}},
+			{ID: 2, Arrival: 3 * coflow.Millisecond, Flows: []coflow.FlowSpec{{Src: 2, Dst: 3, Size: 9 * coflow.MB}}},
+			{ID: 3, Arrival: 100 * coflow.Millisecond, DependsOn: []coflow.CoFlowID{1, 2},
+				Flows: []coflow.FlowSpec{{Src: 1, Dst: 0, Size: u}, {Src: 3, Dst: 2, Size: u}}},
+		}}, Config{}},
+		{"stragglers", &trace.Trace{Name: "slow", NumPorts: 2, Specs: []*coflow.Spec{
+			{ID: 1, Arrival: 0, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: 10 * coflow.MB}}},
+		}}, Config{Dynamics: &Dynamics{Seed: 1, StragglerProb: 1.0, Slowdown: 4}}},
+		{"restarts", &trace.Trace{Name: "restart", NumPorts: 2, Specs: []*coflow.Spec{
+			{ID: 1, Arrival: 0, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: 50 * coflow.MB}}},
+		}}, Config{Dynamics: &Dynamics{Seed: 1, RestartProb: 1.0, RestartAt: 0.5}}},
+		{"pipelining", &trace.Trace{Name: "pipe", NumPorts: 2, Specs: []*coflow.Spec{
+			{ID: 1, Arrival: 0, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: coflow.MB}}},
+			{ID: 2, Arrival: coflow.Millisecond, Flows: []coflow.FlowSpec{
+				{Src: 1, Dst: 0, Size: 2 * coflow.MB}, {Src: 0, Dst: 1, Size: 3 * coflow.MB}}},
+		}}, Config{Pipelining: &Pipelining{Seed: 1, Frac: 0.7, AvailDelay: 20 * coflow.Millisecond}}},
+		{"dynamics-and-pipelining-dag", &trace.Trace{Name: "mix", NumPorts: 4, Specs: []*coflow.Spec{
+			{ID: 1, Arrival: 0, Flows: []coflow.FlowSpec{
+				{Src: 0, Dst: 1, Size: 8 * coflow.MB}, {Src: 2, Dst: 3, Size: 5 * coflow.MB}}},
+			{ID: 2, Arrival: 2 * coflow.Millisecond, Flows: []coflow.FlowSpec{{Src: 3, Dst: 0, Size: 6 * coflow.MB}}},
+			{ID: 3, Arrival: 0, DependsOn: []coflow.CoFlowID{1, 2}, Flows: []coflow.FlowSpec{
+				{Src: 1, Dst: 2, Size: 4 * coflow.MB}, {Src: 0, Dst: 3, Size: 2 * coflow.MB}}},
+		}}, Config{
+			Dynamics:   &Dynamics{Seed: 3, StragglerProb: 0.5, Slowdown: 2, RestartProb: 0.5},
+			Pipelining: &Pipelining{Seed: 4, Frac: 0.5, AvailDelay: 16 * coflow.Millisecond},
+		}},
+		{"idle-gap", &trace.Trace{Name: "gap", NumPorts: 2, Specs: []*coflow.Spec{
+			{ID: 1, Arrival: 0, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: coflow.MB}}},
+			{ID: 2, Arrival: 3600 * coflow.Second, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: coflow.MB}}},
+		}}, Config{}},
+		{"zero-size-flow-gating", &trace.Trace{Name: "zero", NumPorts: 2, Specs: []*coflow.Spec{
+			{ID: 1, Arrival: 0, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: 0}}},
+			{ID: 2, Arrival: 0, DependsOn: []coflow.CoFlowID{1},
+				Flows: []coflow.FlowSpec{{Src: 1, Dst: 0, Size: coflow.MB}}},
+		}}, Config{}},
+		{"mid-interval-arrival", &trace.Trace{Name: "mid", NumPorts: 2, Specs: []*coflow.Spec{
+			{ID: 1, Arrival: 3 * coflow.Millisecond, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: coflow.MB}}},
+			{ID: 2, Arrival: 5 * coflow.Millisecond, Flows: []coflow.FlowSpec{{Src: 1, Dst: 0, Size: coflow.MB}}},
+		}}, Config{}},
+	}
+	for _, sc := range scenarios {
+		for _, scheduler := range []string{"saath", "aalo", "varys"} {
+			t.Run(sc.name+"/"+scheduler, func(t *testing.T) {
+				tick := runOn(t, sc.tr, scheduler, sc.cfg)
+				event := runOn(t, sc.tr, scheduler, eventCfg(sc.cfg))
+				sameResult(t, sc.name, tick, event)
+				if sc.name != "zero-size-flow-gating" {
+					// A zero-size coflow completes instantly (CCT 0),
+					// legitimately violating the CCT > 0 invariant.
+					checkConservation(t, sc.tr, event)
+				}
+			})
+		}
+	}
+}
+
+// TestEventModeCycleDetected mirrors TestDAGCycleDetected: specs in a
+// dependency cycle must surface the same error, not hang the heap.
+func TestEventModeCycleDetected(t *testing.T) {
+	tr := &trace.Trace{Name: "cycle", NumPorts: 2, Specs: []*coflow.Spec{
+		{ID: 1, Arrival: 0, DependsOn: []coflow.CoFlowID{2},
+			Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: 1}}},
+		{ID: 2, Arrival: 0, DependsOn: []coflow.CoFlowID{1},
+			Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: 1}}},
+	}}
+	s, err := sched.New("saath", sched.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(tr, s, Config{Mode: ModeEvent})
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("cycle not detected in event mode: %v", err)
+	}
+}
+
+// TestEventModeHorizonParity requires the two modes to fail a
+// livelocked run with the identical horizon error, boundary included.
+func TestEventModeHorizonParity(t *testing.T) {
+	tr := &trace.Trace{Name: "stuck", NumPorts: 2, Specs: []*coflow.Spec{
+		{ID: 1, Arrival: 0, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: coflow.MB}}},
+	}}
+	_, tickErr := Run(tr.Clone(), nullScheduler{}, Config{Horizon: coflow.Second})
+	_, eventErr := Run(tr.Clone(), nullScheduler{}, Config{Horizon: coflow.Second, Mode: ModeEvent})
+	if tickErr == nil || eventErr == nil {
+		t.Fatalf("livelock not detected: tick=%v event=%v", tickErr, eventErr)
+	}
+	if tickErr.Error() != eventErr.Error() {
+		t.Fatalf("horizon errors differ:\n tick: %v\nevent: %v", tickErr, eventErr)
+	}
+}
+
+// steadyEventEngine is steadyEngine mid-run in event mode: the heap
+// holds exactly the recurring schedule epoch, warmed through a few
+// real steps.
+func steadyEventEngine(t testing.TB, scheduler string) *engine {
+	e := steadyEngine(t, scheduler)
+	e.evq = &eventQueue{}
+	e.epochAt = -1
+	e.pushEpoch(e.now)
+	for i := 0; i < 3; i++ {
+		if ok, err := e.step(e.cfg.Delta); !ok || err != nil {
+			t.Fatalf("warm step %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	return e
+}
+
+// TestEngineEventSteadyStateZeroAlloc is the event-loop counterpart of
+// TestEngineTickSteadyStateZeroAlloc: a steady-state event dispatch —
+// pop the epoch, schedule, audit, advance, push the next epoch —
+// performs zero heap allocations.
+func TestEngineEventSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	for _, scheduler := range []string{"saath", "aalo", "uc-tcp"} {
+		e := steadyEventEngine(t, scheduler)
+		n := testing.AllocsPerRun(100, func() {
+			if ok, err := e.step(e.cfg.Delta); !ok || err != nil {
+				t.Fatalf("step: ok=%v err=%v", ok, err)
+			}
+		})
+		if n != 0 {
+			t.Errorf("%s: steady-state event dispatch allocates %.1f times, want 0", scheduler, n)
+		}
+	}
+}

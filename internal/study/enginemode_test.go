@@ -1,0 +1,143 @@
+package study
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"saath/internal/sim"
+	"saath/internal/sweep"
+)
+
+// TestInEngineModeCrossModeShardGolden is the study-layer half of the
+// engine equivalence contract: the same registered study run (a) whole
+// in tick mode, (b) whole in event mode via InEngineMode, and (c) in
+// event mode as shard 0/2 + shard 1/2 merged, must export byte-
+// identical output — summary JSON, telemetry CSV/JSON, every derived
+// table. Job keys do not include the engine mode, so telemetry and
+// RNG seed derivation line up across modes by construction.
+func TestInEngineModeCrossModeShardGolden(t *testing.T) {
+	st, err := Build("incast-telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	tick, err := st.InEngineMode(sim.ModeTick).Run(ctx, Pool{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tick.Err(); err != nil {
+		t.Fatal(err)
+	}
+	wantJS, wantCSV, wantMJS, wantTables := exports(t, tick)
+
+	evStudy := st.InEngineMode(sim.ModeEvent)
+	event, err := evStudy.Run(ctx, Pool{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := event.Err(); err != nil {
+		t.Fatal(err)
+	}
+	gotJS, gotCSV, gotMJS, gotTables := exports(t, event)
+	if gotJS != wantJS {
+		t.Error("summary JSON differs between tick and event modes")
+	}
+	if gotCSV != wantCSV {
+		t.Error("telemetry CSV differs between tick and event modes")
+	}
+	if gotMJS != wantMJS {
+		t.Error("telemetry JSON differs between tick and event modes")
+	}
+	if gotTables != wantTables {
+		t.Errorf("derived tables differ across modes:\n--- tick ---\n%s\n--- event ---\n%s", wantTables, gotTables)
+	}
+
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		sh := Sharded{Index: i, Count: 2, Pool: Pool{Parallel: 2}}
+		res, err := evStudy.Run(ctx, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := res.WriteShardFile(dir, sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := MergeShardDir(evStudy, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mJS, mCSV, mMJS, mTables := exports(t, merged)
+	if mJS != wantJS || mCSV != wantCSV || mMJS != wantMJS || mTables != wantTables {
+		t.Error("event-mode shard+merge output differs from the tick-mode whole run")
+	}
+}
+
+// TestEngineModeCatalogStudy runs the registered engine-mode study —
+// tick and event as grid variants — and requires each (trace, seed,
+// scheduler) cell to report identical numbers under both variants.
+// (Telemetry exports are excluded: per-job telemetry seeds derive from
+// the job key, which includes the variant name.)
+func TestEngineModeCatalogStudy(t *testing.T) {
+	st, err := Build("engine-mode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Run(context.Background(), Pool{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	type cell struct{ trace, scheduler string }
+	type seedCell struct {
+		cell
+		seed int64
+	}
+	byVariant := map[string]map[seedCell]json.RawMessage{}
+	for _, e := range res.Summary().Entries() {
+		key := seedCell{cell{e.Metrics.Trace, e.Metrics.Scheduler}, e.Metrics.Seed}
+		m := e.Metrics
+		variant := m.Variant
+		m.Variant = "" // compare everything but the axis label
+		blob, err := json.Marshal(struct {
+			M sweep.JobMetrics
+			C []float64
+		}{m, e.CCTs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if byVariant[variant] == nil {
+			byVariant[variant] = map[seedCell]json.RawMessage{}
+		}
+		byVariant[variant][key] = blob
+	}
+	tick, event := byVariant["engine=tick"], byVariant["engine=event"]
+	if len(tick) == 0 || len(event) == 0 || len(tick) != len(event) {
+		t.Fatalf("variant cells: tick %d, event %d", len(tick), len(event))
+	}
+	for key, want := range tick {
+		got, ok := event[key]
+		if !ok {
+			t.Errorf("cell %+v missing from event variant", key)
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("cell %+v differs across engine modes:\n tick: %s\nevent: %s", key, want, got)
+		}
+	}
+	_, _, _, tables := exports(t, res)
+	for _, want := range []string{"engine=tick", "engine=event"} {
+		if !strings.Contains(tables, want) {
+			t.Errorf("engine-mode tables missing %q", want)
+		}
+	}
+}
