@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine fmt fmt-check vet staticcheck ci
+.PHONY: build test race bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine bench-obs fmt fmt-check vet staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,16 @@ bench-engine:
 	$(GO) test -run TestEngineLayerGuards -count=1 .
 	$(GO) test -run TestEngineEventSteadyStateZeroAlloc -count=1 ./internal/sim/
 
+# Observability smoke: one iteration of the span-record / counter-step
+# benchmarks plus the guard against the obs_layer section of
+# BENCH_baseline.json (the engine counter step must allocate exactly
+# nothing) and the engine's counters-attached zero-alloc guards in both
+# run loops (all skip under -race).
+bench-obs:
+	$(GO) test -bench 'BenchmarkObs' -benchtime=1x -benchmem -run '^$$' -timeout 10m .
+	$(GO) test -run TestObsLayerGuards -count=1 .
+	$(GO) test -run 'TestEngine(Tick|Event)CountersZeroAlloc' -count=1 ./internal/sim/
+
 fmt:
 	gofmt -w .
 
@@ -81,4 +91,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
-ci: fmt-check build vet staticcheck race bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine
+ci: fmt-check build vet staticcheck race bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine bench-obs

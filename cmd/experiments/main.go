@@ -23,6 +23,13 @@
 //
 // -engine picks the run loop for -study ("tick" or "event"); the two
 // produce byte-identical output, so it only changes wall-clock time.
+//
+// Observability is out-of-band and never changes output bytes:
+// -progress prints a throttled aggregate line (done/total, jobs/s,
+// ETA, per-variant completion); -obs-out (with -study) writes the
+// run's manifest of per-job phase spans and engine counters as JSON;
+// -cpuprofile, -memprofile and -runtime-trace capture the standard Go
+// profiles of the whole run.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"time"
 
 	"saath/internal/experiments"
+	"saath/internal/obs"
 	"saath/internal/report"
 	"saath/internal/sim"
 	"saath/internal/study"
@@ -51,7 +59,12 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory (for plotting)")
 		jsonDir  = flag.String("json", "", "also write each table as JSON into this directory")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "simulation worker pool size for figure sweeps")
-		progress = flag.Bool("progress", false, "print each sweep job completion to stderr")
+		progress = flag.Bool("progress", false, "print a throttled aggregate progress line to stderr")
+
+		obsOut       = flag.String("obs-out", "", `with -study: write the observability manifest (per-job spans + engine counters) as JSON ("-" for stdout)`)
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this path (captured at exit, after GC)")
+		runtimeTrace = flag.String("runtime-trace", "", "write a Go runtime execution trace to this path")
 
 		engine    = flag.String("engine", "", `with -study: run loop, "tick" or "event" (default: as the study declares; results are identical)`)
 		studyName = flag.String("study", "", "run a registered study from the catalog instead of the figures (see -studies)")
@@ -68,26 +81,33 @@ func main() {
 		}
 		return
 	}
+	stop, perr := obs.Profiles{CPU: *cpuProfile, Mem: *memProfile, Trace: *runtimeTrace}.Start()
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", perr)
+		os.Exit(1)
+	}
+	stopProfiles = stop
 	if *studyName != "" {
 		if err := runStudy(studyCLI{
 			name: *studyName, engine: *engine,
 			shardArg: *shardArg, mergeDir: *mergeDir, outDir: *outDir,
 			csvDir: *csvDir, jsonDir: *jsonDir, parallel: *parallel, progress: *progress,
+			obsOut: *obsOut,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
-	if *shardArg != "" || *mergeDir != "" || *engine != "" {
-		fmt.Fprintln(os.Stderr, "experiments: -shard/-merge/-engine require -study (figures are assembled in-process)")
-		os.Exit(1)
+	if *shardArg != "" || *mergeDir != "" || *engine != "" || *obsOut != "" {
+		fmt.Fprintln(os.Stderr, "experiments: -shard/-merge/-engine/-obs-out require -study (figures are assembled in-process)")
+		exit(1)
 	}
 	for _, dir := range []string{*csvDir, *jsonDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 	}
@@ -98,9 +118,9 @@ func main() {
 	}
 	env := experiments.NewEnv(sc)
 	env.Parallel = *parallel
-	if *progress {
-		env.Progress = sweep.ProgressPrinter(os.Stderr)
-	}
+	// Figure sweeps are built lazily per experiment, so the meter learns
+	// the job groups as completions arrive (nil job list).
+	env.Progress = sweep.CLIProgress(*progress, os.Stderr, nil)
 
 	type exp struct {
 		id string
@@ -156,31 +176,47 @@ func main() {
 		tables, err := e.fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("\n################ %s (%.1fs) ################\n", e.id, time.Since(start).Seconds())
 		for i, t := range tables {
 			if err := t.Render(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				exit(1)
 			}
 			fmt.Println()
 			if *csvDir != "" {
 				path := filepath.Join(*csvDir, fmt.Sprintf("%s_%02d.csv", e.id, i))
 				if err := writeTable(path, t.CSV); err != nil {
 					fmt.Fprintln(os.Stderr, "experiments: csv:", err)
-					os.Exit(1)
+					exit(1)
 				}
 			}
 			if *jsonDir != "" {
 				path := filepath.Join(*jsonDir, fmt.Sprintf("%s_%02d.json", e.id, i))
 				if err := writeTable(path, t.JSON); err != nil {
 					fmt.Fprintln(os.Stderr, "experiments: json:", err)
-					os.Exit(1)
+					exit(1)
 				}
 			}
 		}
 	}
+	exit(0)
+}
+
+// stopProfiles flushes any -cpuprofile/-memprofile/-runtime-trace
+// outputs; exit paths go through exit() so the profiles survive
+// os.Exit (which skips deferred calls).
+var stopProfiles = func() error { return nil }
+
+func exit(code int) {
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
 }
 
 // studyCLI carries the flag values of one -study invocation.
@@ -188,6 +224,7 @@ type studyCLI struct {
 	name, engine               string
 	shardArg, mergeDir, outDir string
 	csvDir, jsonDir            string
+	obsOut                     string
 	parallel                   int
 	progress                   bool
 }
@@ -206,8 +243,21 @@ func runStudy(c studyCLI) error {
 		st = st.InEngineMode(m)
 	}
 	pool := study.Pool{Parallel: c.parallel}
-	if c.progress {
-		pool.Progress = sweep.ProgressPrinter(os.Stderr)
+	if c.obsOut != "" {
+		if c.mergeDir != "" {
+			return fmt.Errorf("-obs-out needs a live run; merge only reassembles dumps")
+		}
+		pool.Observer = obs.NewRecorder(st.Name())
+	}
+	writeObs := func() error {
+		if c.obsOut == "" {
+			return nil
+		}
+		m := pool.Observer.Manifest()
+		if c.obsOut == "-" {
+			return m.WriteJSON(os.Stdout)
+		}
+		return writeTable(c.obsOut, m.WriteJSON)
 	}
 	var res *study.Result
 	switch {
@@ -220,6 +270,7 @@ func runStudy(c studyCLI) error {
 		if err != nil {
 			return err
 		}
+		pool.Progress = sweep.CLIProgress(c.progress, os.Stderr, sh.Jobs(st.Jobs()))
 		sh.Pool = pool
 		if res, err = st.Run(context.Background(), sh); err != nil {
 			return err
@@ -234,11 +285,18 @@ func runStudy(c studyCLI) error {
 		}
 		fmt.Printf("study %s shard %d/%d: %d jobs -> %s\n",
 			c.name, sh.Index, sh.Count, len(res.Sweep().Jobs), path)
+		if err := writeObs(); err != nil {
+			return err
+		}
 		return res.Err()
 	default:
+		pool.Progress = sweep.CLIProgress(c.progress, os.Stderr, st.Jobs())
 		if res, err = st.Run(context.Background(), pool); err != nil {
 			return err
 		}
+	}
+	if err := writeObs(); err != nil {
+		return err
 	}
 	if err := res.Err(); err != nil {
 		return err

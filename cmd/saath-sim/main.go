@@ -34,6 +34,21 @@
 // -study runs a named study from the built-in catalog (-studies lists
 // them) instead of the flag-built grid, rendering its derived tables.
 //
+// Observability (internal/obs) is out-of-band: none of these flags
+// changes a single byte of the study output. -observe appends the
+// capacity report — per-cell throughput/latency plus saturation-knee
+// detection over any numeric load axis — to whatever ran (or merged);
+// the one-command capacity answer is:
+//
+//	saath-sim -study capacity -observe
+//
+// -obs-out writes the run's execution manifest (per-job phase spans
+// and engine introspection counters) as JSON. -progress prints a
+// throttled aggregate line (done/total, jobs/s, ETA, per-variant
+// completion) rather than one line per job. -cpuprofile, -memprofile
+// and -runtime-trace capture the standard Go profiles of the whole
+// run.
+//
 // -engine selects the simulation run loop: "tick" replays the fixed-δ
 // synchronous loop, "event" the discrete-event engine that skips idle
 // gaps. The two are byte-identical by contract (see internal/sim), so
@@ -63,6 +78,7 @@ import (
 	"time"
 
 	"saath/internal/coflow"
+	"saath/internal/obs"
 	"saath/internal/sched"
 	"saath/internal/sim"
 	"saath/internal/study"
@@ -92,8 +108,15 @@ func main() {
 		engine   = flag.String("engine", "", `run loop: "tick" or "event" (default: as the study declares; results are identical)`)
 		parallel = flag.Int("parallel", runtime.NumCPU(), "simulation worker pool size")
 		jsonPath = flag.String("json", "", `write per-run results as JSON to this file ("-" for stdout)`)
-		progress = flag.Bool("progress", false, "print each job completion to stderr")
+		progress = flag.Bool("progress", false, "print a throttled aggregate progress line to stderr")
 		list     = flag.Bool("list", false, "list registered schedulers and exit")
+
+		observe = flag.Bool("observe", false, "append the capacity report (throughput per cell, saturation knee, sustainable load)")
+		obsOut  = flag.String("obs-out", "", `write the run's observability manifest (per-job spans + engine counters) as JSON ("-" for stdout)`)
+
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this path (captured at exit, after GC)")
+		runtimeTrace = flag.String("runtime-trace", "", "write a Go runtime execution trace to this path")
 
 		metrics     = flag.Bool("metrics", false, "collect per-interval telemetry (queue occupancy, contention histograms)")
 		metricsStep = flag.Duration("metrics-interval", 0, "telemetry sampling interval (rounded to a multiple of δ; 0 = every interval)")
@@ -122,6 +145,11 @@ func main() {
 	if *metricsOut != "" {
 		*metrics = true
 	}
+	stop, perr := obs.Profiles{CPU: *cpuProfile, Mem: *memProfile, Trace: *runtimeTrace}.Start()
+	if perr != nil {
+		fatal(perr)
+	}
+	stopProfiles = stop
 
 	var (
 		st      *study.Study
@@ -158,20 +186,23 @@ func main() {
 	// Merge mode: no simulation — reassemble shard dumps and render
 	// exactly what the unsharded run would have.
 	if *mergeDir != "" {
+		if *obsOut != "" {
+			fmt.Fprintln(os.Stderr, "saath-sim: -obs-out needs a live run; merge only reassembles dumps")
+		}
 		res, err := study.MergeShardDir(st, *mergeDir)
 		if err != nil {
 			fatal(err)
 		}
-		render(res, fromCLI, *metrics, *jsonPath, *metricsOut)
+		render(res, fromCLI, *metrics, *observe, *jsonPath, *metricsOut)
 		if res.Err() != nil {
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 
 	pool := study.Pool{Parallel: *parallel}
-	if *progress {
-		pool.Progress = sweep.ProgressPrinter(os.Stderr)
+	if *obsOut != "" {
+		pool.Observer = obs.NewRecorder(st.Name())
 	}
 
 	// Shard mode: simulate this stripe only and write the dump.
@@ -183,6 +214,7 @@ func main() {
 		if *jsonPath != "" || *metricsOut != "" {
 			fmt.Fprintln(os.Stderr, "saath-sim: -json/-metrics-out apply to the full study; export them from the -merge run")
 		}
+		pool.Progress = sweep.CLIProgress(*progress, os.Stderr, sh.Jobs(st.Jobs()))
 		sh.Pool = pool
 		res, err := st.Run(context.Background(), sh)
 		if err != nil {
@@ -198,12 +230,18 @@ func main() {
 		for _, jr := range res.Sweep().Failed() {
 			fmt.Fprintln(os.Stderr, "saath-sim:", jr.Err)
 		}
-		if res.Err() != nil {
-			os.Exit(1)
+		if *obsOut != "" {
+			if err := writeManifest(*obsOut, pool.Observer); err != nil {
+				fatal(err)
+			}
 		}
-		return
+		if res.Err() != nil {
+			exit(1)
+		}
+		exit(0)
 	}
 
+	pool.Progress = sweep.CLIProgress(*progress, os.Stderr, st.Jobs())
 	res, err := st.Run(context.Background(), pool)
 	if err != nil {
 		fatal(err)
@@ -213,10 +251,16 @@ func main() {
 	for _, jr := range res.Sweep().Failed() {
 		fmt.Fprintln(os.Stderr, "saath-sim:", jr.Err)
 	}
-	render(res, fromCLI, *metrics, *jsonPath, *metricsOut)
-	if res.Err() != nil {
-		os.Exit(1)
+	render(res, fromCLI, *metrics, *observe, *jsonPath, *metricsOut)
+	if *obsOut != "" {
+		if err := writeManifest(*obsOut, pool.Observer); err != nil {
+			fatal(err)
+		}
 	}
+	if res.Err() != nil {
+		exit(1)
+	}
+	exit(0)
 }
 
 // flagGrid carries the flag values studyFromFlags compiles.
@@ -349,8 +393,9 @@ func studyFromFlags(fg flagGrid) (*study.Study, error) {
 
 // render prints the study's tables and writes the requested exports.
 // Flag-built grids keep the CLI's classic table set; named studies
-// render their own derived tables.
-func render(res *study.Result, fromCLI bool, metrics bool, jsonPath, metricsOut string) {
+// render their own derived tables; -observe appends the capacity
+// report to either.
+func render(res *study.Result, fromCLI bool, metrics, observe bool, jsonPath, metricsOut string) {
 	agg := res.Summary()
 	if fromCLI {
 		if err := agg.CCTTable("per-scheduler CCT").Render(os.Stdout); err != nil {
@@ -385,6 +430,14 @@ func render(res *study.Result, fromCLI bool, metrics bool, jsonPath, metricsOut 
 			fmt.Println()
 		}
 	}
+	if observe {
+		for _, t := range obs.CapacityReport(res.Study().Name(), agg.CapacityCells(), 0) {
+			if err := t.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	}
 	if jsonPath != "" {
 		if err := exportJSON(jsonPath, agg); err != nil {
 			fatal(err)
@@ -395,6 +448,24 @@ func render(res *study.Result, fromCLI bool, metrics bool, jsonPath, metricsOut 
 			fatal(err)
 		}
 	}
+}
+
+// writeManifest exports the observability manifest collected by rec
+// ("-" for stdout).
+func writeManifest(path string, rec *obs.Recorder) error {
+	m := rec.Manifest()
+	if path == "-" {
+		return m.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = m.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // exportJSON writes the aggregate to path ("-" for stdout),
@@ -508,7 +579,22 @@ func parseBytes(s string) (coflow.Bytes, error) {
 	}
 }
 
+// stopProfiles flushes any -cpuprofile/-memprofile/-runtime-trace
+// outputs; every exit path goes through exit() so the profiles survive
+// os.Exit (which skips deferred calls).
+var stopProfiles = func() error { return nil }
+
+func exit(code int) {
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "saath-sim:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "saath-sim:", err)
-	os.Exit(1)
+	exit(1)
 }

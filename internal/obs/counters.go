@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"saath/internal/report"
+	"saath/internal/telemetry"
+)
+
+// NumEventKinds is the size of the engine's event-kind enum. The
+// EventsByKind array is indexed by internal/sim's eventKind values;
+// the alignment is pinned by TestEventKindNamesAligned in that
+// package (sim imports obs, never the reverse).
+const NumEventKinds = 5
+
+// EventKindNames labels EventsByKind slots in declaration order of the
+// engine's eventKind enum: exact-time completions, trace arrivals,
+// availability injections, schedule epochs, probe emissions.
+var EventKindNames = [NumEventKinds]string{"flow_done", "arrival", "avail", "epoch", "probe"}
+
+// latencyBuckets is the fixed bucket count of LatencyHist: powers of 4
+// from 1µs, so the top bucket bound is ~262ms — generously above any
+// sane Schedule call.
+const latencyBuckets = 10
+
+// latencyBaseNs is the first bucket's upper bound in nanoseconds.
+const latencyBaseNs = 1000
+
+// LatencyHist is a fixed-layout log-scale histogram of nanosecond
+// durations (bounds: powers of 4 from 1µs). The fixed array keeps
+// Observe allocation-free, which is what lets the engine record every
+// Schedule call's latency without breaking the zero-alloc steady-state
+// guarantee.
+type LatencyHist struct {
+	Count    int64                 `json:"count"`
+	SumNs    int64                 `json:"sum_ns"`
+	MaxNs    int64                 `json:"max_ns"`
+	Buckets  [latencyBuckets]int64 `json:"buckets"`
+	Overflow int64                 `json:"overflow,omitempty"`
+}
+
+// Observe records one duration. Zero-alloc.
+func (h *LatencyHist) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	h.Count++
+	h.SumNs += ns
+	if ns > h.MaxNs {
+		h.MaxNs = ns
+	}
+	bound := int64(latencyBaseNs)
+	for i := range h.Buckets {
+		if ns <= bound {
+			h.Buckets[i]++
+			return
+		}
+		bound *= 4
+	}
+	h.Overflow++
+}
+
+// Merge adds other's observations into h.
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	h.Count += other.Count
+	h.SumNs += other.SumNs
+	if other.MaxNs > h.MaxNs {
+		h.MaxNs = other.MaxNs
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+	h.Overflow += other.Overflow
+}
+
+// Dump exports the histogram through the telemetry dump type, values
+// in nanoseconds.
+func (h *LatencyHist) Dump(name string) telemetry.HistogramDump {
+	d := telemetry.HistogramDump{
+		Name:     name,
+		Count:    h.Count,
+		Sum:      float64(h.SumNs),
+		Max:      float64(h.MaxNs),
+		Overflow: h.Overflow,
+		Buckets:  make([]telemetry.Bucket, latencyBuckets),
+	}
+	bound := float64(latencyBaseNs)
+	for i := range h.Buckets {
+		d.Buckets[i] = telemetry.Bucket{LE: bound, Count: h.Buckets[i]}
+		bound *= 4
+	}
+	return d
+}
+
+// EngineCounters is the engine's introspection sink: attach one per
+// run via sim.Config.Counters and the run loops count into it. Every
+// field update is a nil-checked integer increment — the disabled path
+// (nil Counters) and the enabled path are both zero-alloc in steady
+// state. Counters are out-of-band: they never appear in Result or any
+// deterministic export, only in the obs manifest.
+//
+// Attach a fresh instance per run; sharing one across runs sums them
+// (which Merge also does explicitly).
+type EngineCounters struct {
+	// Mode is the run loop that filled the counters ("tick"/"event").
+	Mode string `json:"mode,omitempty"`
+	// Epochs counts scheduling intervals (Schedule calls).
+	Epochs int64 `json:"epochs"`
+	// Ticks counts δ-boundary visits of the tick loop (0 in event mode).
+	Ticks int64 `json:"ticks,omitempty"`
+	// Admitted / Retired count CoFlows entering and leaving the cluster.
+	Admitted int64 `json:"admitted"`
+	Retired  int64 `json:"retired"`
+	// EventsDispatched counts event-loop dispatches (0 in tick mode);
+	// EventsByKind splits them by eventKind (see EventKindNames).
+	EventsDispatched int64                `json:"events_dispatched,omitempty"`
+	EventsByKind     [NumEventKinds]int64 `json:"events_by_kind"`
+	// HeapPushes counts event-queue insertions, HeapMax is the heap
+	// depth high-water mark, HeapCancels counts O(log n) cancellations.
+	HeapPushes  int64 `json:"heap_pushes,omitempty"`
+	HeapMax     int64 `json:"heap_max,omitempty"`
+	HeapCancels int64 `json:"heap_cancels,omitempty"`
+	// Schedule is the wall-clock latency histogram of Schedule calls.
+	Schedule LatencyHist `json:"schedule_latency"`
+}
+
+// Merge adds other into c: sums everywhere, max for HeapMax, first
+// non-empty Mode wins (aggregates across mixed modes keep the label of
+// whichever contributed first).
+func (c *EngineCounters) Merge(other *EngineCounters) {
+	if other == nil {
+		return
+	}
+	if c.Mode == "" {
+		c.Mode = other.Mode
+	} else if other.Mode != "" && other.Mode != c.Mode {
+		c.Mode = "mixed"
+	}
+	c.Epochs += other.Epochs
+	c.Ticks += other.Ticks
+	c.Admitted += other.Admitted
+	c.Retired += other.Retired
+	c.EventsDispatched += other.EventsDispatched
+	for i := range c.EventsByKind {
+		c.EventsByKind[i] += other.EventsByKind[i]
+	}
+	c.HeapPushes += other.HeapPushes
+	if other.HeapMax > c.HeapMax {
+		c.HeapMax = other.HeapMax
+	}
+	c.HeapCancels += other.HeapCancels
+	c.Schedule.Merge(&other.Schedule)
+}
+
+// counterValue is one named scalar of the counter set.
+type counterValue struct {
+	Name  string
+	Value int64
+}
+
+// scalars returns the counter name/value pairs in stable render order.
+func (c *EngineCounters) scalars() []counterValue {
+	out := []counterValue{
+		{"engine_epochs", c.Epochs},
+		{"engine_ticks", c.Ticks},
+		{"engine_admitted", c.Admitted},
+		{"engine_retired", c.Retired},
+		{"engine_events_dispatched", c.EventsDispatched},
+	}
+	for i, n := range EventKindNames {
+		out = append(out, counterValue{"engine_events_" + n, c.EventsByKind[i]})
+	}
+	return append(out,
+		counterValue{"engine_heap_pushes", c.HeapPushes},
+		counterValue{"engine_heap_max", c.HeapMax},
+		counterValue{"engine_heap_cancels", c.HeapCancels})
+}
+
+// Metrics exports the counters through the existing telemetry dump
+// types: each counter as a single-point series, the schedule-call
+// latency as a histogram — so every renderer and JSON consumer built
+// for telemetry.Metrics works on engine introspection unchanged.
+func (c *EngineCounters) Metrics() *telemetry.Metrics {
+	m := &telemetry.Metrics{Intervals: c.Epochs, Sampled: c.Epochs}
+	for _, s := range c.scalars() {
+		v := float64(s.Value)
+		m.Series = append(m.Series, telemetry.SeriesDump{Name: s.Name, Count: 1, Mean: v, Max: v, Last: v})
+	}
+	m.Histograms = append(m.Histograms, c.Schedule.Dump("engine_schedule_latency_ns"))
+	return m
+}
+
+// Table renders the counters and latency summary as one report table.
+func (c *EngineCounters) Table(title string) *report.Table {
+	t := &report.Table{Title: title, Headers: []string{"counter", "value"}}
+	if c.Mode != "" {
+		t.AddRow("engine_mode", c.Mode)
+	}
+	for _, s := range c.scalars() {
+		t.AddRow(s.Name, s.Value)
+	}
+	if c.Schedule.Count > 0 {
+		mean := time.Duration(c.Schedule.SumNs / c.Schedule.Count)
+		t.AddRow("schedule_latency_mean", fmt.Sprintf("%v", mean))
+		t.AddRow("schedule_latency_max", fmt.Sprintf("%v", time.Duration(c.Schedule.MaxNs)))
+	}
+	return t
+}

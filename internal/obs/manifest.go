@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// JobRecord is one job's observability digest: identity, phase span
+// tree, engine counters, and the error string on failure. Records live
+// only in the manifest — never in the deterministic study exports.
+type JobRecord struct {
+	Index     int             `json:"index"`
+	Trace     string          `json:"trace"`
+	Variant   string          `json:"variant,omitempty"`
+	Scheduler string          `json:"scheduler"`
+	Seed      int64           `json:"seed"`
+	Error     string          `json:"error,omitempty"`
+	Span      *Span           `json:"span,omitempty"`
+	Counters  *EngineCounters `json:"counters,omitempty"`
+}
+
+// ManifestTotals aggregates the run: job counts, summed job wall-clock
+// (JobNs exceeds real elapsed time under parallelism — it is CPU-side
+// work, not wall time), and counters merged across every job.
+type ManifestTotals struct {
+	Jobs     int            `json:"jobs"`
+	Failed   int            `json:"failed,omitempty"`
+	JobNs    int64          `json:"job_ns"`
+	Counters EngineCounters `json:"counters"`
+}
+
+// Manifest is one run's collected observability: per-job records in
+// grid order, top-level phase spans, and the aggregate totals.
+type Manifest struct {
+	Study  string         `json:"study,omitempty"`
+	Jobs   []JobRecord    `json:"jobs"`
+	Spans  []*Span        `json:"spans,omitempty"`
+	Totals ManifestTotals `json:"totals"`
+}
+
+// WriteJSON writes the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Recorder is the thread-safe collection point the sweep layer feeds:
+// workers record one JobRecord per job, the driver opens top-level
+// spans, Manifest snapshots everything. A nil *Recorder is the
+// disabled state — every method is a nil-safe no-op, so call sites
+// thread one pointer through unconditionally.
+type Recorder struct {
+	mu    sync.Mutex
+	study string
+	jobs  []JobRecord
+	spans []*Span
+}
+
+// NewRecorder returns an enabled recorder labeled with the study name.
+func NewRecorder(study string) *Recorder {
+	return &Recorder{study: study}
+}
+
+// Enabled reports whether records will be kept (false on nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Span opens a top-level phase span registered with the recorder; the
+// caller Ends it. Returns nil on a disabled recorder.
+func (r *Recorder) Span(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := StartSpan(name)
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	return s
+}
+
+// RecordJob stores one job's digest. Safe for concurrent use; no-op on
+// a disabled recorder.
+func (r *Recorder) RecordJob(rec JobRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.jobs = append(r.jobs, rec)
+	r.mu.Unlock()
+}
+
+// Manifest snapshots the collected state: job records sorted by grid
+// index (arrival order is execution interleaving; the manifest is not
+// byte-pinned, but grid order keeps it stable enough to diff), totals
+// summed across jobs.
+func (r *Recorder) Manifest() *Manifest {
+	if r == nil {
+		return &Manifest{}
+	}
+	r.mu.Lock()
+	jobs := append([]JobRecord(nil), r.jobs...)
+	spans := append([]*Span(nil), r.spans...)
+	study := r.study
+	r.mu.Unlock()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Index < jobs[j].Index })
+	m := &Manifest{Study: study, Jobs: jobs, Spans: spans}
+	m.Totals.Jobs = len(jobs)
+	for i := range jobs {
+		j := &jobs[i]
+		if j.Error != "" {
+			m.Totals.Failed++
+		}
+		m.Totals.JobNs += j.Span.Duration().Nanoseconds()
+		m.Totals.Counters.Merge(j.Counters)
+	}
+	return m
+}

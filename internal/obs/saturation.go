@@ -1,0 +1,102 @@
+package obs
+
+// Knee detection over a load → latency curve: where P99 CCT departs
+// the linear trend of the low-load prefix. Near saturation queueing
+// latency grows super-linearly (SNIPPETS snippet 1: doubling capacity
+// at the knee improves P99 ~7x, not 2x), so the knee is the capacity
+// answer — load beyond it buys latency, not throughput.
+
+// DefaultKneeTolerance is the relative departure that flags the knee:
+// a point more than 50% above the linear prediction of the pre-knee
+// prefix has left the linear regime.
+const DefaultKneeTolerance = 0.5
+
+// Knee is the detected saturation point of a (load, latency) curve.
+type Knee struct {
+	// Detected is false when the curve never departs linearity (or has
+	// fewer than 3 points).
+	Detected bool `json:"detected"`
+	// Index is the first point past the knee (into the xs/ys passed to
+	// DetectKnee); Index-1 is the last point still in the linear regime.
+	Index int `json:"index,omitempty"`
+	// Load is the last pre-knee load coordinate — the sustainable
+	// operating point.
+	Load float64 `json:"load,omitempty"`
+	// Predicted is the linear extrapolation at the knee point; Actual
+	// is the measured value that exceeded it.
+	Predicted float64 `json:"predicted,omitempty"`
+	Actual    float64 `json:"actual,omitempty"`
+}
+
+// DetectKnee finds where ys departs the linear trend of its low-load
+// prefix. xs must be ascending with len(xs) == len(ys). The detector
+// fits a least-squares line through the first two points, then walks
+// forward: a point within (1+tol)× of the prediction (plus the
+// absolute slack of the fit so flat, near-zero curves don't trip on
+// noise) joins the fit and the line is refit over the grown prefix;
+// the first point exceeding it is the knee. tol <= 0 uses
+// DefaultKneeTolerance.
+//
+// The detector is pure arithmetic over its inputs — deterministic for
+// deterministic curves.
+func DetectKnee(xs, ys []float64, tol float64) Knee {
+	if tol <= 0 {
+		tol = DefaultKneeTolerance
+	}
+	n := len(xs)
+	if n < 3 || len(ys) != n {
+		return Knee{}
+	}
+	for i := 2; i < n; i++ {
+		slope, intercept := fitLine(xs[:i], ys[:i])
+		pred := slope*xs[i] + intercept
+		// Absolute slack: the mean magnitude of the prefix, scaled by
+		// tol. Without it a flat curve hugging zero would flag any
+		// positive wiggle as a departure.
+		slack := tol * meanAbs(ys[:i])
+		limit := pred*(1+tol) + slack
+		if ys[i] > limit {
+			return Knee{
+				Detected:  true,
+				Index:     i,
+				Load:      xs[i-1],
+				Predicted: pred,
+				Actual:    ys[i],
+			}
+		}
+	}
+	return Knee{}
+}
+
+// fitLine is the least-squares fit y = slope*x + intercept.
+func fitLine(xs, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+func meanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x < 0 {
+			x = -x
+		}
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"testing"
+
+	"saath/internal/coflow"
+	"saath/internal/obs"
+	"saath/internal/telemetry"
+	"saath/internal/trace"
+)
+
+// TestEventKindNamesAligned pins obs.EventKindNames to the engine's
+// eventKind enum: same size, declaration-order labels. The obs package
+// cannot import sim, so the alignment is enforced here.
+func TestEventKindNamesAligned(t *testing.T) {
+	if got := int(eventProbe) + 1; got != obs.NumEventKinds {
+		t.Fatalf("eventKind enum has %d values, obs.NumEventKinds = %d", got, obs.NumEventKinds)
+	}
+	want := map[eventKind]string{
+		eventFlowDone: "flow_done",
+		eventArrival:  "arrival",
+		eventAvail:    "avail",
+		eventEpoch:    "epoch",
+		eventProbe:    "probe",
+	}
+	for kind, name := range want {
+		if got := obs.EventKindNames[kind]; got != name {
+			t.Errorf("EventKindNames[%d] = %q, want %q", kind, got, name)
+		}
+	}
+}
+
+// countersTrace exercises every event kind: a DAG edge (flow_done),
+// staggered arrivals, and pipelined availability.
+func countersTrace() *trace.Trace {
+	return &trace.Trace{Name: "counted", NumPorts: 4, Specs: []*coflow.Spec{
+		{ID: 1, Arrival: 0, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: 4 * coflow.MB}}},
+		{ID: 2, Arrival: 3 * coflow.Millisecond, Flows: []coflow.FlowSpec{{Src: 2, Dst: 3, Size: 2 * coflow.MB}}},
+		{ID: 3, Arrival: 0, DependsOn: []coflow.CoFlowID{1},
+			Flows: []coflow.FlowSpec{{Src: 1, Dst: 2, Size: coflow.MB}}},
+	}}
+}
+
+func TestCountersTickMode(t *testing.T) {
+	c := &obs.EngineCounters{}
+	res := runOn(t, countersTrace(), "saath", Config{Counters: c})
+	if c.Mode != "tick" {
+		t.Errorf("mode = %q", c.Mode)
+	}
+	if c.Ticks == 0 || c.Ticks != int64(res.Intervals) {
+		t.Errorf("ticks = %d, intervals = %d", c.Ticks, res.Intervals)
+	}
+	if c.Epochs != int64(res.Intervals) || c.Schedule.Count != c.Epochs {
+		t.Errorf("epochs = %d, schedule samples = %d, intervals = %d", c.Epochs, c.Schedule.Count, res.Intervals)
+	}
+	if c.Admitted != 3 || c.Retired != 3 {
+		t.Errorf("admitted = %d retired = %d, want 3/3", c.Admitted, c.Retired)
+	}
+	if c.EventsDispatched != 0 || c.HeapPushes != 0 {
+		t.Errorf("tick mode counted events: dispatched = %d pushes = %d", c.EventsDispatched, c.HeapPushes)
+	}
+	if res.Ports != 4 {
+		t.Errorf("result ports = %d, want 4", res.Ports)
+	}
+}
+
+func TestCountersEventMode(t *testing.T) {
+	cfg := Config{
+		Mode:       ModeEvent,
+		Pipelining: &Pipelining{Seed: 1, Frac: 1.0, AvailDelay: 16 * coflow.Millisecond},
+	}
+	cfg.Probes = []telemetry.Probe{telemetry.NewSuite(telemetry.Spec{Enabled: true})}
+	c := &obs.EngineCounters{}
+	cfg.Counters = c
+	res := runOn(t, countersTrace(), "saath", cfg)
+
+	if c.Mode != "event" {
+		t.Errorf("mode = %q", c.Mode)
+	}
+	if c.Ticks != 0 {
+		t.Errorf("event mode counted %d ticks", c.Ticks)
+	}
+	if c.Epochs != int64(res.Intervals) {
+		t.Errorf("epochs = %d, intervals = %d", c.Epochs, res.Intervals)
+	}
+	var byKind int64
+	for _, n := range c.EventsByKind {
+		byKind += n
+	}
+	if byKind != c.EventsDispatched || c.EventsDispatched == 0 {
+		t.Errorf("dispatched = %d, by-kind sum = %d", c.EventsDispatched, byKind)
+	}
+	if got := c.EventsByKind[eventArrival]; got != 3 {
+		t.Errorf("arrival events = %d, want 3", got)
+	}
+	if got := c.EventsByKind[eventEpoch]; got != int64(res.Intervals) {
+		t.Errorf("epoch events = %d, intervals = %d", got, res.Intervals)
+	}
+	if got := c.EventsByKind[eventProbe]; got != int64(res.Intervals) {
+		t.Errorf("probe events = %d, intervals = %d", got, res.Intervals)
+	}
+	if c.EventsByKind[eventFlowDone] == 0 {
+		t.Error("DAG trace dispatched no flow_done events")
+	}
+	if c.EventsByKind[eventAvail] == 0 {
+		t.Error("pipelined trace dispatched no avail events")
+	}
+	if c.HeapPushes != c.EventsDispatched {
+		// Every pushed event pops in a run-to-completion simulation.
+		t.Errorf("pushes = %d, dispatched = %d", c.HeapPushes, c.EventsDispatched)
+	}
+	if c.HeapMax < 2 {
+		t.Errorf("heap high-water = %d, want >= 2", c.HeapMax)
+	}
+}
+
+// TestCountersDoNotPerturbResult is the out-of-band guarantee: the
+// same run with and without counters attached produces field-identical
+// results in both modes.
+func TestCountersDoNotPerturbResult(t *testing.T) {
+	for _, mode := range []Mode{ModeTick, ModeEvent} {
+		cfg := Config{
+			Mode:       mode,
+			Dynamics:   &Dynamics{Seed: 2, StragglerProb: 0.5, Slowdown: 2, RestartProb: 0.5},
+			Pipelining: &Pipelining{Seed: 3, Frac: 0.5, AvailDelay: 16 * coflow.Millisecond},
+		}
+		bare := runOn(t, countersTrace(), "saath", cfg)
+		counted := cfg
+		counted.Counters = &obs.EngineCounters{}
+		observed := runOn(t, countersTrace(), "saath", counted)
+		sameResult(t, mode.String(), bare, observed)
+	}
+}
+
+// TestEngineTickCountersZeroAlloc extends the steady-state guard to
+// the counting path: attaching EngineCounters adds zero allocations
+// per tick.
+func TestEngineTickCountersZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	e := steadyEngine(t, "saath")
+	e.cfg.Counters = &obs.EngineCounters{}
+	n := testing.AllocsPerRun(100, func() {
+		if err := e.tick(e.cfg.Delta); err != nil {
+			t.Fatal(err)
+		}
+		e.now += e.cfg.Delta
+	})
+	if n != 0 {
+		t.Errorf("counted steady-state tick allocates %.1f times per interval, want 0", n)
+	}
+}
+
+// TestEngineEventCountersZeroAlloc is the event-loop counterpart:
+// counting a steady-state dispatch adds zero allocations.
+func TestEngineEventCountersZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	e := steadyEventEngine(t, "saath")
+	e.cfg.Counters = &obs.EngineCounters{}
+	n := testing.AllocsPerRun(100, func() {
+		if ok, err := e.step(e.cfg.Delta); !ok || err != nil {
+			t.Fatalf("step: ok=%v err=%v", ok, err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("counted steady-state event dispatch allocates %.1f times, want 0", n)
+	}
+}

@@ -52,6 +52,7 @@ import (
 
 	"saath/internal/coflow"
 	"saath/internal/fabric"
+	"saath/internal/obs"
 	"saath/internal/sched"
 	"saath/internal/telemetry"
 	"saath/internal/trace"
@@ -84,6 +85,14 @@ type Config struct {
 	// TestObserveIntervalNoProbesZeroAlloc). Probes observe exactly one
 	// run — attach fresh instances per simulation.
 	Probes []telemetry.Probe
+	// Counters, when non-nil, receives engine introspection: epochs,
+	// ticks, admissions, event dispatches by kind, heap high-water mark,
+	// schedule-call latency. Counting is out-of-band — it never touches
+	// simulation state, RNG draws, or Result — and both the nil path and
+	// the counting path are zero-alloc in steady state (enforced by the
+	// allocguard tests). Attach a fresh instance per run; sharing one
+	// across runs sums them.
+	Counters *obs.EngineCounters
 }
 
 // WithProbe returns a copy of c with p appended to a freshly-copied
@@ -220,6 +229,7 @@ func (s ScheduleStats) P90() time.Duration {
 type Result struct {
 	Scheduler string
 	Trace     string
+	Ports     int // cluster size the trace ran on
 	CoFlows   []CoFlowResult
 	Makespan  coflow.Time
 	Intervals int // scheduling rounds executed
@@ -274,7 +284,10 @@ func run(tr *trace.Trace, s sched.Scheduler, cfg Config) (*Result, error) {
 		sched:  s,
 		fab:    fabric.New(tr.NumPorts, cfg.PortRate),
 		space:  coflow.NewIndexSpace(),
-		result: &Result{Scheduler: s.Name(), Trace: tr.Name},
+		result: &Result{Scheduler: s.Name(), Trace: tr.Name, Ports: tr.NumPorts},
+	}
+	if c := cfg.Counters; c != nil {
+		c.Mode = cfg.Mode.String()
 	}
 	e.snap.Fabric = e.fab
 	if cfg.Dynamics != nil {
@@ -404,6 +417,9 @@ func (e *engine) admit(now coflow.Time) {
 func (e *engine) admitOne(p *pendingSpec, now coflow.Time) *coflow.CoFlow {
 	p.released = true
 	e.admitted++
+	if c := e.cfg.Counters; c != nil {
+		c.Admitted++
+	}
 	c := coflow.New(p.spec)
 	c.Arrived = now
 	if p.spec.Arrival > 0 && len(p.deps) == 0 {
@@ -565,6 +581,9 @@ func (e *engine) runTicks() error {
 // completions, no probes) performs zero heap allocations — guarded by
 // TestEngineTickSteadyStateZeroAlloc.
 func (e *engine) tick(delta coflow.Time) error {
+	if c := e.cfg.Counters; c != nil {
+		c.Ticks++
+	}
 	alloc, err := e.beginInterval()
 	if err != nil {
 		return err
@@ -587,8 +606,13 @@ func (e *engine) beginInterval() (*sched.RateVec, error) {
 	e.snap.CoFlowCap = e.space.CoFlowCap()
 	start := time.Now()
 	alloc := e.sched.Schedule(&e.snap)
-	e.result.Sched.record(time.Since(start))
+	elapsed := time.Since(start)
+	e.result.Sched.record(elapsed)
 	e.result.Intervals++
+	if c := e.cfg.Counters; c != nil {
+		c.Epochs++
+		c.Schedule.Observe(elapsed)
+	}
 
 	if !e.cfg.SkipValidation {
 		if err := e.validateAllocation(alloc); err != nil {
@@ -795,6 +819,9 @@ func (e *engine) maybeRestart(f *coflow.Flow) {
 
 func (e *engine) retire(c *coflow.CoFlow) {
 	e.doneAt[c.ID()] = c.DoneAt
+	if cnt := e.cfg.Counters; cnt != nil {
+		cnt.Retired++
+	}
 	// Event mode: coflows gating DAG dependents get an exact-time
 	// completion event so releases never need the tick engine's
 	// per-boundary pending scan. DoneAt lies in [now, now+δ], so the
@@ -802,7 +829,7 @@ func (e *engine) retire(c *coflow.CoFlow) {
 	// should admit the dependents (releaseDependents clamps to the
 	// post-interval clock).
 	if e.evq != nil && len(e.dependents[c.ID()]) > 0 {
-		e.evq.push(event{time: c.DoneAt, kind: eventFlowDone, co: c})
+		e.pushEvent(event{time: c.DoneAt, kind: eventFlowDone, co: c})
 	}
 	e.sched.Depart(c, e.now)
 	e.space.Release(c) // after Depart, which still reads the indices

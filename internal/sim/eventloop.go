@@ -39,11 +39,27 @@ func (e *engine) runEvents() error {
 	if n := e.unreleasedCount(); n > 0 {
 		return fmt.Errorf("sim: %d coflows unreachable (dependency cycle?)", n)
 	}
+	if c := e.cfg.Counters; c != nil {
+		c.HeapCancels += e.evq.cancels
+	}
 	e.result.Makespan = e.now
 	if e.result.Intervals > 0 {
 		e.result.AvgEgressUtilization = e.utilSum / float64(e.result.Intervals)
 	}
 	return nil
+}
+
+// pushEvent schedules ev through the introspection seam: every heap
+// insertion is counted and the depth high-water mark maintained when
+// counters are attached. All engine push sites go through here.
+func (e *engine) pushEvent(ev event) {
+	e.evq.push(ev)
+	if c := e.cfg.Counters; c != nil {
+		c.HeapPushes++
+		if n := int64(e.evq.Len()); n > c.HeapMax {
+			c.HeapMax = n
+		}
+	}
 }
 
 // step pops and dispatches one event; ok is false once the heap has
@@ -54,6 +70,10 @@ func (e *engine) step(delta coflow.Time) (bool, error) {
 	ev, ok := e.evq.pop()
 	if !ok {
 		return false, nil
+	}
+	if c := e.cfg.Counters; c != nil {
+		c.EventsDispatched++
+		c.EventsByKind[ev.kind]++
 	}
 	// The clock only moves forward: completion events carry exact
 	// mid-interval times that the post-interval clock has already
@@ -88,7 +108,7 @@ func (e *engine) step(delta coflow.Time) (bool, error) {
 			// two: they share a timestamp and only eventProbe sorts
 			// after eventEpoch.
 			e.pendingAlloc = alloc
-			e.evq.push(event{time: ev.time, kind: eventProbe})
+			e.pushEvent(event{time: ev.time, kind: eventProbe})
 		} else {
 			e.observeInterval(alloc)
 			e.finishInterval(alloc, delta)
@@ -111,7 +131,7 @@ func (e *engine) loadEvents() {
 	for i, p := range e.pending {
 		if len(p.deps) == 0 {
 			p.queued = true
-			e.evq.push(event{
+			e.pushEvent(event{
 				time: e.ceilDelta(p.spec.Arrival),
 				kind: eventArrival,
 				key:  int64(i),
@@ -140,7 +160,7 @@ func (e *engine) ceilDelta(t coflow.Time) coflow.Time {
 
 // pushEpoch schedules the single pending schedule epoch.
 func (e *engine) pushEpoch(t coflow.Time) {
-	e.evq.push(event{time: t, kind: eventEpoch})
+	e.pushEvent(event{time: t, kind: eventEpoch})
 	e.epochAt = t
 }
 
@@ -159,7 +179,7 @@ func (e *engine) admitSpec(p *pendingSpec, now coflow.Time) {
 		if at < now {
 			at = now
 		}
-		e.evq.push(event{time: at, kind: eventAvail, co: c})
+		e.pushEvent(event{time: at, kind: eventAvail, co: c})
 	}
 	if e.epochAt < 0 {
 		e.pushEpoch(now)
@@ -197,7 +217,7 @@ func (e *engine) releaseDependents(c *coflow.CoFlow) {
 			at = e.now
 		}
 		p.queued = true
-		e.evq.push(event{time: at, kind: eventArrival, key: int64(idx), spec: idx})
+		e.pushEvent(event{time: at, kind: eventArrival, key: int64(idx), spec: idx})
 	}
 }
 

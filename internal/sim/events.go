@@ -79,6 +79,8 @@ type eventQueue struct {
 	slots []eventSlot
 	free  []int32
 	seq   uint64
+	// cancels counts successful cancellations for engine introspection.
+	cancels int64
 }
 
 // Len returns the number of pending events.
@@ -155,6 +157,7 @@ func (q *eventQueue) cancel(h eventHandle) bool {
 	}
 	q.removeAt(int(s.pos))
 	q.release(h.slot)
+	q.cancels++
 	return true
 }
 

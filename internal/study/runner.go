@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"saath/internal/obs"
 	"saath/internal/sweep"
 )
 
@@ -24,7 +25,11 @@ type Pool struct {
 	// Parallel bounds the worker pool; <=0 means runtime.NumCPU().
 	Parallel int
 	// Progress, if set, is called after every job completes.
-	Progress func(done, total int, jr sweep.JobResult)
+	Progress sweep.ProgressFunc
+	// Observer, when non-nil, collects the run's obs manifest (per-job
+	// spans and engine counters). Out-of-band: attaching it never
+	// changes study output.
+	Observer *obs.Recorder
 }
 
 // Run implements Runner.
@@ -33,6 +38,7 @@ func (p Pool) Run(ctx context.Context, jobs []sweep.Job, collectors []sweep.Coll
 		Parallel:   p.Parallel,
 		Progress:   p.Progress,
 		Collectors: collectors,
+		Observer:   p.Observer,
 	}), nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"context"
 	"fmt"
 
+	"saath/internal/obs"
 	"saath/internal/report"
 	"saath/internal/sched"
 	"saath/internal/sim"
@@ -179,6 +180,17 @@ func (st *Study) validate() error {
 	for _, v := range st.variants {
 		if len(v.Config.Probes) > 0 {
 			return fmt.Errorf("variant %q config carries probes; use WithTelemetry", v.Name)
+		}
+	}
+	// Same sharing hazard for engine counters: one instance in a grid
+	// config would sum every parallel job's counts into it. Per-job
+	// counters come from the sweep observer (Pool.Observer).
+	if st.config.Counters != nil {
+		return fmt.Errorf("WithSimConfig carries engine counters; use Pool.Observer (counters in a grid config are shared across jobs)")
+	}
+	for _, v := range st.variants {
+		if v.Config.Counters != nil {
+			return fmt.Errorf("variant %q config carries engine counters; use Pool.Observer", v.Name)
 		}
 	}
 	seenTrace := make(map[string]bool, len(st.traces))
@@ -337,8 +349,9 @@ func mergeConfig(v, base sim.Config) sim.Config {
 	if v.Pipelining == nil {
 		v.Pipelining = base.Pipelining
 	}
-	// Probes need no merge: validate rejects them in both study and
-	// variant configs (per-job collection goes through WithTelemetry).
+	// Probes and Counters need no merge: validate rejects both in study
+	// and variant configs (per-job collection goes through WithTelemetry
+	// and Pool.Observer respectively).
 	return v
 }
 
@@ -507,6 +520,41 @@ func DerivedQueueTransitions(title string) Derived {
 func DerivedPortHeatmap(title string, maxPorts int) Derived {
 	return func(st *Study, sum *sweep.Summary) ([]*report.Table, error) {
 		return []*report.Table{sum.PortHeatmapTable(title, maxPorts)}, nil
+	}
+}
+
+// DerivedCapacity renders the per-(workload, scheduler) capacity
+// table: completed coflows per simulated second, pooled CCT
+// percentiles, cluster size.
+func DerivedCapacity(title string) Derived {
+	return func(st *Study, sum *sweep.Summary) ([]*report.Table, error) {
+		return []*report.Table{obs.CapacityTable(title, sum.CapacityCells())}, nil
+	}
+}
+
+// DerivedSaturation runs knee detection over the study's load axis
+// (numeric variant or trace-name sweeps — see obs.AxisValue) and
+// renders the saturation table: where each scheduler's P99 CCT departs
+// linearity and the sustainable coflows/s at that cluster size.
+// tol <= 0 uses obs.DefaultKneeTolerance. Purely derived — identical
+// for live, parallel and merged shard executions.
+func DerivedSaturation(title string, tol float64) Derived {
+	return func(st *Study, sum *sweep.Summary) ([]*report.Table, error) {
+		series := obs.SaturationSeriesOf(sum.CapacityCells(), tol)
+		if len(series) == 0 {
+			return nil, fmt.Errorf("derived saturation %q: no numeric load axis in study %s (sweep a rate or degree parameter)", title, st.name)
+		}
+		return []*report.Table{obs.SaturationTable(title, series)}, nil
+	}
+}
+
+// DerivedCapacityReport renders the full capacity report — the
+// per-cell table, the saturation/knee table (with a hint row when the
+// study has no numeric load axis), and the per-point load-curve
+// detail. This is what the CLIs' -observe flag renders.
+func DerivedCapacityReport(title string, tol float64) Derived {
+	return func(st *Study, sum *sweep.Summary) ([]*report.Table, error) {
+		return obs.CapacityReport(title, sum.CapacityCells(), tol), nil
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"saath/internal/coflow"
+	"saath/internal/obs"
 	"saath/internal/report"
 	"saath/internal/stats"
 	"saath/internal/telemetry"
@@ -23,6 +24,7 @@ type JobMetrics struct {
 	Seed        int64   `json:"seed"`
 	Error       string  `json:"error,omitempty"`
 	CoFlows     int     `json:"coflows"`
+	Ports       int     `json:"ports,omitempty"`
 	Intervals   int     `json:"intervals"`
 	AvgCCT      float64 `json:"avg_cct_s"`
 	P50CCT      float64 `json:"p50_cct_s"`
@@ -69,6 +71,7 @@ func (s *Summary) Add(jr JobResult) {
 		}
 		e.byID = r.CCTByID()
 		e.metrics.CoFlows = len(r.CoFlows)
+		e.metrics.Ports = r.Ports
 		e.metrics.Intervals = r.Intervals
 		e.metrics.AvgCCT = r.AvgCCT()
 		e.metrics.P50CCT = stats.Percentile(e.ccts, 50)
@@ -184,7 +187,11 @@ type cell struct {
 	trace, variant, scheduler string
 	ccts                      []float64
 	utilSum, makespanSum      float64
-	n                         int
+	// thruSum accumulates per-job completed-coflows-per-second for the
+	// capacity report; ports is the cell's cluster size.
+	thruSum float64
+	ports   int
+	n       int
 }
 
 func (s *Summary) cells() []*cell {
@@ -205,6 +212,12 @@ func (s *Summary) cells() []*cell {
 		c.ccts = append(c.ccts, e.ccts...)
 		c.utilSum += m.Utilization
 		c.makespanSum += m.Makespan
+		if m.Makespan > 0 {
+			c.thruSum += float64(m.CoFlows) / m.Makespan
+		}
+		if m.Ports > c.ports {
+			c.ports = m.Ports
+		}
 		c.n++
 	}
 	return order
@@ -236,6 +249,33 @@ func (s *Summary) CCTGroups() []CCTGroup {
 	out := make([]CCTGroup, len(cells))
 	for i, c := range cells {
 		out[i] = CCTGroup{Label: c.label(), Scheduler: c.scheduler, CCTs: c.ccts}
+	}
+	return out
+}
+
+// CapacityCells exports the pooled per-cell capacity measurements for
+// the obs capacity report: throughput (completed coflows per simulated
+// second, averaged over seeds), the pooled CCT percentiles, cluster
+// size. Cells follow first-seen grid order; errored jobs are skipped.
+func (s *Summary) CapacityCells() []obs.Cell {
+	cells := s.cells()
+	out := make([]obs.Cell, len(cells))
+	for i, c := range cells {
+		out[i] = obs.Cell{
+			Trace:       c.trace,
+			Variant:     c.variant,
+			Scheduler:   c.scheduler,
+			Runs:        c.n,
+			CoFlows:     len(c.ccts),
+			Ports:       c.ports,
+			Throughput:  c.thruSum / float64(c.n),
+			AvgCCT:      stats.Mean(c.ccts),
+			P50CCT:      stats.Percentile(c.ccts, 50),
+			P90CCT:      stats.Percentile(c.ccts, 90),
+			P99CCT:      stats.Percentile(c.ccts, 99),
+			Makespan:    c.makespanSum / float64(c.n),
+			Utilization: c.utilSum / float64(c.n),
+		}
 	}
 	return out
 }

@@ -37,11 +37,11 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
-	"io"
 	"runtime"
 	"sync"
 	"time"
 
+	"saath/internal/obs"
 	"saath/internal/sched"
 	"saath/internal/sim"
 	"saath/internal/telemetry"
@@ -226,9 +226,15 @@ type Options struct {
 	// Progress, if set, is called after every job completes (done is
 	// the completion count so far). Calls are serialized; completion
 	// order is nondeterministic under parallelism.
-	Progress func(done, total int, jr JobResult)
+	Progress ProgressFunc
 	// Collectors are streamed every completed job (serialized).
 	Collectors []Collector
+	// Observer, when non-nil, collects per-job run-trace spans and
+	// engine counters into an obs manifest. Observation is out-of-band:
+	// it never changes a job's seeds, RNG draws, or results, so every
+	// determinism golden holds with it attached (nil disables at zero
+	// cost).
+	Observer *obs.Recorder
 }
 
 // Result is the outcome of a sweep, with Jobs in grid order regardless
@@ -311,7 +317,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) *Result {
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				jr := runJob(ctx, jobs[i])
+				jr := runJob(ctx, jobs[i], opts.Observer)
 				out[i], ran[i] = jr, true
 				deliver(jr)
 			}
@@ -341,10 +347,36 @@ dispatch:
 // runJob executes one simulation, deriving deterministic RNG seeds for
 // dynamics/pipelining from the job identity when the caller left them
 // zero (so every cell of a grid gets distinct but reproducible noise).
-func runJob(ctx context.Context, j Job) JobResult {
+// With an enabled recorder it also times the job's phases (trace
+// synthesis, run loop, metrics export) and attaches engine counters —
+// all out-of-band, never touching the seeds or results above.
+func runJob(ctx context.Context, j Job, rec *obs.Recorder) JobResult {
 	jr := JobResult{Job: j}
 	start := time.Now()
 	defer func() { jr.Elapsed = time.Since(start) }()
+	var span *obs.Span
+	var counters *obs.EngineCounters
+	if rec.Enabled() {
+		span = obs.StartSpan("job:" + j.Key())
+		counters = &obs.EngineCounters{}
+		defer func() {
+			span.End()
+			errStr := ""
+			if jr.Err != nil {
+				errStr = jr.Err.Error()
+			}
+			rec.RecordJob(obs.JobRecord{
+				Index:     j.Index,
+				Trace:     j.Trace,
+				Variant:   j.Variant,
+				Scheduler: j.Scheduler,
+				Seed:      j.Seed,
+				Error:     errStr,
+				Span:      span,
+				Counters:  counters,
+			})
+		}()
+	}
 	if err := ctx.Err(); err != nil {
 		jr.Err = fmt.Errorf("sweep: job %s skipped: %w", j.Key(), err)
 		return jr
@@ -359,6 +391,7 @@ func runJob(ctx context.Context, j Job) JobResult {
 		return jr
 	}
 	cfg := j.Config
+	cfg.Counters = counters // nil when observation is off
 	if cfg.Dynamics != nil {
 		d := *cfg.Dynamics
 		if d.Seed == 0 {
@@ -384,30 +417,23 @@ func runJob(ctx context.Context, j Job) JobResult {
 		// thus a Suite) with sibling jobs of the same grid.
 		cfg = cfg.WithProbe(suite)
 	}
-	res, err := sim.Run(j.Gen(), s, cfg)
+	synth := span.Child("trace-synth")
+	tr := j.Gen()
+	synth.End()
+	runSpan := span.Child("run")
+	res, err := sim.Run(tr, s, cfg)
+	runSpan.End()
 	if err != nil {
 		jr.Err = fmt.Errorf("sweep: job %s: %w", j.Key(), err)
 		return jr
 	}
 	jr.Res = res
 	if suite != nil {
+		export := span.Child("export")
 		jr.Metrics = suite.Metrics()
+		export.End()
 	}
 	return jr
-}
-
-// ProgressPrinter returns a Progress callback that prints one line
-// per completed job to w — the shared -progress implementation of
-// cmd/saath-sim and cmd/experiments.
-func ProgressPrinter(w io.Writer) func(done, total int, jr JobResult) {
-	return func(done, total int, jr JobResult) {
-		status := "ok"
-		if jr.Err != nil {
-			status = jr.Err.Error()
-		}
-		fmt.Fprintf(w, "  [%d/%d] %s (%.1fs) %s\n",
-			done, total, jr.Job.Key(), jr.Elapsed.Seconds(), status)
-	}
 }
 
 // DeriveSeed mixes a base seed with a salt string into a stable,

@@ -26,6 +26,7 @@ import (
 	"io"
 
 	"saath/internal/coflow"
+	"saath/internal/obs"
 	"saath/internal/runtime"
 	"saath/internal/sched"
 	"saath/internal/sim"
@@ -287,7 +288,46 @@ var (
 	DerivedCCTCDF           = study.DerivedCCTCDF
 	DerivedQueueTransitions = study.DerivedQueueTransitions
 	DerivedPortHeatmap      = study.DerivedPortHeatmap
+	DerivedCapacity         = study.DerivedCapacity
+	DerivedSaturation       = study.DerivedSaturation
+	DerivedCapacityReport   = study.DerivedCapacityReport
 )
+
+// Observability types (internal/obs): out-of-band execution
+// introspection — per-job phase spans, engine introspection counters,
+// run manifests, and capacity/saturation analytics. Attaching any of
+// it never changes a study's output bytes; with nothing attached the
+// engine's counter hooks cost zero allocations.
+type (
+	// ObsRecorder collects per-job spans and counters during a study
+	// run; set it on StudyPool.Observer and read ObsRecorder.Manifest
+	// afterwards. A nil recorder disables collection.
+	ObsRecorder = obs.Recorder
+	// ObsManifest is one run's collected observability digest.
+	ObsManifest = obs.Manifest
+	// ObsSpan is one timed phase of an execution, with children.
+	ObsSpan = obs.Span
+	// EngineCounters is the engine's introspection block: events by
+	// kind, heap depth high-water mark, epochs, schedule-call latency
+	// histogram. Attach a fresh one per run via SimConfig.Counters.
+	EngineCounters = obs.EngineCounters
+	// CapacityCell is one pooled (workload, variant, scheduler)
+	// throughput/latency measurement; see SweepSummary.CapacityCells.
+	CapacityCell = obs.Cell
+	// SaturationKnee is a detected departure from linearity in a
+	// load → latency curve.
+	SaturationKnee = obs.Knee
+)
+
+// NewObsRecorder returns an enabled observability recorder labeled
+// with the study name.
+func NewObsRecorder(study string) *ObsRecorder { return obs.NewRecorder(study) }
+
+// DetectSaturationKnee finds where latencies depart the linear trend
+// of their low-load prefix; tol <= 0 uses the default 50% departure.
+func DetectSaturationKnee(loads, latencies []float64, tol float64) SaturationKnee {
+	return obs.DetectKnee(loads, latencies, tol)
+}
 
 // RegisteredStudies lists the named studies of the built-in catalog
 // (plus anything the program registered via RegisterStudy) — the
