@@ -3,13 +3,21 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine bench-obs fmt fmt-check vet staticcheck ci
+.PHONY: build test test-fleet race bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine bench-obs bench-fleet fmt fmt-check vet staticcheck ci
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# Fleet chaos suite under -race: the driver recovers a killed, hung,
+# corrupted, and slow worker (goldens assert the merged output stays
+# byte-identical to a single-process run) plus terminal-failure and
+# drift-rejection paths. The tests re-exec the test binary as the
+# worker, so no separate build step is needed.
+test-fleet:
+	$(GO) test -race -count=1 -timeout 10m ./internal/fleet/
 
 race:
 	$(GO) test -race -timeout 20m ./...
@@ -71,6 +79,14 @@ bench-obs:
 	$(GO) test -run TestObsLayerGuards -count=1 .
 	$(GO) test -run 'TestEngine(Tick|Event)CountersZeroAlloc' -count=1 ./internal/sim/
 
+# Fleet wire smoke: one iteration of the wire encode/decode benchmarks
+# plus the guard against the fleet_layer section of BENCH_baseline.json
+# (encode must allocate exactly nothing at steady state; skips under
+# -race).
+bench-fleet:
+	$(GO) test -bench 'BenchmarkFleetWire' -benchtime=1x -benchmem -run '^$$' -timeout 10m .
+	$(GO) test -run TestFleetLayerGuards -count=1 .
+
 fmt:
 	gofmt -w .
 
@@ -91,4 +107,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
-ci: fmt-check build vet staticcheck race bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine bench-obs
+ci: fmt-check build vet staticcheck race test-fleet bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine bench-obs bench-fleet

@@ -1,0 +1,126 @@
+package saath
+
+// Fleet wire-protocol benchmarks and allocation guards. The wire layer
+// sits on the driver's hot loop — every worker event (one per finished
+// job, plus hello/dump framing) is encoded by the worker and decoded by
+// the driver — so its cost contract is explicit: encoding a progress
+// event allocates exactly nothing at steady state (pooled encoder
+// machinery), and decoding one stays within 1.25x of the allocations
+// recorded in BENCH_baseline.json's fleet_layer section. Run
+// `make bench-fleet` for the smoke + guard.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"testing"
+
+	"saath/internal/fleet"
+)
+
+// benchProgressEvent is one mid-shard progress event, the dominant
+// event kind on the wire (one per completed job).
+func benchProgressEvent() *fleet.Event {
+	return &fleet.Event{
+		Type: fleet.EventProgress,
+		Progress: &fleet.Progress{
+			Index: 17, Key: "trace=fb-tiny sched=saath seed=3", Group: "fb-tiny",
+			Done: 2, Total: 3, ElapsedNs: 1234567,
+		},
+	}
+}
+
+// encodeProgressStream writes n progress events the way a worker does.
+func encodeProgressStream(n int) []byte {
+	var buf bytes.Buffer
+	ev := benchProgressEvent()
+	for i := 0; i < n; i++ {
+		if err := fleet.WriteEvent(&buf, ev); err != nil {
+			panic(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkFleetWireEncode measures one worker-side event emission.
+func BenchmarkFleetWireEncode(b *testing.B) {
+	ev := benchProgressEvent()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := fleet.WriteEvent(io.Discard, ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetWireDecode measures the driver-side steady state: one
+// long-lived EventReader pulling events off a worker stream.
+func BenchmarkFleetWireDecode(b *testing.B) {
+	stream := encodeProgressStream(4096)
+	rd := fleet.NewEventReader(bytes.NewReader(stream))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := rd.Next()
+		if err == io.EOF {
+			rd = fleet.NewEventReader(bytes.NewReader(stream))
+			ev, err = rd.Next()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ev.Type != fleet.EventProgress {
+			b.Fatalf("decoded %q, want progress", ev.Type)
+		}
+	}
+}
+
+// fleetBaseline mirrors BENCH_baseline.json's fleet_layer section.
+type fleetBaseline struct {
+	FleetLayer struct {
+		WireDecode struct {
+			AllocsPerOp float64 `json:"allocs_per_op"`
+		} `json:"wire_decode"`
+	} `json:"fleet_layer"`
+}
+
+// TestFleetLayerGuards enforces the wire cost contract: encoding one
+// progress event allocates exactly nothing at steady state, and
+// decoding one stays within 1.25x of the recorded baseline.
+func TestFleetLayerGuards(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	raw, err := os.ReadFile("BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base fleetBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.FleetLayer.WireDecode.AllocsPerOp == 0 {
+		t.Fatal("fleet_layer.wire_decode missing from BENCH_baseline.json")
+	}
+
+	ev := benchProgressEvent()
+	if got := testing.AllocsPerRun(200, func() {
+		if err := fleet.WriteEvent(io.Discard, ev); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("wire encode: %.1f allocs/op, want exactly 0", got)
+	}
+
+	rd := fleet.NewEventReader(bytes.NewReader(encodeProgressStream(512)))
+	got := testing.AllocsPerRun(200, func() {
+		if _, err := rd.Next(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if limit := base.FleetLayer.WireDecode.AllocsPerOp * 1.25; got > limit {
+		t.Errorf("wire decode: %.1f allocs/op exceeds 1.25x baseline %.0f",
+			got, base.FleetLayer.WireDecode.AllocsPerOp)
+	}
+}

@@ -38,9 +38,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"saath/internal/experiments"
@@ -87,8 +89,15 @@ func main() {
 		os.Exit(1)
 	}
 	stopProfiles = stop
+
+	// Graceful shutdown: SIGINT/SIGTERM cancels the sweep context;
+	// completed jobs flush (partial -obs-out manifest, profiles) and the
+	// process exits non-zero.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	if *studyName != "" {
-		if err := runStudy(studyCLI{
+		if err := runStudy(ctx, studyCLI{
 			name: *studyName, engine: *engine,
 			shardArg: *shardArg, mergeDir: *mergeDir, outDir: *outDir,
 			csvDir: *csvDir, jsonDir: *jsonDir, parallel: *parallel, progress: *progress,
@@ -118,6 +127,7 @@ func main() {
 	}
 	env := experiments.NewEnv(sc)
 	env.Parallel = *parallel
+	env.Ctx = ctx
 	// Figure sweeps are built lazily per experiment, so the meter learns
 	// the job groups as completions arrive (nil job list).
 	env.Progress = sweep.CLIProgress(*progress, os.Stderr, nil)
@@ -230,7 +240,7 @@ type studyCLI struct {
 }
 
 // runStudy executes (or shards, or merges) one registered study.
-func runStudy(c studyCLI) error {
+func runStudy(ctx context.Context, c studyCLI) error {
 	st, err := study.Build(c.name)
 	if err != nil {
 		return err
@@ -272,7 +282,7 @@ func runStudy(c studyCLI) error {
 		}
 		pool.Progress = sweep.CLIProgress(c.progress, os.Stderr, sh.Jobs(st.Jobs()))
 		sh.Pool = pool
-		if res, err = st.Run(context.Background(), sh); err != nil {
+		if res, err = st.Run(ctx, sh); err != nil {
 			return err
 		}
 		// Write the dump before reporting job errors: error entries
@@ -291,7 +301,7 @@ func runStudy(c studyCLI) error {
 		return res.Err()
 	default:
 		pool.Progress = sweep.CLIProgress(c.progress, os.Stderr, st.Jobs())
-		if res, err = st.Run(context.Background(), pool); err != nil {
+		if res, err = st.Run(ctx, pool); err != nil {
 			return err
 		}
 	}

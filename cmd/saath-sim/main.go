@@ -72,12 +72,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"saath/internal/coflow"
+	"saath/internal/fleet"
 	"saath/internal/obs"
 	"saath/internal/sched"
 	"saath/internal/sim"
@@ -127,8 +130,16 @@ func main() {
 		shardArg  = flag.String("shard", "", `simulate only shard i of n ("i/n") and write a mergeable dump into -out`)
 		outDir    = flag.String("out", "shards", "directory -shard writes its partial dump into")
 		mergeDir  = flag.String("merge", "", "merge shard dumps from this directory (same flags / -study as the shard runs) instead of simulating")
+
+		shardStream = flag.Bool("shard-stream", false, "with -shard: run as a fleet worker, streaming wire events (hello/progress/dump) on stdout instead of writing a dump file")
 	)
 	flag.Parse()
+
+	// Graceful shutdown: SIGINT/SIGTERM cancels the sweep; completed
+	// jobs still flush (partial -obs-out manifest, profiles) and the
+	// process exits non-zero.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *list {
 		for _, n := range sched.Names() {
@@ -205,6 +216,22 @@ func main() {
 		pool.Observer = obs.NewRecorder(st.Name())
 	}
 
+	// Fleet worker mode: stream the shard's wire events on stdout for a
+	// saath-fleet driver (engine mode is already applied to st above).
+	if *shardStream {
+		if *shardArg == "" {
+			fatal(fmt.Errorf("-shard-stream requires -shard i/n"))
+		}
+		sh, err := study.ParseShard(*shardArg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fleet.StreamShard(ctx, st, sh, fleet.StreamOptions{Parallel: *parallel}, os.Stdout); err != nil {
+			fatal(err)
+		}
+		exit(0)
+	}
+
 	// Shard mode: simulate this stripe only and write the dump.
 	if *shardArg != "" {
 		sh, err := study.ParseShard(*shardArg)
@@ -216,7 +243,7 @@ func main() {
 		}
 		pool.Progress = sweep.CLIProgress(*progress, os.Stderr, sh.Jobs(st.Jobs()))
 		sh.Pool = pool
-		res, err := st.Run(context.Background(), sh)
+		res, err := st.Run(ctx, sh)
 		if err != nil {
 			fatal(err)
 		}
@@ -242,7 +269,7 @@ func main() {
 	}
 
 	pool.Progress = sweep.CLIProgress(*progress, os.Stderr, st.Jobs())
-	res, err := st.Run(context.Background(), pool)
+	res, err := st.Run(ctx, pool)
 	if err != nil {
 		fatal(err)
 	}
@@ -251,12 +278,18 @@ func main() {
 	for _, jr := range res.Sweep().Failed() {
 		fmt.Fprintln(os.Stderr, "saath-sim:", jr.Err)
 	}
-	render(res, fromCLI, *metrics, *observe, *jsonPath, *metricsOut)
+	// Flush the manifest before rendering: an interrupted run keeps its
+	// partial observability even when table assembly can't proceed.
 	if *obsOut != "" {
 		if err := writeManifest(*obsOut, pool.Observer); err != nil {
 			fatal(err)
 		}
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "saath-sim: interrupted; partial manifest and profiles flushed, skipping tables")
+		exit(1)
+	}
+	render(res, fromCLI, *metrics, *observe, *jsonPath, *metricsOut)
 	if res.Err() != nil {
 		exit(1)
 	}

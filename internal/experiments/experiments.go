@@ -72,6 +72,9 @@ type Env struct {
 	// Progress, when set, receives a callback after every simulation
 	// a figure sweep completes (for cmd/experiments' -progress).
 	Progress func(done, total int, jr sweep.JobResult)
+	// Ctx, when set, cancels figure sweeps mid-flight (cmd/experiments'
+	// graceful shutdown); nil means context.Background().
+	Ctx context.Context
 	// Runner, when set, overrides the execution backend figure studies
 	// run on (default: study.Pool{Parallel, Progress}). Figure output
 	// is a pure function of the study declarations, so any runner that
@@ -159,12 +162,20 @@ func (e *Env) runner() study.Runner {
 	return study.Pool{Parallel: e.Parallel, Progress: e.Progress}
 }
 
+// ctx is the sweep context figure runs execute under.
+func (e *Env) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
+}
+
 // runStudy executes a figure's study declaration on the Env's runner,
 // failing on the first job error or an under-covering runner —
 // figures index every cell of their grid, so a partial result must
 // error here rather than panic during table assembly.
 func (e *Env) runStudy(st *study.Study) (*study.Result, error) {
-	res, err := st.Run(context.Background(), e.runner())
+	res, err := st.Run(e.ctx(), e.runner())
 	if err != nil {
 		return nil, err
 	}
@@ -205,7 +216,7 @@ func (e *Env) Prime(traces []*trace.Trace, schedulers ...string) error {
 	if len(missing) == 0 {
 		return nil
 	}
-	res, err := e.runner().Run(context.Background(), missing, nil)
+	res, err := e.runner().Run(e.ctx(), missing, nil)
 	if err != nil {
 		return err
 	}

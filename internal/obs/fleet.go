@@ -1,0 +1,126 @@
+package obs
+
+import "sort"
+
+// Fleet execution report types. The fleet driver (internal/fleet)
+// records every shard attempt — which worker slot ran it, how it
+// ended, how long it took, how many wire events proved it alive — and
+// attaches the aggregate as the manifest's "fleet" section. Like every
+// obs artifact this is out-of-band forensics: retries, stragglers and
+// chaos injections never appear in the deterministic study output,
+// which stays byte-identical to a single-process run.
+
+// Fleet attempt outcomes. "ok" is the only success; everything else
+// names the failure class the driver acted on.
+const (
+	FleetOK       = "ok"       // dump received and validated
+	FleetExit     = "exit"     // worker exited (or was killed) without a valid dump
+	FleetDeadline = "deadline" // per-attempt deadline exceeded; worker killed
+	FleetStalled  = "stalled"  // no wire event within the stall timeout; worker killed
+	FleetBadDump  = "bad-dump" // dump failed validation (corrupt or drifted payload)
+	FleetDrift    = "drift"    // worker announced a different grid fingerprint
+	FleetLaunch   = "launch"   // backend failed to start the worker
+	FleetCanceled = "canceled" // run aborted while the attempt was in flight
+)
+
+// FleetAttempt is one launch of a shard on a worker slot.
+type FleetAttempt struct {
+	// Attempt numbers launches of this shard from 1.
+	Attempt int `json:"attempt"`
+	// Worker is the driver worker slot that ran the attempt.
+	Worker int `json:"worker"`
+	// Outcome is one of the Fleet* constants above.
+	Outcome string `json:"outcome"`
+	Error   string `json:"error,omitempty"`
+	// DurNs is the attempt's wall-clock from launch to verdict.
+	DurNs int64 `json:"dur_ns"`
+	// Events counts wire events received — the liveness evidence the
+	// stall detector judged the worker by.
+	Events int `json:"events"`
+	// BackoffNs is the deterministic backoff delay that preceded this
+	// attempt (0 for the first).
+	BackoffNs int64 `json:"backoff_ns,omitempty"`
+}
+
+// FleetShard aggregates one shard's execution history.
+type FleetShard struct {
+	Shard int `json:"shard"`
+	Of    int `json:"of"`
+	// Jobs is the number of grid jobs in this shard's stripe.
+	Jobs     int            `json:"jobs"`
+	Attempts []FleetAttempt `json:"attempts"`
+	// Retries counts launches beyond the first.
+	Retries int `json:"retries"`
+	// Straggler marks a shard whose successful attempt ran far past the
+	// fleet median (see MarkStragglers).
+	Straggler bool `json:"straggler,omitempty"`
+	// Schedule* summarize the shard's schedule-latency histogram as
+	// streamed back in its dump totals: call count, mean and max in
+	// nanoseconds. A shard whose scheduler limps shows up here even
+	// when its wall-clock hides behind a fast machine.
+	ScheduleCount  int64 `json:"schedule_count,omitempty"`
+	ScheduleMeanNs int64 `json:"schedule_mean_ns,omitempty"`
+	ScheduleMaxNs  int64 `json:"schedule_max_ns,omitempty"`
+}
+
+// ok returns the shard's successful attempt, if any.
+func (s *FleetShard) ok() *FleetAttempt {
+	for i := range s.Attempts {
+		if s.Attempts[i].Outcome == FleetOK {
+			return &s.Attempts[i]
+		}
+	}
+	return nil
+}
+
+// FleetReport is the driver's structured robustness report: the full
+// attempt history per shard, aggregate retry counts, terminally failed
+// shards, detected stragglers, and any injected chaos (so a test run's
+// manifest records exactly which faults it survived).
+type FleetReport struct {
+	Backend string `json:"backend"`
+	Workers int    `json:"workers"`
+	// Tasks is the shard partition size (every shard is i/Tasks).
+	Tasks  int          `json:"tasks"`
+	Shards []FleetShard `json:"shards"`
+	// Retries sums launches beyond the first across all shards.
+	Retries int `json:"retries"`
+	// Failed lists shards that exhausted their attempt budget.
+	Failed []int `json:"failed,omitempty"`
+	// Stragglers lists shards flagged by MarkStragglers.
+	Stragglers []int `json:"stragglers,omitempty"`
+	// Chaos describes faults injected by the chaos harness.
+	Chaos []string `json:"chaos,omitempty"`
+}
+
+// MarkStragglers flags shards whose successful attempt took more than
+// factor times the median successful-attempt duration (factor <= 0
+// takes 2). Purely presentational forensics over recorded durations,
+// so it is deterministic given a report and unit-testable without a
+// clock.
+func (r *FleetReport) MarkStragglers(factor float64) {
+	if factor <= 0 {
+		factor = 2
+	}
+	durs := make([]int64, 0, len(r.Shards))
+	for i := range r.Shards {
+		if a := r.Shards[i].ok(); a != nil {
+			durs = append(durs, a.DurNs)
+		}
+	}
+	if len(durs) < 2 {
+		return // one shard has no peers to straggle behind
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	median := durs[len(durs)/2]
+	cut := int64(float64(median) * factor)
+	r.Stragglers = nil
+	for i := range r.Shards {
+		sh := &r.Shards[i]
+		sh.Straggler = false
+		if a := sh.ok(); a != nil && a.DurNs > cut {
+			sh.Straggler = true
+			r.Stragglers = append(r.Stragglers, sh.Shard)
+		}
+	}
+}

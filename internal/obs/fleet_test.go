@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func fleetShard(shard int, durNs int64, extra ...FleetAttempt) FleetShard {
+	attempts := append(extra, FleetAttempt{
+		Attempt: len(extra) + 1, Outcome: FleetOK, DurNs: durNs,
+	})
+	return FleetShard{Shard: shard, Of: 4, Jobs: 3, Attempts: attempts, Retries: len(extra)}
+}
+
+// TestMarkStragglers: straggler detection is a pure function of
+// recorded durations — a shard far past the median is flagged, re-runs
+// are idempotent, and a lone shard has no peers to straggle behind.
+func TestMarkStragglers(t *testing.T) {
+	r := &FleetReport{Shards: []FleetShard{
+		fleetShard(0, 100), fleetShard(1, 110), fleetShard(2, 90), fleetShard(3, 1000),
+	}}
+	r.MarkStragglers(2)
+	if len(r.Stragglers) != 1 || r.Stragglers[0] != 3 {
+		t.Fatalf("stragglers = %v, want [3]", r.Stragglers)
+	}
+	if !r.Shards[3].Straggler || r.Shards[0].Straggler {
+		t.Errorf("straggler flags wrong: %+v", r.Shards)
+	}
+	r.MarkStragglers(2) // idempotent, not accumulating
+	if len(r.Stragglers) != 1 {
+		t.Errorf("re-marking duplicated stragglers: %v", r.Stragglers)
+	}
+	r.MarkStragglers(100)
+	if len(r.Stragglers) != 0 {
+		t.Errorf("factor 100 still flags: %v", r.Stragglers)
+	}
+
+	one := &FleetReport{Shards: []FleetShard{fleetShard(0, 100)}}
+	one.MarkStragglers(0)
+	if len(one.Stragglers) != 0 {
+		t.Errorf("single-shard fleet flagged a straggler")
+	}
+
+	// A shard with no successful attempt contributes nothing.
+	failed := &FleetReport{Shards: []FleetShard{
+		fleetShard(0, 100), fleetShard(1, 300),
+		{Shard: 2, Of: 3, Attempts: []FleetAttempt{{Attempt: 1, Outcome: FleetExit, DurNs: 9999}}},
+	}}
+	failed.MarkStragglers(2)
+	for _, s := range failed.Stragglers {
+		if s == 2 {
+			t.Error("failed shard marked as straggler")
+		}
+	}
+}
+
+// TestManifestFleetSection: the fleet report rides in the manifest
+// JSON under "fleet", and in-process manifests omit it entirely.
+func TestManifestFleetSection(t *testing.T) {
+	var buf bytes.Buffer
+	m := &Manifest{Study: "s", Fleet: &FleetReport{Backend: "local-exec", Workers: 4, Tasks: 8,
+		Shards: []FleetShard{fleetShard(0, 100, FleetAttempt{Attempt: 1, Outcome: FleetStalled})}}}
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"fleet"`, `"local-exec"`, `"stalled"`, `"attempts"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("fleet manifest missing %s:\n%s", want, buf.String())
+		}
+	}
+	buf.Reset()
+	if err := (&Manifest{Study: "s"}).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "fleet") {
+		t.Errorf("in-process manifest grew a fleet section:\n%s", buf.String())
+	}
+}

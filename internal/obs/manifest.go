@@ -38,6 +38,10 @@ type Manifest struct {
 	Jobs   []JobRecord    `json:"jobs"`
 	Spans  []*Span        `json:"spans,omitempty"`
 	Totals ManifestTotals `json:"totals"`
+	// Fleet is the distributed-execution report when the run was driven
+	// by the fleet driver: per-shard attempt history, retries,
+	// stragglers, injected chaos. Absent on in-process runs.
+	Fleet *FleetReport `json:"fleet,omitempty"`
 }
 
 // WriteJSON writes the manifest as indented JSON.

@@ -4,11 +4,25 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"time"
 
 	"saath/internal/coflow"
+)
+
+// Client retry policy. A coordinator restart, a dropped connection or
+// a transient 503 must not fail a framework's Register outright — the
+// client retries with bounded exponential backoff before giving up
+// with a descriptive terminal error. Jitter is deterministic (derived
+// from the request identity and attempt number, never from wall clock
+// or a global RNG) so client behavior is reproducible in tests and
+// simulations.
+const (
+	defaultMaxAttempts = 4
+	defaultRetryBase   = 50 * time.Millisecond
+	maxRetryDelay      = 2 * time.Second
 )
 
 // Client is the framework-facing REST client for CoFlow operations
@@ -17,13 +31,23 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+
+	// maxAttempts bounds tries per request (including the first);
+	// retryBase is the first backoff step, doubling per attempt up to
+	// maxRetryDelay; sleep is injectable for tests.
+	maxAttempts int
+	retryBase   time.Duration
+	sleep       func(time.Duration)
 }
 
 // NewClient targets a coordinator's HTTP address ("host:port").
 func NewClient(httpAddr string) *Client {
 	return &Client{
-		base: "http://" + httpAddr,
-		http: &http.Client{Timeout: 10 * time.Second},
+		base:        "http://" + httpAddr,
+		http:        &http.Client{Timeout: 10 * time.Second},
+		maxAttempts: defaultMaxAttempts,
+		retryBase:   defaultRetryBase,
+		sleep:       time.Sleep,
 	}
 }
 
@@ -39,29 +63,94 @@ func specToJSON(spec *coflow.Spec) SpecJSON {
 	return sj
 }
 
-func (c *Client) do(method, path string, body any, wantStatus int) error {
-	var rd io.Reader
-	if body != nil {
-		buf, err := json.Marshal(body)
+// retryableStatus reports whether an HTTP status is worth retrying:
+// overload and gateway failures, not client errors (a 400 will be a
+// 400 on every attempt).
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryDelay computes the bounded exponential backoff before retry
+// number `retry` (1-based), plus a deterministic jitter in [0, d/2]
+// derived from the request identity — so a burst of clients hammering
+// a restarting coordinator de-synchronizes without any global RNG.
+func retryDelay(base time.Duration, retry int, salt string) time.Duration {
+	d := base << uint(retry-1)
+	if d > maxRetryDelay {
+		d = maxRetryDelay
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", salt, retry)
+	return d + time.Duration(h.Sum64()%uint64(d/2+1))
+}
+
+// roundTrip issues one request per attempt (fresh body reader each
+// time) until wantStatus arrives, a non-retryable failure occurs, or
+// attempts run out. On success the caller receives the response with
+// an open body and must close it.
+func (c *Client) roundTrip(method, path string, payload []byte, wantStatus int) (*http.Response, error) {
+	var lastErr error
+	for attempt := 1; attempt <= c.maxAttempts; attempt++ {
+		if attempt > 1 {
+			c.sleep(retryDelay(c.retryBase, attempt-1, method+" "+path))
+		}
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
 		if err != nil {
+			return nil, err // malformed request: no retry will fix it
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			lastErr = err // transport failure: connection refused, reset, timeout
+			continue
+		}
+		if resp.StatusCode == wantStatus {
+			return resp, nil
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		statusErr := fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+		if !retryableStatus(resp.StatusCode) {
+			return nil, fmt.Errorf("runtime: %s %s: %w", method, path, statusErr)
+		}
+		lastErr = statusErr
+	}
+	return nil, fmt.Errorf("runtime: %s %s: giving up after %d attempts (transient failures persisted): %w",
+		method, path, c.maxAttempts, lastErr)
+}
+
+func (c *Client) do(method, path string, body any, wantStatus int) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
+	resp, err := c.roundTrip(method, path, payload, wantStatus)
 	if err != nil {
 		return err
 	}
-	resp, err := c.http.Do(req)
+	return resp.Body.Close()
+}
+
+// getJSON fetches path and decodes the 200 response into out, with the
+// same retry policy as mutations.
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.roundTrip(http.MethodGet, path, nil, http.StatusOK)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != wantStatus {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("runtime: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
-	}
-	return nil
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Register announces a new CoFlow.
@@ -81,29 +170,20 @@ func (c *Client) Update(spec *coflow.Spec) error {
 
 // Results fetches completed CoFlows.
 func (c *Client) Results() ([]CoFlowResult, error) {
-	resp, err := c.http.Get(c.base + "/results")
-	if err != nil {
+	var out []CoFlowResult
+	if err := c.getJSON("/results", &out); err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("runtime: results: %s", resp.Status)
-	}
-	var out []CoFlowResult
-	err = json.NewDecoder(resp.Body).Decode(&out)
-	return out, err
+	return out, nil
 }
 
 // Status fetches the coordinator's status summary.
 func (c *Client) Status() (map[string]any, error) {
-	resp, err := c.http.Get(c.base + "/status")
-	if err != nil {
+	var out map[string]any
+	if err := c.getJSON("/status", &out); err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	var out map[string]any
-	err = json.NewDecoder(resp.Body).Decode(&out)
-	return out, err
+	return out, nil
 }
 
 // WaitForResults polls until n CoFlows have completed or the timeout

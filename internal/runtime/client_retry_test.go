@@ -1,0 +1,169 @@
+package runtime
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"saath/internal/coflow"
+)
+
+// flakyClient wires a Client to srv with instant, recorded sleeps so
+// retry tests run in microseconds and can assert the backoff schedule.
+func flakyClient(srv *httptest.Server, slept *[]time.Duration) *Client {
+	c := NewClient(strings.TrimPrefix(srv.URL, "http://"))
+	c.retryBase = time.Millisecond
+	c.sleep = func(d time.Duration) { *slept = append(*slept, d) }
+	return c
+}
+
+// TestClientRetriesTransient503: a Register hitting a coordinator that
+// answers 503 twice (restart in progress) and then accepts must
+// succeed — today's single-shot behavior would fail on the first blip.
+func TestClientRetriesTransient503(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "restarting", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := flakyClient(srv, &slept)
+	if err := c.Register(&coflow.Spec{ID: 1}); err != nil {
+		t.Fatalf("Register through flaky server: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("backoff sleeps = %v, want 2", slept)
+	}
+	if slept[1] <= slept[0] {
+		t.Errorf("backoff not growing: %v", slept)
+	}
+}
+
+// TestClientTerminalErrorAfterMaxAttempts: persistent failure ends in
+// a descriptive error naming the request, the attempt budget and the
+// last cause.
+func TestClientTerminalErrorAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "still down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := flakyClient(srv, &slept)
+	err := c.Register(&coflow.Spec{ID: 1})
+	if err == nil {
+		t.Fatal("Register against a dead coordinator succeeded")
+	}
+	for _, want := range []string{"POST /coflows", "giving up after 4 attempts", "503", "still down"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("terminal error %q missing %q", err, want)
+		}
+	}
+	if got := calls.Load(); got != defaultMaxAttempts {
+		t.Errorf("attempts = %d, want %d", got, defaultMaxAttempts)
+	}
+}
+
+// TestClientNoRetryOnClientError: a 4xx is the caller's bug; it must
+// fail on the first attempt, not burn the retry budget.
+func TestClientNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad spec", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := flakyClient(srv, &slept)
+	err := c.Register(&coflow.Spec{ID: 1})
+	if err == nil || !strings.Contains(err.Error(), "bad spec") {
+		t.Fatalf("err = %v, want immediate 400 failure", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry on 4xx)", got)
+	}
+	if len(slept) != 0 {
+		t.Errorf("slept %v before a non-retryable failure", slept)
+	}
+}
+
+// TestClientRetriesTransportError: connection-level failures (refused,
+// reset) retry like 5xx — here the server is closed outright, so every
+// attempt fails at the dial and the terminal error reports it.
+func TestClientRetriesTransportError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // nothing listens anymore
+
+	var slept []time.Duration
+	c := flakyClient(srv, &slept)
+	_, err := c.Results()
+	if err == nil {
+		t.Fatal("Results against a closed server succeeded")
+	}
+	if !strings.Contains(err.Error(), "giving up after 4 attempts") {
+		t.Errorf("terminal error %q missing attempt budget", err)
+	}
+	if len(slept) != defaultMaxAttempts-1 {
+		t.Errorf("backoff sleeps = %d, want %d", len(slept), defaultMaxAttempts-1)
+	}
+}
+
+// TestClientResultsRetries: the GET helpers share the retry policy.
+func TestClientResultsRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "warming up", http.StatusBadGateway)
+			return
+		}
+		w.Write([]byte(`[{"id": 7}]`))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := flakyClient(srv, &slept)
+	res, err := c.Results()
+	if err != nil {
+		t.Fatalf("Results through flaky server: %v", err)
+	}
+	if len(res) != 1 || res[0].ID != 7 {
+		t.Errorf("results = %+v", res)
+	}
+}
+
+// TestRetryDelayDeterministicAndBounded pins the backoff contract:
+// same request identity and attempt → same delay, delays grow
+// geometrically, and the cap holds.
+func TestRetryDelayDeterministicAndBounded(t *testing.T) {
+	base := 50 * time.Millisecond
+	for retry := 1; retry <= 10; retry++ {
+		a := retryDelay(base, retry, "POST /coflows")
+		b := retryDelay(base, retry, "POST /coflows")
+		if a != b {
+			t.Errorf("retry %d: non-deterministic delay %v vs %v", retry, a, b)
+		}
+		if a > maxRetryDelay+maxRetryDelay/2 {
+			t.Errorf("retry %d: delay %v above cap", retry, a)
+		}
+		if a <= 0 {
+			t.Errorf("retry %d: non-positive delay %v", retry, a)
+		}
+	}
+	if retryDelay(base, 1, "GET /results") == retryDelay(base, 1, "POST /coflows") {
+		t.Log("jitter collision across endpoints (allowed, just unlikely)")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -61,11 +62,14 @@ func gridFingerprint(jobs []sweep.Job) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// WriteShard exports a sharded run for later merging. Call it on the
-// Result of st.Run(ctx, sh) with the same Sharded runner.
-func (r *Result) WriteShard(w io.Writer, sh Sharded) error {
+// ShardDump packages a sharded run for merging: the same payload
+// WriteShard serializes, as a struct, so transports other than files
+// (the fleet wire protocol streams it over worker stdout) can carry
+// it. Call it on the Result of st.Run(ctx, sh) with the same Sharded
+// runner.
+func (r *Result) ShardDump(sh Sharded) (*ShardDump, error) {
 	if err := sh.validate(); err != nil {
-		return err
+		return nil, err
 	}
 	jobs := r.study.Jobs()
 	dump := &ShardDump{
@@ -78,22 +82,109 @@ func (r *Result) WriteShard(w io.Writer, sh Sharded) error {
 	}
 	for _, e := range dump.Entries {
 		if e.Index%sh.Count != sh.Index {
-			return fmt.Errorf("study %s: entry %d does not belong to shard %d/%d",
+			return nil, fmt.Errorf("study %s: entry %d does not belong to shard %d/%d",
 				r.study.name, e.Index, sh.Index, sh.Count)
 		}
+	}
+	return dump, nil
+}
+
+// WriteShard exports a sharded run for later merging.
+func (r *Result) WriteShard(w io.Writer, sh Sharded) error {
+	dump, err := r.ShardDump(sh)
+	if err != nil {
+		return err
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(dump)
 }
 
-// ReadShard parses one shard dump.
+// ReadShard parses and shape-checks one shard dump. Decode failures
+// are classified — an empty file, a truncated dump (the footprint of a
+// worker killed mid-write) and malformed JSON each get a distinct
+// cause — and a dump that parses but is structurally impossible
+// (negative shard index, non-hex fingerprint, entries outside its own
+// stripe) is rejected here rather than surfacing later as a confusing
+// merge error. MergeShardDir wraps every error with the dump's path.
 func ReadShard(rd io.Reader) (*ShardDump, error) {
 	var dump ShardDump
 	if err := json.NewDecoder(rd).Decode(&dump); err != nil {
+		switch {
+		case errors.Is(err, io.EOF):
+			return nil, fmt.Errorf("study: bad shard dump: empty file (shard run produced no output?)")
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			return nil, fmt.Errorf("study: bad shard dump: truncated JSON (interrupted or partial shard write?): %w", err)
+		default:
+			var syn *json.SyntaxError
+			if errors.As(err, &syn) {
+				return nil, fmt.Errorf("study: bad shard dump: corrupt JSON at byte %d: %w", syn.Offset, err)
+			}
+			return nil, fmt.Errorf("study: bad shard dump: %w", err)
+		}
+	}
+	if err := dump.shape(); err != nil {
 		return nil, fmt.Errorf("study: bad shard dump: %w", err)
 	}
 	return &dump, nil
+}
+
+// shape checks the dump's internal consistency — everything that can
+// be validated without knowing the study it came from.
+func (d *ShardDump) shape() error {
+	switch {
+	case d.Study == "":
+		return fmt.Errorf("missing study name")
+	case d.Of < 1:
+		return fmt.Errorf("shard count %d < 1", d.Of)
+	case d.Shard < 0 || d.Shard >= d.Of:
+		return fmt.Errorf("shard index %d outside [0, %d)", d.Shard, d.Of)
+	case d.Jobs < 1:
+		return fmt.Errorf("grid size %d < 1", d.Jobs)
+	}
+	if len(d.KeysHash) != sha256.Size*2 {
+		return fmt.Errorf("grid fingerprint %q is not a sha256 hex digest", d.KeysHash)
+	}
+	if _, err := hex.DecodeString(d.KeysHash); err != nil {
+		return fmt.Errorf("grid fingerprint %q is not a sha256 hex digest", d.KeysHash)
+	}
+	for _, e := range d.Entries {
+		if e.Index < 0 || e.Index >= d.Jobs {
+			return fmt.Errorf("entry index %d outside the %d-job grid", e.Index, d.Jobs)
+		}
+		if e.Index%d.Of != d.Shard {
+			return fmt.Errorf("entry %d does not belong to shard %d/%d", e.Index, d.Shard, d.Of)
+		}
+	}
+	return nil
+}
+
+// Check validates the dump against the study it claims to belong to:
+// name, grid size, and the grid fingerprint. This is the per-dump
+// subset of the merge validation, exposed so a driver can reject a
+// drifted or corrupt dump the moment it arrives (and retry the shard)
+// instead of discovering it at merge time.
+func (d *ShardDump) Check(st *Study) error {
+	return d.check(st.name, len(st.Jobs()), st.Fingerprint())
+}
+
+// check is the allocation-shared core of Check and MergeShards: the
+// caller supplies the study identity it already computed.
+func (d *ShardDump) check(study string, jobs int, hash string) error {
+	if err := d.shape(); err != nil {
+		return fmt.Errorf("study %s: shard dump: %w", study, err)
+	}
+	switch {
+	case d.Study != study:
+		return fmt.Errorf("study %s: shard dump belongs to study %q", study, d.Study)
+	case d.Jobs != jobs:
+		return fmt.Errorf("study %s: shard %d/%d was produced from a %d-job grid, this study expands to %d",
+			study, d.Shard, d.Of, d.Jobs, jobs)
+	case d.KeysHash != hash:
+		return fmt.Errorf("study %s: shard %d/%d grid fingerprint mismatch (different flags or study revision?)",
+			study, d.Shard, d.Of)
+	}
+	return nil
 }
 
 // MergeShards reassembles a full study Result from shard dumps. It
@@ -113,31 +204,16 @@ func MergeShards(st *Study, dumps ...*ShardDump) (*Result, error) {
 	seenShard := make(map[int]bool, len(dumps))
 	sum := sweep.NewSummary()
 	for _, d := range dumps {
+		if err := d.check(st.name, len(jobs), wantHash); err != nil {
+			return nil, err
+		}
 		switch {
-		case d.Study != st.name:
-			return nil, fmt.Errorf("study %s: shard dump belongs to study %q", st.name, d.Study)
 		case d.Of != of:
 			return nil, fmt.Errorf("study %s: mixed shard partitions (%d-way and %d-way)", st.name, of, d.Of)
-		case d.Jobs != len(jobs):
-			return nil, fmt.Errorf("study %s: shard %d/%d was produced from a %d-job grid, this study expands to %d",
-				st.name, d.Shard, d.Of, d.Jobs, len(jobs))
-		case d.KeysHash != wantHash:
-			return nil, fmt.Errorf("study %s: shard %d/%d grid fingerprint mismatch (different flags or study revision?)",
-				st.name, d.Shard, d.Of)
-		case d.Shard < 0 || d.Shard >= of:
-			return nil, fmt.Errorf("study %s: shard index %d outside [0, %d)", st.name, d.Shard, of)
 		case seenShard[d.Shard]:
 			return nil, fmt.Errorf("study %s: shard %d/%d supplied twice", st.name, d.Shard, of)
 		}
 		seenShard[d.Shard] = true
-		for _, e := range d.Entries {
-			if e.Index < 0 || e.Index >= len(jobs) {
-				return nil, fmt.Errorf("study %s: shard %d/%d entry index %d outside grid", st.name, d.Shard, of, e.Index)
-			}
-			if e.Index%of != d.Shard {
-				return nil, fmt.Errorf("study %s: shard %d/%d holds entry %d from another shard", st.name, d.Shard, of, e.Index)
-			}
-		}
 		if err := sum.Restore(d.Entries...); err != nil {
 			return nil, fmt.Errorf("study %s: shard %d/%d: %w", st.name, d.Shard, of, err)
 		}

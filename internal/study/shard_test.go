@@ -327,6 +327,51 @@ func TestMergeShardDirFailureModes(t *testing.T) {
 			files: nil,
 			want:  "no shard dumps",
 		},
+		{
+			// A worker killed mid-write leaves a syntactically incomplete
+			// dump; the merge must name the file and say "truncated", not
+			// surface a bare "unexpected EOF".
+			name: "truncated dump file",
+			files: map[string][]byte{
+				name0: dump0,
+				name1: dump1[:len(dump1)/2],
+			},
+			want: "truncated JSON",
+		},
+		{
+			name: "empty dump file",
+			files: map[string][]byte{
+				name0: dump0,
+				name1: nil,
+			},
+			want: "empty file",
+		},
+		{
+			name: "corrupt JSON",
+			files: map[string][]byte{
+				name0: dump0,
+				name1: append([]byte("{\"study\": ###"), dump1...),
+			},
+			want: "corrupt JSON at byte",
+		},
+		{
+			// Valid JSON, impossible dump: a shard index outside its own
+			// partition is rejected at read time with the cause.
+			name: "structurally invalid dump",
+			files: map[string][]byte{
+				name0: dump0,
+				name1: bytes.Replace(dump1, []byte(`"shard": 1`), []byte(`"shard": 7`), 1),
+			},
+			want: "shard index 7 outside [0, 2)",
+		},
+		{
+			name: "mangled grid fingerprint",
+			files: map[string][]byte{
+				name0: dump0,
+				name1: bytes.Replace(dump1, []byte(`"keys_hash": "`), []byte(`"keys_hash": "zz`), 1),
+			},
+			want: "not a sha256 hex digest",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -383,6 +383,12 @@ func (st *Study) effectiveParams() sched.Params {
 // closures, not simulations.
 func (st *Study) Jobs() []sweep.Job { return st.Grid().Jobs() }
 
+// Fingerprint hashes the study's expanded grid — the identity a shard
+// dump must match to merge (see ShardDump.KeysHash). Deliberately
+// engine-mode-blind: by the equivalence contract, dumps computed under
+// either run loop merge interchangeably.
+func (st *Study) Fingerprint() string { return gridFingerprint(st.Jobs()) }
+
 // Run executes the study on the given runner (nil: an in-process Pool
 // with default parallelism) and aggregates into a Summary. The
 // returned error covers structural failures only — per-job simulation

@@ -26,6 +26,7 @@ import (
 	"io"
 
 	"saath/internal/coflow"
+	"saath/internal/fleet"
 	"saath/internal/obs"
 	"saath/internal/runtime"
 	"saath/internal/sched"
@@ -351,6 +352,49 @@ func MergeStudyShards(st *Study, dumps ...*StudyShardDump) (*StudyResult, error)
 
 // ReadStudyShard parses one shard dump written by StudyResult.WriteShard.
 func ReadStudyShard(r io.Reader) (*StudyShardDump, error) { return study.ReadShard(r) }
+
+// Fleet types (internal/fleet): distributing a registered study across
+// worker processes with driver-owned robustness — per-attempt deadlines
+// and stall detection, bounded deterministic-backoff retry, re-queueing
+// a dead worker's shard onto surviving slots, and grid-fingerprint
+// validation. Merged output is byte-identical to a single-process run;
+// retries and injected faults leave traces only in the FleetReport.
+type (
+	// FleetOptions configures a fleet run: backend, worker slots, task
+	// partition, retry/deadline/stall policy, and optional chaos.
+	FleetOptions = fleet.Options
+	// FleetOutput is a completed fleet run: the merged result, the
+	// per-shard attempt report, and aggregated obs totals.
+	FleetOutput = fleet.Output
+	// FleetBackend launches worker processes; LocalExecBackend is the
+	// built-in subprocess backend, and the interface is the seam for
+	// ssh/k8s-style launchers.
+	FleetBackend = fleet.Backend
+	// FleetTask identifies one shard attempt handed to a backend.
+	FleetTask = fleet.Task
+	// FleetProc is a launched worker: its event stream plus kill/wait.
+	FleetProc = fleet.Proc
+	// LocalExecBackend runs each shard as a local worker subprocess
+	// (saath-sim -shard-stream), results streamed over stdout.
+	LocalExecBackend = fleet.LocalExec
+	// FleetChaos injects worker faults (kill, hang, corrupt, slow) on a
+	// shard's first attempt — drills for the driver's recovery paths.
+	FleetChaos = fleet.Chaos
+	// FleetReport is the structured failure report in the obs manifest:
+	// per-shard attempt history, retries, stragglers, outcomes.
+	FleetReport = obs.FleetReport
+)
+
+// RunFleet executes a study across worker processes per opts and
+// merges the shard dumps; the output is byte-identical to running the
+// study in-process regardless of worker count, partition, or retries.
+func RunFleet(ctx context.Context, st *Study, opts FleetOptions) (*FleetOutput, error) {
+	return fleet.Run(ctx, st, opts)
+}
+
+// ParseFleetChaos parses a comma-separated fault spec such as
+// "kill=0,corrupt=3" (modes: kill, hang, corrupt, slow).
+func ParseFleetChaos(spec string) (*FleetChaos, error) { return fleet.ParseChaos(spec) }
 
 // SynthIncast generates the incast workload: Degree senders converging
 // on one of a few hot aggregator ports per CoFlow.
