@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-fleet race bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine bench-obs bench-fleet fmt fmt-check vet staticcheck ci
+.PHONY: build test test-fleet test-testbed race bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine bench-obs bench-fleet bench-testbed fmt fmt-check vet staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ test:
 # worker, so no separate build step is needed.
 test-fleet:
 	$(GO) test -race -count=1 -timeout 10m ./internal/fleet/
+
+# Testbed suite under -race: the coordinator-backed study runner with
+# in-process agents — byte-identity across parallelism and sharding,
+# admission-drop determinism, the 10^4-agent coordinator-latency run,
+# and the agent-disconnect / stalled-agent paths in internal/runtime.
+# (The 10^5-agent scale test stays env-gated: SAATH_LONG=1.)
+test-testbed:
+	$(GO) test -race -count=1 -timeout 10m ./internal/testbed/ ./internal/runtime/
 
 race:
 	$(GO) test -race -timeout 20m ./...
@@ -87,6 +95,14 @@ bench-fleet:
 	$(GO) test -bench 'BenchmarkFleetWire' -benchtime=1x -benchmem -run '^$$' -timeout 10m .
 	$(GO) test -run TestFleetLayerGuards -count=1 .
 
+# Testbed smoke: one iteration of the agent-step benchmark plus the
+# guard against the testbed_layer section of BENCH_baseline.json (one
+# steady-state Step+Report must allocate exactly nothing; skips under
+# -race).
+bench-testbed:
+	$(GO) test -bench 'BenchmarkTestbedAgentStep' -benchtime=1x -benchmem -run '^$$' -timeout 10m .
+	$(GO) test -run TestTestbedLayerGuards -count=1 .
+
 fmt:
 	gofmt -w .
 
@@ -107,4 +123,4 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
-ci: fmt-check build vet staticcheck race test-fleet bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine bench-obs bench-fleet
+ci: fmt-check build vet staticcheck race test-fleet test-testbed bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine bench-obs bench-fleet bench-testbed

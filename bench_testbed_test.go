@@ -1,0 +1,124 @@
+package saath
+
+// Testbed agent-step benchmarks and allocation guards. The in-process
+// agent's Step+Report cycle is the testbed's hot loop — it runs once
+// per agent per δ boundary, so at 10^5 agents a single stray
+// allocation per step becomes 10^5 allocations per boundary and the
+// scale story collapses. The cost contract is therefore explicit: one
+// steady-state Step+Report against a live coordinator allocates
+// exactly nothing (guarded at 0, not 1.25x, in BENCH_baseline.json's
+// testbed_layer section). Run `make bench-testbed` for the smoke +
+// guard.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// benchStepDelta is the sync interval the step benchmarks advance by,
+// the paper's 8ms default.
+const benchStepDelta = 8 * time.Millisecond
+
+// benchTestbedCluster builds a Manual virtual-clock coordinator with
+// nPorts in-process agents, registers coflows wide enough to put
+// flows on every port — sized in petabytes so nothing completes
+// within any benchmark horizon — and pushes one schedule so every
+// agent holds rated flows. One warm-up Step+Report per agent grows
+// the reusable report buffers; everything after is steady state.
+func benchTestbedCluster(tb testing.TB, nPorts, nCoFlows int) []*InprocAgent {
+	tb.Helper()
+	s, err := NewScheduler("saath", DefaultParams())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	vc := NewVirtualClock(time.Unix(0, 0).UTC())
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Scheduler: s, NumPorts: nPorts, PortRate: GbpsRate(1),
+		Delta: benchStepDelta, Clock: vc, Manual: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { coord.Close() })
+	agents := make([]*InprocAgent, nPorts)
+	for i := range agents {
+		if agents[i], err = coord.AttachInproc(i); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for id := 0; id < nCoFlows; id++ {
+		spec := &Spec{ID: CoFlowID(id + 1)}
+		for p := 0; p < nPorts; p++ {
+			spec.Flows = append(spec.Flows, FlowSpec{
+				Src: PortID(p), Dst: PortID((p + 1) % nPorts), Size: Bytes(1) << 50,
+			})
+		}
+		if err := coord.Register(spec); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	coord.StepSchedule()
+	for _, a := range agents {
+		a.Step(benchStepDelta)
+		a.Report()
+	}
+	return agents
+}
+
+// BenchmarkTestbedAgentStep measures one agent's steady-state boundary
+// work — advance every held flow by δ, push the progress report into
+// the coordinator — on a 64-port cluster with 4 flows per agent.
+func BenchmarkTestbedAgentStep(b *testing.B) {
+	agents := benchTestbedCluster(b, 64, 4)
+	a := agents[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Step(benchStepDelta)
+		a.Report()
+	}
+}
+
+// testbedBaseline mirrors BENCH_baseline.json's testbed_layer section.
+type testbedBaseline struct {
+	TestbedLayer struct {
+		AgentStep struct {
+			AllocsPerOp float64 `json:"allocs_per_op"`
+			NsPerOp     float64 `json:"ns_per_op"`
+		} `json:"agent_step"`
+	} `json:"testbed_layer"`
+}
+
+// TestTestbedLayerGuards enforces the testbed cost contract: a
+// steady-state agent Step+Report allocates exactly nothing.
+func TestTestbedLayerGuards(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	raw, err := os.ReadFile("BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base testbedBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.TestbedLayer.AgentStep.NsPerOp == 0 {
+		t.Fatal("testbed_layer.agent_step missing from BENCH_baseline.json")
+	}
+	if base.TestbedLayer.AgentStep.AllocsPerOp != 0 {
+		t.Fatalf("testbed_layer.agent_step baseline records %.0f allocs/op; the contract is exactly 0",
+			base.TestbedLayer.AgentStep.AllocsPerOp)
+	}
+
+	agents := benchTestbedCluster(t, 64, 4)
+	a := agents[0]
+	if got := testing.AllocsPerRun(200, func() {
+		a.Step(benchStepDelta)
+		a.Report()
+	}); got != 0 {
+		t.Errorf("agent step: %.1f allocs/op, want exactly 0", got)
+	}
+}

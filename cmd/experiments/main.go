@@ -51,6 +51,8 @@ import (
 	"saath/internal/sim"
 	"saath/internal/study"
 	"saath/internal/sweep"
+
+	_ "saath/internal/testbed" // registers the testbed runner + its studies
 )
 
 func main() {
@@ -252,24 +254,48 @@ func runStudy(ctx context.Context, c studyCLI) error {
 		}
 		st = st.InEngineMode(m)
 	}
-	pool := study.Pool{Parallel: c.parallel}
+	var observer *obs.Recorder
 	if c.obsOut != "" {
 		if c.mergeDir != "" {
 			return fmt.Errorf("-obs-out needs a live run; merge only reassembles dumps")
 		}
-		pool.Observer = obs.NewRecorder(st.Name())
+		observer = obs.NewRecorder(st.Name())
+	}
+	// newRunner builds the study's execution backend — the in-process
+	// Pool by default, the coordinator-backed testbed when the study
+	// declares it (WithRunner).
+	newRunner := func(progress sweep.ProgressFunc) (study.Runner, error) {
+		return study.NewRunnerFor(st, study.RunnerOpts{
+			Parallel: c.parallel, Progress: progress, Observer: observer,
+		})
 	}
 	writeObs := func() error {
 		if c.obsOut == "" {
 			return nil
 		}
-		m := pool.Observer.Manifest()
+		m := observer.Manifest()
 		if c.obsOut == "-" {
 			return m.WriteJSON(os.Stdout)
 		}
 		return writeTable(c.obsOut, m.WriteJSON)
 	}
+	// printRuntime renders out-of-band coordinator measurements when
+	// the backend took them (testbed runner). Wall-clock of this
+	// machine — never part of the deterministic tables.
+	printRuntime := func(r study.Runner) error {
+		rr, ok := r.(study.RuntimeReporter)
+		if !ok {
+			return nil
+		}
+		rep := rr.RuntimeReport()
+		if len(rep.Records) == 0 {
+			return nil
+		}
+		fmt.Println()
+		return obs.RuntimeTable("coordinator runtime (wall-clock, out-of-band)", rep).Render(os.Stdout)
+	}
 	var res *study.Result
+	var runner study.Runner
 	switch {
 	case c.mergeDir != "":
 		if res, err = study.MergeShardDir(st, c.mergeDir); err != nil {
@@ -280,8 +306,10 @@ func runStudy(ctx context.Context, c studyCLI) error {
 		if err != nil {
 			return err
 		}
-		pool.Progress = sweep.CLIProgress(c.progress, os.Stderr, sh.Jobs(st.Jobs()))
-		sh.Pool = pool
+		if runner, err = newRunner(sweep.CLIProgress(c.progress, os.Stderr, sh.Jobs(st.Jobs()))); err != nil {
+			return err
+		}
+		sh.Runner = runner
 		if res, err = st.Run(ctx, sh); err != nil {
 			return err
 		}
@@ -298,10 +326,15 @@ func runStudy(ctx context.Context, c studyCLI) error {
 		if err := writeObs(); err != nil {
 			return err
 		}
+		if err := printRuntime(runner); err != nil {
+			return err
+		}
 		return res.Err()
 	default:
-		pool.Progress = sweep.CLIProgress(c.progress, os.Stderr, st.Jobs())
-		if res, err = st.Run(ctx, pool); err != nil {
+		if runner, err = newRunner(sweep.CLIProgress(c.progress, os.Stderr, st.Jobs())); err != nil {
+			return err
+		}
+		if res, err = st.Run(ctx, runner); err != nil {
 			return err
 		}
 	}
@@ -329,6 +362,11 @@ func runStudy(ctx context.Context, c studyCLI) error {
 			if err := exportStudyTable(c.jsonDir, c.name, i, "json", t.JSON); err != nil {
 				return err
 			}
+		}
+	}
+	if runner != nil {
+		if err := printRuntime(runner); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -50,6 +50,7 @@ import (
 	_ "saath/internal/sched/clair"
 	_ "saath/internal/sched/uctcp"
 	_ "saath/internal/sched/varys"
+	_ "saath/internal/testbed" // register the testbed runner + studies
 )
 
 func main() {

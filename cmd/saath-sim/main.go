@@ -94,6 +94,7 @@ import (
 	_ "saath/internal/sched/clair"
 	_ "saath/internal/sched/uctcp"
 	_ "saath/internal/sched/varys"
+	_ "saath/internal/testbed" // registers the testbed runner + its studies
 )
 
 func main() {
@@ -211,9 +212,21 @@ func main() {
 		exit(0)
 	}
 
-	pool := study.Pool{Parallel: *parallel}
+	var observer *obs.Recorder
 	if *obsOut != "" {
-		pool.Observer = obs.NewRecorder(st.Name())
+		observer = obs.NewRecorder(st.Name())
+	}
+	// newRunner builds the study's execution backend — the in-process
+	// Pool by default, the coordinator-backed testbed when the study
+	// declares it (WithRunner).
+	newRunner := func(progress sweep.ProgressFunc) study.Runner {
+		r, err := study.NewRunnerFor(st, study.RunnerOpts{
+			Parallel: *parallel, Progress: progress, Observer: observer,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return r
 	}
 
 	// Fleet worker mode: stream the shard's wire events on stdout for a
@@ -241,8 +254,8 @@ func main() {
 		if *jsonPath != "" || *metricsOut != "" {
 			fmt.Fprintln(os.Stderr, "saath-sim: -json/-metrics-out apply to the full study; export them from the -merge run")
 		}
-		pool.Progress = sweep.CLIProgress(*progress, os.Stderr, sh.Jobs(st.Jobs()))
-		sh.Pool = pool
+		runner := newRunner(sweep.CLIProgress(*progress, os.Stderr, sh.Jobs(st.Jobs())))
+		sh.Runner = runner
 		res, err := st.Run(ctx, sh)
 		if err != nil {
 			fatal(err)
@@ -258,18 +271,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "saath-sim:", jr.Err)
 		}
 		if *obsOut != "" {
-			if err := writeManifest(*obsOut, pool.Observer); err != nil {
+			if err := writeManifest(*obsOut, observer); err != nil {
 				fatal(err)
 			}
 		}
+		printRuntime(runner)
 		if res.Err() != nil {
 			exit(1)
 		}
 		exit(0)
 	}
 
-	pool.Progress = sweep.CLIProgress(*progress, os.Stderr, st.Jobs())
-	res, err := st.Run(ctx, pool)
+	runner := newRunner(sweep.CLIProgress(*progress, os.Stderr, st.Jobs()))
+	res, err := st.Run(ctx, runner)
 	if err != nil {
 		fatal(err)
 	}
@@ -281,7 +295,7 @@ func main() {
 	// Flush the manifest before rendering: an interrupted run keeps its
 	// partial observability even when table assembly can't proceed.
 	if *obsOut != "" {
-		if err := writeManifest(*obsOut, pool.Observer); err != nil {
+		if err := writeManifest(*obsOut, observer); err != nil {
 			fatal(err)
 		}
 	}
@@ -290,10 +304,28 @@ func main() {
 		exit(1)
 	}
 	render(res, fromCLI, *metrics, *observe, *jsonPath, *metricsOut)
+	printRuntime(runner)
 	if res.Err() != nil {
 		exit(1)
 	}
 	exit(0)
+}
+
+// printRuntime renders the out-of-band coordinator measurements when
+// the study ran on a measuring backend (the testbed runner). These
+// are wall-clock numbers of this machine — informational, never part
+// of the deterministic tables above.
+func printRuntime(r study.Runner) {
+	rr, ok := r.(study.RuntimeReporter)
+	if !ok {
+		return
+	}
+	rep := rr.RuntimeReport()
+	if len(rep.Records) == 0 {
+		return
+	}
+	fmt.Println()
+	obs.RuntimeTable("coordinator runtime (wall-clock, out-of-band)", rep).Render(os.Stdout)
 }
 
 // flagGrid carries the flag values studyFromFlags compiles.

@@ -48,11 +48,14 @@ func StreamShard(ctx context.Context, st *study.Study, sh study.Sharded, opts St
 		return err
 	}
 	rec := obs.NewRecorder(st.Name())
-	sh.Pool = study.Pool{
+	// The study's declared backend (default Pool, or the testbed's
+	// coordinator-backed runner) executes the shard, so testbed studies
+	// are fleet-capable like simulator ones. Both backends serialize
+	// progress callbacks, so events never interleave mid-line on the
+	// pipe.
+	runner, err := study.NewRunnerFor(st, study.RunnerOpts{
 		Parallel: opts.Parallel,
 		Observer: rec,
-		// sweep serializes progress callbacks, so events never interleave
-		// mid-line on the pipe.
 		Progress: func(done, total int, jr sweep.JobResult) {
 			p := &Progress{
 				Index:     jr.Job.Index,
@@ -67,7 +70,12 @@ func StreamShard(ctx context.Context, st *study.Study, sh study.Sharded, opts St
 			}
 			WriteEvent(w, &Event{Type: EventProgress, Progress: p})
 		},
+	})
+	if err != nil {
+		WriteEvent(w, &Event{Type: EventError, Error: err.Error()})
+		return err
 	}
+	sh.Runner = runner
 	res, err := st.Run(ctx, sh)
 	if err != nil {
 		WriteEvent(w, &Event{Type: EventError, Error: err.Error()})

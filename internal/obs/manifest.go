@@ -42,6 +42,10 @@ type Manifest struct {
 	// by the fleet driver: per-shard attempt history, retries,
 	// stragglers, injected chaos. Absent on in-process runs.
 	Fleet *FleetReport `json:"fleet,omitempty"`
+	// Runtime is the testbed runner's coordinator measurements
+	// (schedule latency, admission counts) when the run went through
+	// the real coordinator. Absent on simulator-backed runs.
+	Runtime *RuntimeReport `json:"runtime,omitempty"`
 }
 
 // WriteJSON writes the manifest as indented JSON.
@@ -57,10 +61,11 @@ func (m *Manifest) WriteJSON(w io.Writer) error {
 // disabled state — every method is a nil-safe no-op, so call sites
 // thread one pointer through unconditionally.
 type Recorder struct {
-	mu    sync.Mutex
-	study string
-	jobs  []JobRecord
-	spans []*Span
+	mu      sync.Mutex
+	study   string
+	jobs    []JobRecord
+	spans   []*Span
+	runtime []RuntimeRecord
 }
 
 // NewRecorder returns an enabled recorder labeled with the study name.
@@ -95,6 +100,17 @@ func (r *Recorder) RecordJob(rec JobRecord) {
 	r.mu.Unlock()
 }
 
+// RecordRuntime stores one testbed job's coordinator measurements.
+// Safe for concurrent use; no-op on a disabled recorder.
+func (r *Recorder) RecordRuntime(rec RuntimeRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.runtime = append(r.runtime, rec)
+	r.mu.Unlock()
+}
+
 // Manifest snapshots the collected state: job records sorted by grid
 // index (arrival order is execution interleaving; the manifest is not
 // byte-pinned, but grid order keeps it stable enough to diff), totals
@@ -106,10 +122,16 @@ func (r *Recorder) Manifest() *Manifest {
 	r.mu.Lock()
 	jobs := append([]JobRecord(nil), r.jobs...)
 	spans := append([]*Span(nil), r.spans...)
+	rt := append([]RuntimeRecord(nil), r.runtime...)
 	study := r.study
 	r.mu.Unlock()
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Index < jobs[j].Index })
 	m := &Manifest{Study: study, Jobs: jobs, Spans: spans}
+	if len(rt) > 0 {
+		rep := &RuntimeReport{Records: rt}
+		rep.Sort()
+		m.Runtime = rep
+	}
 	m.Totals.Jobs = len(jobs)
 	for i := range jobs {
 		j := &jobs[i]

@@ -144,7 +144,7 @@ func (a *Agent) controlLoop() {
 // applyOrder creates or updates the sender for one flow. Agents keep
 // following the last schedule until a new one arrives (§5), which the
 // token bucket realizes by holding its rate.
-func (a *Agent) applyOrder(o flowOrder) {
+func (a *Agent) applyOrder(o FlowOrder) {
 	key := flowKey{CoFlow: o.CoFlow, Index: o.Index}
 	a.mu.Lock()
 	if a.closed {
@@ -269,7 +269,7 @@ func (a *Agent) statsLoop() {
 		a.mu.Lock()
 		for _, s := range a.senders {
 			s.mu.Lock()
-			fs := flowStat{
+			fs := FlowStat{
 				CoFlow:    s.key.CoFlow,
 				Index:     s.key.Index,
 				Sent:      s.sent,

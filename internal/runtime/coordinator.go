@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -14,7 +15,33 @@ import (
 	"saath/internal/coflow"
 	"saath/internal/fabric"
 	"saath/internal/sched"
+	"saath/internal/sim"
 )
+
+// AdmissionConfig is the coordinator's admission-control front: a
+// token-bucket rate limit applied to coflow registrations at arrival
+// time, against live coordinator state. The zero value admits
+// everything (the prototype's historical behavior).
+//
+// Admission is an arrival-time decision by design — the lesson from
+// batch-dispatch systems is that load-aware decisions made against a
+// snapshot (or not at all) admit work the cluster cannot carry. A
+// rejected registration returns ErrAdmission (HTTP 429 on the REST
+// path); callers decide whether to drop or retry.
+type AdmissionConfig struct {
+	// RatePerSec is the sustained admission rate in coflows per second;
+	// 0 disables rate-based admission.
+	RatePerSec float64
+	// Burst is the token-bucket depth in coflows (how large an arrival
+	// burst is admitted at once); 0 defaults to max(1, RatePerSec).
+	Burst int
+	// MaxLive caps concurrently live (admitted, not yet completed)
+	// coflows; 0 means unlimited. Checked against live coordinator
+	// state at the moment of arrival.
+	MaxLive int
+}
+
+func (a AdmissionConfig) enabled() bool { return a.RatePerSec > 0 || a.MaxLive > 0 }
 
 // CoordinatorConfig configures the global coordinator.
 type CoordinatorConfig struct {
@@ -29,9 +56,22 @@ type CoordinatorConfig struct {
 	// on the prototype; the paper uses 8ms on dedicated VMs).
 	Delta time.Duration
 	// ControlAddr and HTTPAddr are listen addresses (host:port);
-	// ":0" picks free ports.
+	// ":0" picks free ports. Ignored in Manual mode.
 	ControlAddr string
 	HTTPAddr    string
+	// Clock is the coordinator's time source (nil: the wall clock).
+	// The testbed injects a VirtualClock so registration and
+	// completion times — and thus every study output — are a pure
+	// function of the workload.
+	Clock Clock
+	// Manual disables the network listeners and the background
+	// scheduling ticker: no sockets are bound, Serve must not be
+	// called, and the driver advances scheduling explicitly with
+	// StepSchedule. This is the testbed mode — in-process agents
+	// attach with AttachInproc and 10^5 of them fit in one process.
+	Manual bool
+	// Admission is the arrival-time admission-control front.
+	Admission AdmissionConfig
 }
 
 func (c CoordinatorConfig) withDefaults() (CoordinatorConfig, error) {
@@ -53,8 +93,24 @@ func (c CoordinatorConfig) withDefaults() (CoordinatorConfig, error) {
 	if c.HTTPAddr == "" {
 		c.HTTPAddr = "127.0.0.1:0"
 	}
+	if c.Clock == nil {
+		c.Clock = wallClock{}
+	}
+	if c.Admission.RatePerSec > 0 && c.Admission.Burst <= 0 {
+		c.Admission.Burst = int(c.Admission.RatePerSec)
+		if c.Admission.Burst < 1 {
+			c.Admission.Burst = 1
+		}
+	}
 	return c, nil
 }
+
+// ErrAdmission is returned by Register when the admission-control
+// front rejects a coflow (rate limit exceeded or live cap reached).
+var ErrAdmission = errors.New("runtime: admission rejected")
+
+// ErrDuplicate is returned by Register for an already-registered ID.
+var ErrDuplicate = errors.New("runtime: coflow already registered")
 
 // CoFlowResult is a completed CoFlow as measured by the coordinator.
 type CoFlowResult struct {
@@ -73,22 +129,43 @@ type liveCoFlow struct {
 	registered time.Time
 }
 
-// agentConn is one connected local agent.
+// agentLink is the transport seam between the coordinator and one
+// agent: the TCP prototype (agentConn) and the in-process testbed
+// agent (InprocAgent) both implement it, so the scheduling core never
+// knows which transport it is pushing schedules into.
+type agentLink interface {
+	// DataAddr is where peers dial to deliver this agent's flow bytes
+	// ("" for in-process agents — no data plane exists).
+	DataAddr() string
+	// Deliver pushes one schedule to the agent. It must not call back
+	// into the coordinator and must not retain msg or its orders past
+	// the call (the TCP link serializes, the inproc link copies).
+	Deliver(msg *scheduleMsg) error
+	// Shut tears the link down after a delivery failure.
+	Shut()
+}
+
+// agentConn is one connected TCP agent.
 type agentConn struct {
 	port     int
 	dataAddr string
 	conn     net.Conn
 	writeMu  sync.Mutex
+	// timeout bounds one schedule write; a stalled agent must not
+	// wedge the scheduling loop (tests shrink it).
+	timeout time.Duration
 }
 
-func (a *agentConn) send(env *envelope) error {
+func (a *agentConn) DataAddr() string { return a.dataAddr }
+
+func (a *agentConn) Shut() { a.conn.Close() }
+
+func (a *agentConn) Deliver(msg *scheduleMsg) error {
 	a.writeMu.Lock()
 	defer a.writeMu.Unlock()
-	// A stalled agent must not wedge the scheduling loop: bound the
-	// write and let the error path drop the connection.
-	a.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	a.conn.SetWriteDeadline(time.Now().Add(a.timeout))
 	defer a.conn.SetWriteDeadline(time.Time{})
-	return writeFrame(a.conn, env)
+	return writeFrame(a.conn, &envelope{Kind: kindSchedule, Schedule: msg})
 }
 
 // Coordinator is the global Saath coordinator daemon.
@@ -102,7 +179,7 @@ type Coordinator struct {
 	wg       sync.WaitGroup
 
 	mu      sync.Mutex
-	agents  map[int]*agentConn
+	agents  map[int]agentLink
 	live    map[coflow.CoFlowID]*liveCoFlow
 	results []CoFlowResult
 	epoch   int64
@@ -112,25 +189,51 @@ type Coordinator struct {
 	// that touches it already holds polMu for the Arrive/Depart call).
 	space *coflow.IndexSpace
 
+	// fab is the scheduling fabric, reset each round; guarded by polMu.
+	fab *fabric.Fabric
+
 	// polMu serializes every call into the scheduling policy: Arrive
-	// (REST register), Depart (completion, deregister) and Schedule
-	// (ticker) run on different goroutines, and Scheduler
-	// implementations keep unsynchronized per-CoFlow state.
+	// (registration), Depart (completion, deregister) and Schedule
+	// (ticker or StepSchedule) run on different goroutines, and
+	// Scheduler implementations keep unsynchronized per-CoFlow state.
 	polMu sync.Mutex
 
-	// SchedStats mirrors Table 2: wall-clock cost of Schedule calls.
+	// adm is the admission token bucket (nil: no rate admission).
+	adm       *tokenBucket
+	admMu     sync.Mutex
+	nAdmitted int64
+	nRejected int64
+
+	// schedStats mirrors Table 2: wall-clock cost of Schedule calls,
+	// with the same bounded P90 reservoir the simulator uses. This is
+	// measurement, not simulation state — it never feeds back into
+	// scheduling decisions or results.
 	schedMu    sync.Mutex
-	schedCalls int
-	schedTotal time.Duration
-	schedMax   time.Duration
+	schedStats sim.ScheduleStats
 }
 
 // NewCoordinator validates the config and binds the listeners; call
-// Serve to start the control, HTTP and scheduling loops.
+// Serve to start the control, HTTP and scheduling loops. In Manual
+// mode no listeners are bound and no loops exist — the caller attaches
+// in-process agents and drives scheduling with StepSchedule.
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		stopped: make(chan struct{}),
+		agents:  make(map[int]agentLink),
+		live:    make(map[coflow.CoFlowID]*liveCoFlow),
+		space:   coflow.NewIndexSpace(),
+		fab:     fabric.New(cfg.NumPorts, cfg.PortRate),
+	}
+	if cfg.Admission.RatePerSec > 0 {
+		c.adm = newAdmissionBucket(cfg.Admission.RatePerSec, float64(cfg.Admission.Burst), cfg.Clock.Now)
+	}
+	if cfg.Manual {
+		return c, nil
 	}
 	ctl, err := net.Listen("tcp", cfg.ControlAddr)
 	if err != nil {
@@ -141,15 +244,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		ctl.Close()
 		return nil, fmt.Errorf("runtime: http listen: %w", err)
 	}
-	c := &Coordinator{
-		cfg:     cfg,
-		ctl:     ctl,
-		httpLn:  httpLn,
-		stopped: make(chan struct{}),
-		agents:  make(map[int]*agentConn),
-		live:    make(map[coflow.CoFlowID]*liveCoFlow),
-		space:   coflow.NewIndexSpace(),
-	}
+	c.ctl, c.httpLn = ctl, httpLn
 	mux := http.NewServeMux()
 	mux.HandleFunc("/coflows", c.handleCoFlows)
 	mux.HandleFunc("/coflows/", c.handleCoFlowByID)
@@ -159,15 +254,28 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	return c, nil
 }
 
-// ControlAddr returns the agents' dial address.
-func (c *Coordinator) ControlAddr() string { return c.ctl.Addr().String() }
+// ControlAddr returns the agents' dial address ("" in Manual mode).
+func (c *Coordinator) ControlAddr() string {
+	if c.ctl == nil {
+		return ""
+	}
+	return c.ctl.Addr().String()
+}
 
-// HTTPAddr returns the REST API base address.
-func (c *Coordinator) HTTPAddr() string { return c.httpLn.Addr().String() }
+// HTTPAddr returns the REST API base address ("" in Manual mode).
+func (c *Coordinator) HTTPAddr() string {
+	if c.httpLn == nil {
+		return ""
+	}
+	return c.httpLn.Addr().String()
+}
 
 // Serve runs the coordinator until Close. It always returns a non-nil
 // error (http.ErrServerClosed on clean shutdown).
 func (c *Coordinator) Serve() error {
+	if c.cfg.Manual {
+		return errors.New("runtime: manual coordinator has no serve loops (drive it with StepSchedule)")
+	}
 	c.wg.Add(2)
 	go func() {
 		defer c.wg.Done()
@@ -184,11 +292,18 @@ func (c *Coordinator) Serve() error {
 func (c *Coordinator) Close() error {
 	c.stopOnce.Do(func() {
 		close(c.stopped)
-		c.ctl.Close()
-		c.httpSrv.Close()
+		if c.ctl != nil {
+			c.ctl.Close()
+		}
+		if c.httpSrv != nil {
+			c.httpSrv.Close()
+		}
+		if c.adm != nil {
+			c.adm.Close()
+		}
 		c.mu.Lock()
 		for _, a := range c.agents {
-			a.conn.Close()
+			a.Shut()
 		}
 		c.mu.Unlock()
 	})
@@ -211,7 +326,10 @@ func (c *Coordinator) acceptAgents() {
 }
 
 // serveAgent handles one agent's control connection: a hello frame,
-// then a stream of stats reports.
+// then a stream of stats reports. When the connection drops — agent
+// crash, network partition, stalled writes shed by Deliver — the port
+// deregisters on the way out, so the next schedule round sees the
+// reduced fabric instead of wedging on a dead link.
 func (c *Coordinator) serveAgent(conn net.Conn) {
 	defer conn.Close()
 	env, err := readFrame(conn)
@@ -222,13 +340,13 @@ func (c *Coordinator) serveAgent(conn net.Conn) {
 	if h.Port < 0 || h.Port >= c.cfg.NumPorts {
 		return
 	}
-	a := &agentConn{port: h.Port, dataAddr: h.DataAddr, conn: conn}
+	a := &agentConn{port: h.Port, dataAddr: h.DataAddr, conn: conn, timeout: 2 * time.Second}
 	c.mu.Lock()
 	old := c.agents[h.Port]
 	c.agents[h.Port] = a
 	c.mu.Unlock()
 	if old != nil {
-		old.conn.Close()
+		old.Shut()
 	}
 	for {
 		env, err := readFrame(conn)
@@ -246,16 +364,26 @@ func (c *Coordinator) serveAgent(conn net.Conn) {
 	c.mu.Unlock()
 }
 
-// applyStats merges an agent report into coordinator flow state and
-// retires completed CoFlows. It holds polMu because it mutates the
-// CoFlow runtime state the scheduler reads and calls Depart.
+// applyStats merges one TCP agent report and retires any completed
+// CoFlows immediately (the prototype path; the testbed retires once
+// per boundary in StepSchedule instead — see mergeStats).
 func (c *Coordinator) applyStats(s *statsMsg) {
-	now := time.Now()
+	now := c.cfg.Clock.Now()
 	c.polMu.Lock()
 	defer c.polMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, fs := range s.Flows {
+	c.mergeStatsLocked(s.Flows, now)
+	c.retireLocked(now)
+}
+
+// mergeStatsLocked folds per-flow progress into coordinator state.
+// Caller holds polMu and mu (it mutates runtime state the scheduler
+// reads). Zero-alloc: the testbed's per-boundary agent reports go
+// through here for every agent in the cluster.
+func (c *Coordinator) mergeStatsLocked(flows []FlowStat, now time.Time) {
+	for i := range flows {
+		fs := &flows[i]
 		lc := c.live[coflow.CoFlowID(fs.CoFlow)]
 		if lc == nil || fs.Index < 0 || fs.Index >= len(lc.rt.Flows) {
 			continue
@@ -274,25 +402,43 @@ func (c *Coordinator) applyStats(s *statsMsg) {
 			lc.rt.Invalidate()
 		}
 	}
+}
+
+// retireLocked moves completed CoFlows from live to results. Caller
+// holds polMu and mu. Completion candidates are processed in ID order:
+// the results append order and — critically — the IndexSpace release
+// order are both deterministic, so later index assignments (and any
+// scheduler tie-break that touches them) cannot drift with map
+// iteration order.
+func (c *Coordinator) retireLocked(now time.Time) {
+	var doneIDs []coflow.CoFlowID
 	for id, lc := range c.live {
 		if lc.rt.RefreshDone() {
-			c.results = append(c.results, CoFlowResult{
-				ID:           id,
-				RegisteredAt: lc.registered,
-				CompletedAt:  now,
-				CCT:          now.Sub(lc.registered),
-				Width:        lc.rt.Width(),
-				Bytes:        lc.spec.TotalSize(),
-			})
-			c.cfg.Scheduler.Depart(lc.rt, c.wallTime(now))
-			c.space.Release(lc.rt)
-			delete(c.live, id)
+			doneIDs = append(doneIDs, id)
 		}
+	}
+	if len(doneIDs) == 0 {
+		return
+	}
+	sort.Slice(doneIDs, func(i, j int) bool { return doneIDs[i] < doneIDs[j] })
+	for _, id := range doneIDs {
+		lc := c.live[id]
+		c.results = append(c.results, CoFlowResult{
+			ID:           id,
+			RegisteredAt: lc.registered,
+			CompletedAt:  now,
+			CCT:          now.Sub(lc.registered),
+			Width:        lc.rt.Width(),
+			Bytes:        lc.spec.TotalSize(),
+		})
+		c.cfg.Scheduler.Depart(lc.rt, c.wallTime(now))
+		c.space.Release(lc.rt)
+		delete(c.live, id)
 	}
 }
 
-// wallTime maps wall clock to the scheduler's Time axis (µs since the
-// coordinator started scheduling; only deltas matter to schedulers).
+// wallTime maps clock time to the scheduler's Time axis (µs since the
+// clock's epoch; only deltas matter to schedulers).
 func (c *Coordinator) wallTime(t time.Time) coflow.Time {
 	return coflow.Time(t.UnixNano() / 1e3)
 }
@@ -303,22 +449,44 @@ func (c *Coordinator) wallTime(t time.Time) coflow.Time {
 func (c *Coordinator) scheduleLoop() {
 	ticker := time.NewTicker(c.cfg.Delta)
 	defer ticker.Stop()
-	fab := fabric.New(c.cfg.NumPorts, c.cfg.PortRate)
 	for {
 		select {
 		case <-c.stopped:
 			return
 		case <-ticker.C:
 		}
-		c.scheduleOnce(fab)
+		c.scheduleOnce()
 	}
 }
 
-func (c *Coordinator) scheduleOnce(fab *fabric.Fabric) {
-	now := time.Now()
+// pendingSend is one computed schedule awaiting delivery; sends happen
+// after the policy locks are released so a slow or stalled agent can
+// never wedge the schedule round or block registrations.
+type pendingSend struct {
+	port int
+	link agentLink
+	msg  scheduleMsg
+}
+
+// StepSchedule runs one scheduling round now: retire completed
+// CoFlows, compute the schedule, push orders to connected agents. It
+// returns the number of still-live CoFlows after retirement. The
+// testbed driver calls this at every δ boundary of virtual time; under
+// Serve the background ticker calls the same path.
+func (c *Coordinator) StepSchedule() (live int) {
+	return c.scheduleOnce()
+}
+
+func (c *Coordinator) scheduleOnce() (liveN int) {
+	now := c.cfg.Clock.Now()
 	c.polMu.Lock()
-	defer c.polMu.Unlock()
 	c.mu.Lock()
+	// Boundary retirement: the testbed path reports stats without
+	// retiring (mergeStats), so completions are collected here, once
+	// per round, in ID order. The TCP path usually retired in
+	// applyStats already; this is then a cheap no-op.
+	c.retireLocked(now)
+	liveN = len(c.live)
 	active := make([]*coflow.CoFlow, 0, len(c.live))
 	for _, lc := range c.live {
 		active = append(active, lc.rt)
@@ -327,7 +495,7 @@ func (c *Coordinator) scheduleOnce(fab *fabric.Fabric) {
 	for id, lc := range c.live {
 		specs[id] = lc.spec
 	}
-	agents := make(map[int]*agentConn, len(c.agents))
+	agents := make(map[int]agentLink, len(c.agents))
 	for p, a := range c.agents {
 		agents[p] = a
 	}
@@ -336,25 +504,21 @@ func (c *Coordinator) scheduleOnce(fab *fabric.Fabric) {
 	c.mu.Unlock()
 
 	sched.ByArrival(active)
-	fab.Reset()
+	c.fab.Reset()
 	snap := &sched.Snapshot{
-		Now: c.wallTime(now), Active: active, Fabric: fab,
+		Now: c.wallTime(now), Active: active, Fabric: c.fab,
 		FlowCap: c.space.FlowCap(), CoFlowCap: c.space.CoFlowCap(),
 	}
 	start := time.Now()
 	alloc := c.cfg.Scheduler.Schedule(snap)
 	elapsed := time.Since(start)
 	c.schedMu.Lock()
-	c.schedCalls++
-	c.schedTotal += elapsed
-	if elapsed > c.schedMax {
-		c.schedMax = elapsed
-	}
+	c.schedStats.Record(elapsed)
 	c.schedMu.Unlock()
 
 	// Group orders by sending agent. Every sendable flow gets an
 	// order (rate 0 pauses), so agents always track the newest rates.
-	orders := make(map[int][]flowOrder)
+	orders := make(map[int][]FlowOrder)
 	for _, cf := range active {
 		spec := specs[cf.ID()]
 		for i, f := range cf.Flows {
@@ -365,36 +529,58 @@ func (c *Coordinator) scheduleOnce(fab *fabric.Fabric) {
 			if dst == nil {
 				continue // receiver not connected yet
 			}
-			orders[int(f.Src)] = append(orders[int(f.Src)], flowOrder{
+			orders[int(f.Src)] = append(orders[int(f.Src)], FlowOrder{
 				CoFlow:  int64(cf.ID()),
 				Index:   i,
 				DstPort: int(f.Dst),
-				DstAddr: dst.dataAddr,
+				DstAddr: dst.DataAddr(),
 				Size:    int64(spec.Flows[i].Size),
 				RateBps: float64(alloc.Rate(f.Idx)),
 			})
 		}
 	}
+	sends := make([]pendingSend, 0, len(orders))
 	for port, os := range orders {
 		a := agents[port]
 		if a == nil {
 			continue
 		}
-		msg := &envelope{Kind: kindSchedule, Schedule: &scheduleMsg{Epoch: epoch, Orders: os}}
-		if err := a.send(msg); err != nil {
-			a.conn.Close()
+		sends = append(sends, pendingSend{port: port, link: a, msg: scheduleMsg{Epoch: epoch, Orders: os}})
+	}
+	c.polMu.Unlock()
+
+	// Deliver outside the policy locks: a stalled TCP agent eats its
+	// own write deadline without blocking registrations or the next
+	// round, and a failed link is detached immediately so the
+	// scheduler sees the reduced fabric next round.
+	for i := range sends {
+		s := &sends[i]
+		if err := s.link.Deliver(&s.msg); err != nil {
+			s.link.Shut()
+			c.mu.Lock()
+			if c.agents[s.port] == s.link {
+				delete(c.agents, s.port)
+			}
+			c.mu.Unlock()
 		}
 	}
+	return liveN
 }
 
-// SchedOverhead reports Table-2 style coordinator cost.
-func (c *Coordinator) SchedOverhead() (calls int, mean, max time.Duration) {
+// ScheduleLatency reports the coordinator's Table-2 cost: wall-clock
+// Schedule-call count, mean, max and P90. Out-of-band measurement —
+// never part of deterministic study output.
+func (c *Coordinator) ScheduleLatency() (calls int, mean, max, p90 time.Duration) {
 	c.schedMu.Lock()
 	defer c.schedMu.Unlock()
-	if c.schedCalls > 0 {
-		mean = c.schedTotal / time.Duration(c.schedCalls)
-	}
-	return c.schedCalls, mean, c.schedMax
+	return c.schedStats.Calls, c.schedStats.Mean(), c.schedStats.Max, c.schedStats.P90()
+}
+
+// SchedOverhead reports Table-2 style coordinator cost (kept for the
+// prototype CLI; ScheduleLatency adds the P90).
+func (c *Coordinator) SchedOverhead() (calls int, mean, max time.Duration) {
+	calls, mean, max, _ = c.ScheduleLatency()
+	return calls, mean, max
 }
 
 // AgentCount returns the number of connected agents.
@@ -404,11 +590,94 @@ func (c *Coordinator) AgentCount() int {
 	return len(c.agents)
 }
 
-// Results returns a snapshot of completed CoFlows.
-func (c *Coordinator) Results() []CoFlowResult {
+// LiveCount returns the number of admitted, not-yet-completed CoFlows.
+func (c *Coordinator) LiveCount() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]CoFlowResult(nil), c.results...)
+	return len(c.live)
+}
+
+// CompletedCount returns the number of completed CoFlows.
+func (c *Coordinator) CompletedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.results)
+}
+
+// AdmissionStats returns the admission-control counters: coflows
+// admitted and rejected since startup.
+func (c *Coordinator) AdmissionStats() (admitted, rejected int64) {
+	c.admMu.Lock()
+	defer c.admMu.Unlock()
+	return c.nAdmitted, c.nRejected
+}
+
+// Results returns a snapshot of completed CoFlows, sorted by coflow ID
+// with completion time as the tie-break — a deterministic order, so
+// exports built on it are byte-stable regardless of retirement
+// interleaving.
+func (c *Coordinator) Results() []CoFlowResult {
+	c.mu.Lock()
+	out := append([]CoFlowResult(nil), c.results...)
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].CompletedAt.Before(out[j].CompletedAt)
+	})
+	return out
+}
+
+// Register admits and registers one CoFlow at the current clock time.
+// This is the arrival-time decision point: the admission bucket and
+// the live-coflow cap are consulted against live coordinator state the
+// instant the coflow arrives — not batched, not deferred to a schedule
+// round. Returns ErrAdmission on rejection, ErrDuplicate for a reused
+// ID, or a validation error.
+func (c *Coordinator) Register(spec *coflow.Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	for _, f := range spec.Flows {
+		if int(f.Src) >= c.cfg.NumPorts || int(f.Dst) >= c.cfg.NumPorts {
+			return fmt.Errorf("runtime: coflow %d: port out of range", spec.ID)
+		}
+	}
+	now := c.cfg.Clock.Now()
+	rt := coflow.New(spec)
+	rt.Arrived = c.wallTime(now)
+	c.polMu.Lock()
+	defer c.polMu.Unlock()
+	c.mu.Lock()
+	if _, dup := c.live[spec.ID]; dup {
+		c.mu.Unlock()
+		return ErrDuplicate
+	}
+	if c.cfg.Admission.MaxLive > 0 && len(c.live) >= c.cfg.Admission.MaxLive {
+		c.mu.Unlock()
+		c.reject()
+		return ErrAdmission
+	}
+	if c.adm != nil && !c.adm.TryTake(1) {
+		c.mu.Unlock()
+		c.reject()
+		return ErrAdmission
+	}
+	c.live[spec.ID] = &liveCoFlow{spec: spec, rt: rt, registered: now}
+	c.mu.Unlock()
+	c.space.Assign(rt)
+	c.cfg.Scheduler.Arrive(rt, c.wallTime(now))
+	c.admMu.Lock()
+	c.nAdmitted++
+	c.admMu.Unlock()
+	return nil
+}
+
+func (c *Coordinator) reject() {
+	c.admMu.Lock()
+	c.nRejected++
+	c.admMu.Unlock()
 }
 
 // ---- REST API (the CoFlow operations of §5) ----
@@ -433,7 +702,9 @@ func (s SpecJSON) toSpec() (*coflow.Spec, error) {
 	return spec, spec.Validate()
 }
 
-// handleCoFlows implements POST /coflows — register().
+// handleCoFlows implements POST /coflows — register(). Admission
+// rejections map to 429 so framework clients can distinguish "the
+// cluster is shedding load" from a malformed registration.
 func (c *Coordinator) handleCoFlows(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -449,29 +720,16 @@ func (c *Coordinator) handleCoFlows(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	for _, f := range spec.Flows {
-		if int(f.Src) >= c.cfg.NumPorts || int(f.Dst) >= c.cfg.NumPorts {
-			http.Error(w, "port out of range", http.StatusBadRequest)
-			return
-		}
+	switch err := c.Register(spec); {
+	case err == nil:
+		w.WriteHeader(http.StatusCreated)
+	case errors.Is(err, ErrDuplicate):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, ErrAdmission):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
 	}
-	now := time.Now()
-	rt := coflow.New(spec)
-	rt.Arrived = c.wallTime(now)
-	c.polMu.Lock()
-	c.mu.Lock()
-	if _, dup := c.live[spec.ID]; dup {
-		c.mu.Unlock()
-		c.polMu.Unlock()
-		http.Error(w, "coflow already registered", http.StatusConflict)
-		return
-	}
-	c.live[spec.ID] = &liveCoFlow{spec: spec, rt: rt, registered: now}
-	c.mu.Unlock()
-	c.space.Assign(rt)
-	c.cfg.Scheduler.Arrive(rt, c.wallTime(now))
-	c.polMu.Unlock()
-	w.WriteHeader(http.StatusCreated)
 }
 
 // handleCoFlowByID implements DELETE (deregister) and PUT (update) on
@@ -493,7 +751,7 @@ func (c *Coordinator) handleCoFlowByID(w http.ResponseWriter, r *http.Request) {
 		}
 		c.mu.Unlock()
 		if ok {
-			c.cfg.Scheduler.Depart(lc.rt, c.wallTime(time.Now()))
+			c.cfg.Scheduler.Depart(lc.rt, c.wallTime(c.cfg.Clock.Now()))
 			c.space.Release(lc.rt)
 		}
 		c.polMu.Unlock()
@@ -557,17 +815,22 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	admitted, rejected := c.AdmissionStats()
 	c.mu.Lock()
 	status := struct {
 		Agents    int      `json:"agents"`
 		Live      int      `json:"live"`
 		Completed int      `json:"completed"`
+		Admitted  int64    `json:"admitted"`
+		Rejected  int64    `json:"rejected"`
 		Scheduler string   `json:"scheduler"`
 		Policies  []string `json:"registeredPolicies"`
 	}{
 		Agents:    len(c.agents),
 		Live:      len(c.live),
 		Completed: len(c.results),
+		Admitted:  admitted,
+		Rejected:  rejected,
 		Scheduler: c.cfg.Scheduler.Name(),
 		Policies:  sched.Names(),
 	}

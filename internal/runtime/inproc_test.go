@@ -1,0 +1,369 @@
+package runtime
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"saath/internal/coflow"
+	"saath/internal/sched"
+)
+
+// manualCoordinator builds a Manual-mode coordinator on a virtual
+// clock with nPorts in-process agents attached.
+func manualCoordinator(t *testing.T, policy string, nPorts int, delta time.Duration, adm AdmissionConfig) (*Coordinator, []*InprocAgent, *VirtualClock) {
+	t.Helper()
+	s, err := sched.New(policy, sched.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := NewVirtualClock(time.Unix(0, 0).UTC())
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Scheduler: s, NumPorts: nPorts, PortRate: coflow.Rate(125e6), // 1 Gbps
+		Delta: delta, Clock: vc, Manual: true, Admission: adm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	agents := make([]*InprocAgent, nPorts)
+	for i := range agents {
+		if agents[i], err = coord.AttachInproc(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return coord, agents, vc
+}
+
+// driveToCompletion advances virtual δ boundaries until every live
+// coflow completes (or maxSteps passes, which fails the test).
+func driveToCompletion(t *testing.T, coord *Coordinator, agents []*InprocAgent, vc *VirtualClock, delta time.Duration, maxSteps int) {
+	t.Helper()
+	for step := 0; step < maxSteps; step++ {
+		vc.Advance(delta)
+		for _, a := range agents {
+			a.Step(delta)
+		}
+		for _, a := range agents {
+			a.Report()
+		}
+		if live := coord.StepSchedule(); live == 0 && step > 0 {
+			return
+		}
+	}
+	t.Fatalf("coflows still live after %d boundaries", maxSteps)
+}
+
+// TestInprocEndToEnd: a coflow registered against a manual coordinator
+// completes through the in-process agent path, with CCT measured in
+// virtual time only.
+func TestInprocEndToEnd(t *testing.T) {
+	delta := 8 * time.Millisecond
+	coord, agents, vc := manualCoordinator(t, "saath", 4, delta, AdmissionConfig{})
+	spec := &coflow.Spec{ID: 7, Flows: []coflow.FlowSpec{
+		{Src: 0, Dst: 1, Size: 4 * coflow.MB},
+		{Src: 2, Dst: 3, Size: 2 * coflow.MB},
+	}}
+	if err := coord.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	driveToCompletion(t, coord, agents, vc, delta, 10000)
+	res := coord.Results()
+	if len(res) != 1 || res[0].ID != 7 {
+		t.Fatalf("results = %+v, want coflow 7", res)
+	}
+	// 4 MB at 1 Gbps is ~32ms of service plus the one-δ schedule push
+	// lag; virtual CCT must land in that ballpark, not at wall scale.
+	if res[0].CCT < 32*time.Millisecond || res[0].CCT > 200*time.Millisecond {
+		t.Fatalf("virtual CCT %v outside the plausible window", res[0].CCT)
+	}
+	if got := res[0].RegisteredAt; !got.Equal(time.Unix(0, 0).UTC()) {
+		t.Fatalf("RegisteredAt = %v, want the virtual epoch", got)
+	}
+}
+
+// TestInprocDeterminism: two identical manual runs produce identical
+// results — byte-for-byte the same completion times in virtual time.
+func TestInprocDeterminism(t *testing.T) {
+	run := func() []CoFlowResult {
+		delta := 8 * time.Millisecond
+		coord, agents, vc := manualCoordinator(t, "saath", 6, delta, AdmissionConfig{})
+		for id := 1; id <= 8; id++ {
+			spec := &coflow.Spec{ID: coflow.CoFlowID(id), Flows: []coflow.FlowSpec{
+				{Src: coflow.PortID(id % 6), Dst: coflow.PortID((id + 3) % 6), Size: coflow.Bytes(id) * coflow.MB},
+			}}
+			vc.Advance(time.Millisecond)
+			if err := coord.Register(spec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		driveToCompletion(t, coord, agents, vc, delta, 10000)
+		return coord.Results()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d diverged:\n  %+v\n  %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestResultsSortedByID: results come back ordered by coflow ID even
+// when completions land in a different order.
+func TestResultsSortedByID(t *testing.T) {
+	delta := 8 * time.Millisecond
+	coord, agents, vc := manualCoordinator(t, "saath", 4, delta, AdmissionConfig{})
+	// Bigger IDs get smaller flows, so they complete first.
+	for id := 1; id <= 4; id++ {
+		spec := &coflow.Spec{ID: coflow.CoFlowID(id), Flows: []coflow.FlowSpec{
+			{Src: coflow.PortID(id - 1), Dst: coflow.PortID(id % 4), Size: coflow.Bytes(5-id) * 4 * coflow.MB},
+		}}
+		if err := coord.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	driveToCompletion(t, coord, agents, vc, delta, 10000)
+	res := coord.Results()
+	if len(res) != 4 {
+		t.Fatalf("want 4 results, got %d", len(res))
+	}
+	for i, r := range res {
+		if r.ID != coflow.CoFlowID(i+1) {
+			t.Fatalf("results not ID-sorted: %+v", res)
+		}
+	}
+	// And the larger flow of coflow 1 must not have completed first.
+	if !res[3].CompletedAt.Before(res[0].CompletedAt) {
+		t.Fatal("expected coflow 4 (smallest) to finish before coflow 1 (largest); sort is hiding nothing")
+	}
+}
+
+// TestArrivalTimeAdmission: admission decisions happen per arrival
+// against the live token bucket — a burst beyond the bucket is shed at
+// arrival time, and later arrivals (after refill) are admitted again.
+func TestArrivalTimeAdmission(t *testing.T) {
+	delta := 10 * time.Millisecond
+	coord, _, vc := manualCoordinator(t, "saath", 4, delta,
+		AdmissionConfig{RatePerSec: 100, Burst: 2})
+	mkSpec := func(id int) *coflow.Spec {
+		return &coflow.Spec{ID: coflow.CoFlowID(id), Flows: []coflow.FlowSpec{
+			{Src: 0, Dst: 1, Size: coflow.MB}}}
+	}
+	// Burst of 4 at t=0: bucket depth 2 admits exactly 2.
+	var rejected int
+	for id := 1; id <= 4; id++ {
+		if err := coord.Register(mkSpec(id)); errors.Is(err, ErrAdmission) {
+			rejected++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rejected != 2 {
+		t.Fatalf("burst of 4 over depth 2: rejected %d, want 2", rejected)
+	}
+	// 30ms later the bucket refilled 3 tokens: the next arrival is
+	// admitted — the decision tracks live state, not a batch snapshot.
+	vc.Advance(30 * time.Millisecond)
+	if err := coord.Register(mkSpec(5)); err != nil {
+		t.Fatalf("post-refill arrival rejected: %v", err)
+	}
+	admitted, rej := coord.AdmissionStats()
+	if admitted != 3 || rej != 2 {
+		t.Fatalf("AdmissionStats = (%d, %d), want (3, 2)", admitted, rej)
+	}
+}
+
+// TestMaxLiveAdmission: the live-coflow cap rejects at arrival time
+// and opens up again once completions retire.
+func TestMaxLiveAdmission(t *testing.T) {
+	delta := 8 * time.Millisecond
+	coord, agents, vc := manualCoordinator(t, "saath", 4, delta, AdmissionConfig{MaxLive: 2})
+	mkSpec := func(id int) *coflow.Spec {
+		return &coflow.Spec{ID: coflow.CoFlowID(id), Flows: []coflow.FlowSpec{
+			{Src: 0, Dst: 1, Size: coflow.MB}}}
+	}
+	for id := 1; id <= 2; id++ {
+		if err := coord.Register(mkSpec(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coord.Register(mkSpec(3)); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("third concurrent coflow: err = %v, want ErrAdmission", err)
+	}
+	driveToCompletion(t, coord, agents, vc, delta, 10000)
+	if err := coord.Register(mkSpec(4)); err != nil {
+		t.Fatalf("arrival after retirement rejected: %v", err)
+	}
+}
+
+// TestDuplicateRegisterInproc: a duplicate ID is a structural error,
+// not an admission drop, and consumes no admission budget.
+func TestDuplicateRegisterInproc(t *testing.T) {
+	coord, _, _ := manualCoordinator(t, "saath", 2, 8*time.Millisecond,
+		AdmissionConfig{RatePerSec: 1000, Burst: 10})
+	spec := &coflow.Spec{ID: 1, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: coflow.MB}}}
+	if err := coord.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Register(spec); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate register: err = %v, want ErrDuplicate", err)
+	}
+	if _, rejected := coord.AdmissionStats(); rejected != 0 {
+		t.Fatalf("duplicate counted as an admission rejection")
+	}
+}
+
+// TestScheduleSurvivesStalledAgent: a TCP agent that stops reading
+// must not wedge the schedule round or block registrations — the
+// schedule is computed and delivered outside the policy locks, the
+// stalled link eats only its own write deadline, and the dead port is
+// deregistered so the scheduler sees the reduced fabric.
+func TestScheduleSurvivesStalledAgent(t *testing.T) {
+	s, err := sched.New("saath", sched.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Scheduler: s, NumPorts: 2, PortRate: coflow.Rate(1e6),
+		Delta: time.Hour, Manual: true, // drive rounds by hand
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+
+	// Port 1: a healthy in-process receiver.
+	if _, err := coord.AttachInproc(1); err != nil {
+		t.Fatal(err)
+	}
+	// Port 0: a stalled TCP agent — a pipe nobody reads, with a short
+	// write deadline so the test stays fast.
+	us, them := net.Pipe()
+	t.Cleanup(func() { us.Close(); them.Close() })
+	stalled := &agentConn{port: 0, dataAddr: "stalled:0", conn: us, timeout: 50 * time.Millisecond}
+	coord.mu.Lock()
+	coord.agents[0] = stalled
+	coord.mu.Unlock()
+
+	spec := &coflow.Spec{ID: 1, Flows: []coflow.FlowSpec{{Src: 0, Dst: 1, Size: 10 * coflow.MB}}}
+	if err := coord.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// The round must complete despite the stalled link, and while the
+	// round's deliveries are in flight a registration must not block:
+	// run a second Register concurrently with StepSchedule.
+	stepDone := make(chan struct{})
+	go func() {
+		coord.StepSchedule()
+		close(stepDone)
+	}()
+	regDone := make(chan error, 1)
+	go func() {
+		spec2 := &coflow.Spec{ID: 2, Flows: []coflow.FlowSpec{{Src: 1, Dst: 0, Size: coflow.MB}}}
+		regDone <- coord.Register(spec2)
+	}()
+	select {
+	case err := <-regDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Register blocked behind a stalled agent's schedule delivery")
+	}
+	select {
+	case <-stepDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("StepSchedule wedged on a stalled agent")
+	}
+
+	// The stalled port was shed.
+	deadline := time.Now().Add(2 * time.Second)
+	for coord.AgentCount() != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := coord.AgentCount(); n != 1 {
+		t.Fatalf("stalled agent still registered: %d agents", n)
+	}
+	// And the next round runs cleanly against the reduced fabric.
+	done := make(chan struct{})
+	go func() { coord.StepSchedule(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("schedule round after shedding still wedged")
+	}
+}
+
+// TestAgentDisconnectNoGoroutineLeak: agents connecting and dropping
+// must not leave serveAgent goroutines behind once the coordinator
+// closes.
+func TestAgentDisconnectNoGoroutineLeak(t *testing.T) {
+	s, err := sched.New("saath", sched.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Scheduler: s, NumPorts: 8, PortRate: coflow.Rate(1e6), Delta: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go coord.Serve()
+	for i := 0; i < 8; i++ {
+		a, err := NewAgent(AgentConfig{Port: i, CoordinatorAddr: coord.ControlAddr(), StatsInterval: 5 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Close() // immediate disconnect, mid-run from the coordinator's view
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for coord.AgentCount() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := coord.AgentCount(); n != 0 {
+		t.Fatalf("%d dead agents still registered", n)
+	}
+	coord.Close() // wg.Wait inside: serveAgent goroutines must all exit
+	deadline = time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after close", before, n)
+	}
+}
+
+// TestInprocScaleTenThousand: 10^4 in-process agents, one coordinator,
+// one process — the Table-2 scale point — completes a small workload
+// promptly in virtual time.
+func TestInprocScaleTenThousand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10^4-agent scale test skipped in -short mode")
+	}
+	const ports = 10000
+	delta := 8 * time.Millisecond
+	coord, agents, vc := manualCoordinator(t, "saath", ports, delta, AdmissionConfig{})
+	for id := 1; id <= 50; id++ {
+		spec := &coflow.Spec{ID: coflow.CoFlowID(id), Flows: []coflow.FlowSpec{
+			{Src: coflow.PortID((id * 13) % ports), Dst: coflow.PortID((id*29 + 1) % ports), Size: 8 * coflow.MB},
+		}}
+		if err := coord.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	driveToCompletion(t, coord, agents, vc, delta, 2000)
+	if n := coord.CompletedCount(); n != 50 {
+		t.Fatalf("completed %d/50", n)
+	}
+	calls, mean, _, _ := coord.ScheduleLatency()
+	if calls == 0 || mean <= 0 {
+		t.Fatalf("schedule latency not measured: calls=%d mean=%v", calls, mean)
+	}
+}

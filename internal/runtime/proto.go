@@ -42,8 +42,8 @@ type helloMsg struct {
 	DataAddr string `json:"dataAddr"` // where peers dial to deliver flow bytes
 }
 
-// flowStat is one flow's progress as observed by its sending agent.
-type flowStat struct {
+// FlowStat is one flow's progress as observed by its sending agent.
+type FlowStat struct {
 	CoFlow    int64 `json:"coflow"`
 	Index     int   `json:"index"`
 	Sent      int64 `json:"sent"`
@@ -55,11 +55,11 @@ type flowStat struct {
 // statsMsg is the periodic agent→coordinator report.
 type statsMsg struct {
 	Port  int        `json:"port"`
-	Flows []flowStat `json:"flows"`
+	Flows []FlowStat `json:"flows"`
 }
 
-// flowOrder tells a sending agent to run one flow at a given rate.
-type flowOrder struct {
+// FlowOrder tells a sending agent to run one flow at a given rate.
+type FlowOrder struct {
 	CoFlow  int64   `json:"coflow"`
 	Index   int     `json:"index"`
 	DstPort int     `json:"dstPort"`
@@ -71,7 +71,7 @@ type flowOrder struct {
 // scheduleMsg is the coordinator→agent schedule push for one interval.
 type scheduleMsg struct {
 	Epoch  int64       `json:"epoch"`
-	Orders []flowOrder `json:"orders"`
+	Orders []FlowOrder `json:"orders"`
 }
 
 // maxFrame bounds a control frame; a schedule for tens of thousands of

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -9,29 +10,55 @@ import (
 // The rate may be changed at any time by a new schedule; a rate of
 // zero pauses the flow (Take blocks until a positive rate arrives or
 // the bucket is closed).
+//
+// The same bucket also backs the coordinator's admission-control front
+// (units become coflows per second instead of bytes per second, and
+// admission uses the non-blocking TryTake). The time source is
+// injectable so admission decisions under a VirtualClock refill
+// deterministically.
 type tokenBucket struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	rate   float64 // bytes per second
+	now    func() time.Time
+	rate   float64 // units per second
 	tokens float64
 	burst  float64
 	last   time.Time
 	closed bool
 }
 
-// newTokenBucket creates a paused bucket (rate 0) with the given
-// maximum burst in bytes.
+// newTokenBucket creates a paused bucket (rate 0, empty) with the
+// given maximum burst, running on the wall clock.
 func newTokenBucket(burst float64) *tokenBucket {
-	b := &tokenBucket{burst: burst, last: time.Now()}
+	return newTokenBucketClock(burst, time.Now)
+}
+
+// newTokenBucketClock is newTokenBucket with an injectable time
+// source (nil falls back to time.Now).
+func newTokenBucketClock(burst float64, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	b := &tokenBucket{burst: burst, now: now, last: now()}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-// SetRate updates the pacing rate in bytes per second.
+// newAdmissionBucket creates a bucket for admission control: rate
+// units/second, a full burst of initial budget (so the first burst of
+// arrivals is admitted), driven by the given time source.
+func newAdmissionBucket(rate, burst float64, now func() time.Time) *tokenBucket {
+	b := newTokenBucketClock(burst, now)
+	b.rate = rate
+	b.tokens = burst
+	return b
+}
+
+// SetRate updates the pacing rate in units per second.
 func (b *tokenBucket) SetRate(bps float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.refillLocked(time.Now())
+	b.refillLocked(b.now())
 	if bps < 0 {
 		bps = 0
 	}
@@ -58,10 +85,48 @@ func (b *tokenBucket) refillLocked(now time.Time) {
 	}
 }
 
+// TryTake consumes n units if the accumulated budget covers them right
+// now, without blocking. This is the admission-control path: a coflow
+// arriving past the configured rate is rejected, not queued.
+func (b *tokenBucket) TryTake(n int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	b.refillLocked(b.now())
+	if b.tokens >= float64(n) {
+		b.tokens -= float64(n)
+		return true
+	}
+	return false
+}
+
 // Take blocks until n bytes of budget are available (or the bucket is
 // closed, returning false). Large n are granted in a single wait once
 // the accumulated budget covers them, so n should not exceed burst.
 func (b *tokenBucket) Take(n int) bool {
+	return b.take(nil, n)
+}
+
+// TakeCtx is Take with cancellation: it returns false as soon as ctx
+// is done, even while paused at rate zero.
+func (b *tokenBucket) TakeCtx(ctx context.Context, n int) bool {
+	if ctx == nil {
+		return b.take(nil, n)
+	}
+	// Wake any cond.Wait pause when the context fires, so a paused
+	// flow unblocks immediately instead of waiting for a rate change.
+	stop := context.AfterFunc(ctx, func() {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	})
+	defer stop()
+	return b.take(ctx, n)
+}
+
+func (b *tokenBucket) take(ctx context.Context, n int) bool {
 	need := float64(n)
 	if need > b.burst {
 		need = b.burst // never wait for more than the bucket can hold
@@ -72,13 +137,16 @@ func (b *tokenBucket) Take(n int) bool {
 		if b.closed {
 			return false
 		}
-		b.refillLocked(time.Now())
+		if ctx != nil && ctx.Err() != nil {
+			return false
+		}
+		b.refillLocked(b.now())
 		if b.tokens >= need {
 			b.tokens -= float64(n)
 			return true
 		}
 		if b.rate <= 0 {
-			b.cond.Wait() // paused: wait for SetRate or Close
+			b.cond.Wait() // paused: wait for SetRate, Close or ctx
 			continue
 		}
 		// Sleep roughly until enough tokens accrue, then re-check.

@@ -1,0 +1,171 @@
+package runtime
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeNow is a hand-cranked time source for deterministic bucket tests.
+type fakeNow struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeNow) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeNow) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// TestTokenBucketRefill: tokens accrue at the configured rate and are
+// spent by TryTake, all in fake time.
+func TestTokenBucketRefill(t *testing.T) {
+	fc := &fakeNow{t: time.Unix(0, 0)}
+	b := newTokenBucketClock(1000, fc.now)
+	b.SetRate(100) // 100 units/s
+
+	if b.TryTake(1) {
+		t.Fatal("empty bucket granted a token")
+	}
+	fc.advance(100 * time.Millisecond) // +10 tokens
+	if !b.TryTake(10) {
+		t.Fatal("refill did not accrue 10 tokens over 100ms at rate 100/s")
+	}
+	if b.TryTake(1) {
+		t.Fatal("budget was not spent by the previous take")
+	}
+}
+
+// TestTokenBucketBurstCap: the bucket never holds more than burst, no
+// matter how long it idles.
+func TestTokenBucketBurstCap(t *testing.T) {
+	fc := &fakeNow{t: time.Unix(0, 0)}
+	b := newTokenBucketClock(50, fc.now)
+	b.SetRate(1000)
+	fc.advance(time.Hour) // would be 3.6M tokens uncapped
+	if !b.TryTake(50) {
+		t.Fatal("burst-sized take failed after a long idle")
+	}
+	if b.TryTake(1) {
+		t.Fatal("bucket held more than burst")
+	}
+}
+
+// TestTokenBucketRejection: TryTake never blocks and never
+// over-grants — the admission-control semantics.
+func TestTokenBucketRejection(t *testing.T) {
+	fc := &fakeNow{t: time.Unix(0, 0)}
+	b := newAdmissionBucket(10, 3, fc.now) // 10/s, burst 3, starts full
+	for i := 0; i < 3; i++ {
+		if !b.TryTake(1) {
+			t.Fatalf("initial burst take %d rejected", i)
+		}
+	}
+	if b.TryTake(1) {
+		t.Fatal("take past the burst granted")
+	}
+	fc.advance(100 * time.Millisecond) // exactly one token
+	if !b.TryTake(1) {
+		t.Fatal("refilled token rejected")
+	}
+	if b.TryTake(1) {
+		t.Fatal("second take granted from one refilled token")
+	}
+}
+
+// TestTokenBucketTakeCtxCancel: a TakeCtx paused at rate zero unblocks
+// promptly when the context is cancelled, returning false.
+func TestTokenBucketTakeCtxCancel(t *testing.T) {
+	b := newTokenBucket(1000) // rate 0: paused
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() { done <- b.TakeCtx(ctx, 10) }()
+	select {
+	case <-done:
+		t.Fatal("TakeCtx returned before cancel on a paused bucket")
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("cancelled TakeCtx returned true")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("TakeCtx did not unblock on cancel")
+	}
+}
+
+// TestTokenBucketTakeCtxAlreadyCancelled: a dead context fails fast.
+func TestTokenBucketTakeCtxAlreadyCancelled(t *testing.T) {
+	b := newTokenBucket(1000)
+	b.SetRate(1e9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if b.TakeCtx(ctx, 1) {
+		t.Fatal("TakeCtx granted under a cancelled context")
+	}
+}
+
+// TestTokenBucketCloseUnblocksTakeCtx: Close releases context waiters
+// the same way it releases plain Take waiters.
+func TestTokenBucketCloseUnblocksTakeCtx(t *testing.T) {
+	b := newTokenBucket(1000)
+	done := make(chan bool, 1)
+	go func() { done <- b.TakeCtx(context.Background(), 10) }()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("closed bucket granted a take")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("TakeCtx did not unblock on Close")
+	}
+	if b.TryTake(0) {
+		t.Fatal("TryTake succeeded on a closed bucket")
+	}
+}
+
+// TestTokenBucketNegativeRate: a negative SetRate clamps to paused
+// instead of draining tokens backwards.
+func TestTokenBucketNegativeRate(t *testing.T) {
+	fc := &fakeNow{t: time.Unix(0, 0)}
+	b := newTokenBucketClock(100, fc.now)
+	b.SetRate(-5)
+	fc.advance(time.Second)
+	if b.TryTake(1) {
+		t.Fatal("negative rate accrued tokens")
+	}
+}
+
+// TestTokenBucketVirtualClockDeterminism: two buckets driven by the
+// same virtual timeline make identical grant/reject decisions — the
+// property overload-study admission rides on.
+func TestTokenBucketVirtualClockDeterminism(t *testing.T) {
+	run := func() []bool {
+		vc := NewVirtualClock(time.Unix(0, 0))
+		b := newAdmissionBucket(50, 10, vc.Now)
+		var got []bool
+		for i := 0; i < 100; i++ {
+			vc.Advance(7 * time.Millisecond)
+			got = append(got, b.TryTake(1))
+		}
+		return got
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged across identical virtual timelines", i)
+		}
+	}
+}

@@ -63,7 +63,7 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	in := &envelope{Kind: kindStats, Stats: &statsMsg{Port: 3, Flows: []flowStat{
+	in := &envelope{Kind: kindStats, Stats: &statsMsg{Port: 3, Flows: []FlowStat{
 		{CoFlow: 7, Index: 1, Sent: 1234, Done: true, Available: true},
 	}}}
 	if err := writeFrame(&buf, in); err != nil {

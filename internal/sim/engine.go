@@ -177,6 +177,12 @@ type ScheduleStats struct {
 // schedSampleCap bounds the P90 sample reservoir.
 const schedSampleCap = 2048
 
+// Record accumulates one Schedule call's wall-clock cost. Exported so
+// the coordinator runtime (internal/runtime) measures its Table-2
+// scheduling latency with the same bounded reservoir the simulator
+// uses.
+func (s *ScheduleStats) Record(d time.Duration) { s.record(d) }
+
 // record accumulates one Schedule call's wall-clock cost.
 func (s *ScheduleStats) record(d time.Duration) {
 	s.Calls++

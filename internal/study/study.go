@@ -58,6 +58,7 @@ type Study struct {
 	telemetry   telemetry.Spec
 	baseline    string
 	derived     []Derived
+	runner      string
 }
 
 // Option configures a Study under construction. Options returning an
@@ -154,6 +155,15 @@ func WithTelemetry(spec telemetry.Spec) Option {
 // against. It must be one of the study's schedulers.
 func WithBaseline(scheduler string) Option {
 	return func(st *Study) error { st.baseline = scheduler; return nil }
+}
+
+// WithRunner names the execution backend the study requires (see
+// RegisterRunner); "" keeps the default in-process Pool. Validation is
+// lazy — the registry is consulted by NewRunnerFor at execution time,
+// not here, because catalog packages register studies and runners in
+// the same init pass.
+func WithRunner(name string) Option {
+	return func(st *Study) error { st.runner = name; return nil }
 }
 
 // WithDerived appends derived-output builders, rendered in declaration
@@ -297,6 +307,10 @@ func (st *Study) Description() string { return st.description }
 
 // Baseline returns the speedup baseline scheduler ("" if unset).
 func (st *Study) Baseline() string { return st.baseline }
+
+// RunnerName returns the execution backend the study declared with
+// WithRunner ("" means the default Pool).
+func (st *Study) RunnerName() string { return st.runner }
 
 // Grid compiles the study to the sweep grid it executes. Variants
 // inherit study-level settings for whatever they left unset — Params

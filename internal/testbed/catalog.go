@@ -1,0 +1,165 @@
+package testbed
+
+import (
+	"fmt"
+
+	"saath/internal/coflow"
+	"saath/internal/report"
+	rt "saath/internal/runtime"
+	"saath/internal/sim"
+	"saath/internal/study"
+	"saath/internal/sweep"
+	"saath/internal/trace"
+)
+
+// admissionFor keys the testbed backend's admission configuration off
+// the study name: catalog studies that exercise the admission front
+// declare their bucket here, everything else runs open.
+var admissionFor = map[string]rt.AdmissionConfig{
+	"overload": {RatePerSec: 50, Burst: 15},
+}
+
+// latencyPorts is the coordinator-latency study's cluster-size axis —
+// the paper's Table 2 sweeps coordinator scheduling latency against
+// cluster size; 10^4 agents run in-process in the default grid (10^5
+// lives in the env-gated long test).
+var latencyPorts = []int{1000, 4000, 10000}
+
+// overloadLoads is the overload study's offered-rate axis, in
+// multiples of the base arrival rate of overloadCfg.
+var overloadLoads = []float64{0.5, 1, 2, 4}
+
+// overloadOffered is the fixed coflow count every overload variant
+// offers; only the rate at which they arrive changes, so drops are a
+// pure function of rate against the admission bucket.
+const overloadOffered = 120
+
+// latencyCfg sizes the FB-marginal workload for a latency run at the
+// given cluster size: enough coflows to keep the scheduler busy across
+// the boundaries, sizes trimmed so each job drains in a few virtual
+// seconds.
+func latencyCfg(seed int64, ports int) trace.SynthConfig {
+	cfg := trace.DefaultFBConfig(seed)
+	cfg.NumPorts = ports
+	cfg.NumCoFlows = 40
+	cfg.MeanInterArrival = 15 * coflow.Millisecond
+	cfg.MinSmall, cfg.MaxSmall = 2*coflow.MB, 8*coflow.MB
+	cfg.MinLarge, cfg.MaxLarge = 8*coflow.MB, 48*coflow.MB
+	return cfg
+}
+
+// overloadCfg is the overload study's base workload: a small fabric
+// under a fixed coflow population whose arrival rate the variants
+// scale past the admission bucket's sustained rate.
+func overloadCfg(seed int64) trace.SynthConfig {
+	cfg := trace.DefaultFBConfig(seed)
+	cfg.NumPorts = 24
+	cfg.NumCoFlows = overloadOffered
+	cfg.MeanInterArrival = 25 * coflow.Millisecond
+	cfg.MinSmall, cfg.MaxSmall = 2*coflow.MB, 8*coflow.MB
+	cfg.MinLarge, cfg.MaxLarge = 8*coflow.MB, 32*coflow.MB
+	return cfg
+}
+
+func init() {
+	study.RegisterRunner("testbed", func(st *study.Study, opts study.RunnerOpts) (study.Runner, error) {
+		r := &Runner{Parallel: opts.Parallel, Progress: opts.Progress, Observer: opts.Observer}
+		if adm, ok := admissionFor[st.Name()]; ok {
+			r.Admission = adm
+		}
+		return r, nil
+	})
+
+	study.Register("coordinator-latency",
+		"Table 2-style testbed run: coordinator scheduling latency vs cluster size, measured through the real coordinator with in-process agents",
+		buildCoordinatorLatency)
+
+	study.Register("overload",
+		"offered coflow rate vs arrival-time admission drops through the coordinator's token-bucket front",
+		buildOverload)
+}
+
+func buildCoordinatorLatency() (*study.Study, error) {
+	var variants []sweep.Variant
+	for _, p := range latencyPorts {
+		p := p
+		variants = append(variants, sweep.Variant{
+			Name: fmt.Sprintf("ports=%d", p),
+			MutateSeeded: func(tr *trace.Trace, seed int64) {
+				*tr = *trace.Synthesize(latencyCfg(seed, p), tr.Name)
+			},
+		})
+	}
+	return study.New("coordinator-latency",
+		study.WithDescription("schedule-latency vs cluster size on the system path; the latency table itself is out-of-band (obs runtime section)"),
+		study.WithRunner("testbed"),
+		study.WithTraces(sweep.SynthSource("fb-lat", func(seed int64) *trace.Trace {
+			// Placeholder draw; every variant regenerates it at its
+			// own cluster size (MutateSeeded).
+			return trace.Synthesize(latencyCfg(seed, latencyPorts[0]), "fb-lat")
+		})),
+		study.WithSchedulers("saath"),
+		study.WithSimConfig(sim.Config{Delta: 8 * coflow.Millisecond}),
+		study.WithParamGrid(variants...),
+		study.WithDerived(
+			study.DerivedCCT("coordinator-latency — CCT through the real coordinator"),
+		),
+	)
+}
+
+func buildOverload() (*study.Study, error) {
+	var variants []sweep.Variant
+	for _, a := range overloadLoads {
+		a := a
+		variants = append(variants, sweep.Variant{
+			Name: fmt.Sprintf("A=%g", a),
+			MutateSeeded: func(tr *trace.Trace, seed int64) {
+				gen := trace.Synthesize(overloadCfg(seed), tr.Name)
+				gen.ScaleArrivals(1 / a)
+				*tr = *gen
+			},
+		})
+	}
+	return study.New("overload",
+		study.WithDescription("a fixed coflow population offered at swept rates against a 50/s token bucket: drops are arrival-time decisions on the system path"),
+		study.WithRunner("testbed"),
+		study.WithTraces(sweep.SynthSource("fb-overload", func(seed int64) *trace.Trace {
+			return trace.Synthesize(overloadCfg(seed), "fb-overload")
+		})),
+		study.WithSchedulers("saath"),
+		study.WithSeeds(1, 2),
+		study.WithSimConfig(sim.Config{Delta: 8 * coflow.Millisecond}),
+		study.WithParamGrid(variants...),
+		study.WithDerived(
+			DerivedAdmission("overload — offered rate vs admission drops", overloadOffered),
+			study.DerivedCCT("overload — CCT of admitted coflows"),
+		),
+	)
+}
+
+// DerivedAdmission renders the offered-vs-dropped table of an
+// admission study: every grid cell's completed count against the fixed
+// offered population. Purely derived from the deterministic summary,
+// so it is identical for live, parallel and merged shard executions —
+// the drop counts themselves are deterministic because admission
+// decisions run on the virtual clock.
+func DerivedAdmission(title string, offered int) study.Derived {
+	return func(st *study.Study, sum *sweep.Summary) ([]*report.Table, error) {
+		if offered <= 0 {
+			return nil, fmt.Errorf("derived admission %q: offered %d <= 0", title, offered)
+		}
+		t := &report.Table{Title: title, Headers: []string{
+			"trace", "variant", "scheduler", "seed", "offered", "admitted", "dropped", "drop %",
+		}}
+		for _, e := range sum.Entries() {
+			m := e.Metrics
+			if m.Error != "" {
+				continue
+			}
+			dropped := offered - m.CoFlows
+			t.AddRow(m.Trace, m.Variant, m.Scheduler, m.Seed, offered, m.CoFlows, dropped,
+				fmt.Sprintf("%.1f%%", 100*float64(dropped)/float64(offered)))
+		}
+		return []*report.Table{t}, nil
+	}
+}

@@ -10,8 +10,9 @@
 // SEBF+MADD, clairvoyant SCF/SRTF/LWTF, UC-TCP), the discrete-time
 // cluster simulator, the statistics helpers behind the paper's
 // figures, the declarative study layer (NewStudy: experiment grids
-// with pluggable in-process or sharded execution), and the distributed
-// coordinator/agent prototype.
+// with pluggable in-process or sharded execution), the distributed
+// coordinator/agent prototype, and the testbed subsystem that runs
+// studies through the real coordinator with in-process agents.
 //
 // Quick start (see examples/quickstart for a runnable version):
 //
@@ -24,10 +25,12 @@ package saath
 import (
 	"context"
 	"io"
+	"time"
 
 	"saath/internal/coflow"
 	"saath/internal/fleet"
 	"saath/internal/obs"
+	"saath/internal/report"
 	"saath/internal/runtime"
 	"saath/internal/sched"
 	"saath/internal/sim"
@@ -35,6 +38,7 @@ import (
 	"saath/internal/study"
 	"saath/internal/sweep"
 	"saath/internal/telemetry"
+	"saath/internal/testbed"
 	"saath/internal/trace"
 
 	_ "saath/internal/core"         // register saath + ablation variants
@@ -258,6 +262,16 @@ type (
 	StudyDerived = study.Derived
 	// StudyShardDump is the serialized output of one sharded run.
 	StudyShardDump = study.ShardDump
+	// StudyRunnerOpts carries the execution knobs (parallelism,
+	// progress callback, observer) a CLI hands any runner backend.
+	StudyRunnerOpts = study.RunnerOpts
+	// StudyRunnerFactory builds a named runner backend for one study
+	// execution; register with RegisterStudyRunner.
+	StudyRunnerFactory = study.RunnerFactory
+	// StudyRuntimeReporter is implemented by runners that measure the
+	// real system out-of-band (the testbed backend); the wall-clock
+	// report never contaminates the deterministic study output.
+	StudyRuntimeReporter = study.RuntimeReporter
 )
 
 // NewStudy builds and validates a declarative study; see the study
@@ -279,6 +293,7 @@ var (
 	WithTelemetry   = study.WithTelemetry
 	WithBaseline    = study.WithBaseline
 	WithDerived     = study.WithDerived
+	WithRunner      = study.WithRunner
 )
 
 // Derived-table constructors for WithDerived.
@@ -318,7 +333,23 @@ type (
 	// SaturationKnee is a detected departure from linearity in a
 	// load → latency curve.
 	SaturationKnee = obs.Knee
+	// RuntimeRecord is one job's wall-clock coordinator measurement
+	// (agents, admissions, schedule-latency percentiles), collected
+	// out-of-band by the testbed runner.
+	RuntimeRecord = obs.RuntimeRecord
+	// RuntimeReport is a sorted, mergeable set of RuntimeRecords; it
+	// travels in the obs manifest's runtime section.
+	RuntimeReport = obs.RuntimeReport
+	// ReportTable is one rendered results table (internal/report),
+	// the unit every derived-table constructor produces.
+	ReportTable = report.Table
 )
+
+// NewRuntimeTable renders a runtime report as the CLI's
+// "coordinator runtime" table.
+func NewRuntimeTable(title string, rep *RuntimeReport) *ReportTable {
+	return obs.RuntimeTable(title, rep)
+}
 
 // NewObsRecorder returns an enabled observability recorder labeled
 // with the study name.
@@ -342,6 +373,21 @@ func RegisterStudy(name, description string, build func() (*Study, error)) {
 
 // BuildStudy constructs a registered study by name.
 func BuildStudy(name string) (*Study, error) { return study.Build(name) }
+
+// RegisterStudyRunner adds a named runner backend to the registry a
+// study selects from via WithRunner ("" always means the in-process
+// StudyPool; the testbed subsystem registers "testbed").
+func RegisterStudyRunner(name string, f StudyRunnerFactory) { study.RegisterRunner(name, f) }
+
+// StudyRunnerNames lists the registered runner backends.
+func StudyRunnerNames() []string { return study.RunnerNames() }
+
+// NewStudyRunnerFor builds the runner backend a study declared via
+// WithRunner, configured with opts; studies with no declared backend
+// get the default in-process pool.
+func NewStudyRunnerFor(st *Study, opts StudyRunnerOpts) (StudyRunner, error) {
+	return study.NewRunnerFor(st, opts)
+}
 
 // MergeStudyShards reassembles a full study result from shard dumps,
 // validating completeness; the merged summary and telemetry exports
@@ -443,7 +489,32 @@ type (
 	// CoFlowRunResult is a completed CoFlow measured by the
 	// coordinator on the prototype.
 	CoFlowRunResult = runtime.CoFlowResult
+	// InprocAgent is a simulated per-port agent attached to a
+	// coordinator through the in-memory transport seam — no sockets,
+	// so 10^5 agents fit in one process.
+	InprocAgent = runtime.InprocAgent
+	// VirtualClock is a manually-advanced clock; a coordinator built
+	// on one produces deterministic, parallelism-independent results.
+	VirtualClock = runtime.VirtualClock
+	// AdmissionConfig is the coordinator's token-bucket admission
+	// front: Register calls beyond the sustained rate + burst are
+	// rejected at arrival time with ErrAdmission.
+	AdmissionConfig = runtime.AdmissionConfig
 )
+
+// Coordinator admission sentinel errors.
+var (
+	// ErrAdmission reports a registration rejected by the
+	// coordinator's token-bucket admission front.
+	ErrAdmission = runtime.ErrAdmission
+	// ErrCoFlowDuplicate reports a registration whose ID is already
+	// live on the coordinator.
+	ErrCoFlowDuplicate = runtime.ErrDuplicate
+)
+
+// NewVirtualClock returns a virtual clock pinned at start; advance it
+// explicitly with Set or Advance.
+func NewVirtualClock(start time.Time) *VirtualClock { return runtime.NewVirtualClock(start) }
 
 // DefaultParams returns the paper's default configuration: K=10 queues,
 // S=10MB start threshold, E=10 growth, d=2 deadline factor, and every
@@ -512,3 +583,29 @@ func NewAgent(cfg AgentConfig) (*Agent, error) { return runtime.NewAgent(cfg) }
 // NewClient returns a framework-facing REST client for a coordinator's
 // HTTP address.
 func NewClient(httpAddr string) *Client { return runtime.NewClient(httpAddr) }
+
+// Testbed types (internal/testbed): the coordinator-backed study
+// backend. Jobs run through the real coordinator with in-process
+// simulated agents on a virtual clock — deterministic CCT output at
+// any parallelism or shard partition, with wall-clock
+// schedule-latency measurements flowing out-of-band into the obs
+// manifest's runtime section. Importing this package (or the facade)
+// registers the "testbed" runner and the coordinator-latency and
+// overload catalog studies.
+type (
+	// TestbedRunner executes a study's job grid through the real
+	// coordinator; it implements StudyRunner and StudyRuntimeReporter.
+	TestbedRunner = testbed.Runner
+	// TestbedConfig tunes one testbed job execution (admission
+	// bucket, boundary cap).
+	TestbedConfig = testbed.Config
+)
+
+// RunTestbedJob executes one sweep job on the system path: a Manual
+// virtual-clock coordinator, one in-process agent per port, arrivals
+// admitted at their exact virtual arrival times. Returns the
+// deterministic simulator-shaped result plus the out-of-band
+// wall-clock runtime record.
+func RunTestbedJob(j SweepJob, tc TestbedConfig) (*SimResult, RuntimeRecord, error) {
+	return testbed.RunJob(j, tc)
+}
