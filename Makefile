@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-fleet test-testbed race bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine bench-obs bench-fleet bench-testbed fmt fmt-check vet staticcheck ci
+.PHONY: build test test-fleet test-testbed race bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine bench-obs bench-fleet bench-testbed fmt fmt-check vet lint staticcheck govulncheck ci
 
 build:
 	$(GO) build ./...
@@ -113,6 +113,14 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# saath-vet is the project's own analyzer suite (detcheck, hotpath,
+# obscheck — see internal/lint). It must report zero unsuppressed
+# findings over the whole tree; any new finding fails the build. The
+# analyzer unit tests ride along so broken fixtures fail here too.
+lint:
+	$(GO) run ./cmd/saath-vet ./...
+	$(GO) test -count=1 ./internal/lint/
+
 # staticcheck runs when the binary is installed and skips (with a
 # note) when it is not, so `make ci` stays runnable on minimal
 # machines; the CI pipeline always installs and runs it.
@@ -123,4 +131,14 @@ staticcheck:
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
 
-ci: fmt-check build vet staticcheck race test-fleet test-testbed bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine bench-obs bench-fleet bench-testbed
+# govulncheck, like staticcheck, is best-effort locally (skip when the
+# binary is absent) and mandatory in the pipeline, which installs a
+# pinned version and invokes the binary directly.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
+	fi
+
+ci: fmt-check build vet lint staticcheck govulncheck race test-fleet test-testbed bench bench-sched bench-sweep bench-telemetry bench-trace bench-engine bench-obs bench-fleet bench-testbed

@@ -1,0 +1,115 @@
+// Command saath-vet runs the repo's invariant analyzers (detcheck,
+// hotpath, obscheck — see internal/lint) over Go packages.
+//
+// Standalone (the way `make lint` runs it):
+//
+//	saath-vet ./...
+//	saath-vet -analyzers detcheck -json ./internal/sched/...
+//
+// It also speaks the cmd/go vettool protocol, so the same binary
+// plugs into the standard vet driver:
+//
+//	go build -o /tmp/saath-vet ./cmd/saath-vet
+//	go vet -vettool=/tmp/saath-vet ./...
+//
+// In vettool mode cmd/go invokes the binary once per package with a
+// JSON config file of pre-parsed file lists and export-data paths;
+// the re-implementation here (vettool.go) exists because the usual
+// unitchecker entry point lives in golang.org/x/tools, which this
+// repo does not depend on.
+//
+// Exit status: 0 with no findings, 1 with findings, 2 on failure to
+// load or analyze.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"saath/internal/lint"
+)
+
+func main() {
+	// cmd/go probes vettools twice before handing them a config
+	// file: -V=full for the tool's cache ID and -flags for the
+	// tool-specific flags it may forward. Both must be answered
+	// before normal flag parsing so stray diagnostics don't corrupt
+	// the probe output.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Printf("saath-vet version saath-dev buildID=none\n")
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(runVettool(os.Args[1]))
+	}
+
+	var (
+		jsonOut  = flag.Bool("json", false, "emit findings as JSON")
+		names    = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		listOnly = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: saath-vet [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *listOnly {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *names != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*names, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(wd, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "saath-vet: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}

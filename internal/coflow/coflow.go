@@ -461,11 +461,13 @@ func (c *CoFlow) BottleneckRemaining(bw Rate) Time {
 		dstRem[f.Dst] += f.Remaining()
 	}
 	var worst Bytes
+	//saath:order-independent max over map values is commutative
 	for _, b := range srcRem {
 		if b > worst {
 			worst = b
 		}
 	}
+	//saath:order-independent max over map values is commutative
 	for _, b := range dstRem {
 		if b > worst {
 			worst = b

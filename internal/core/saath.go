@@ -171,6 +171,8 @@ func (s *Saath) QueueOf(id coflow.CoFlowID) (int, bool) {
 // growScratch sizes the per-interval scratch for this snapshot's index
 // caps. Growth only happens on arrival epochs; steady-state ticks pass
 // straight through.
+//
+//saath:alloc-ok amortized grow path, empty on steady-state ticks
 func (s *Saath) growScratch(snap *sched.Snapshot) {
 	k := s.params.Queues.NumQueues
 	if len(s.queueCount) != k {
@@ -192,6 +194,8 @@ func (s *Saath) growScratch(snap *sched.Snapshot) {
 // Schedule computes the next interval's allocation, following Fig. 7:
 // assign queues, order each queue (deadline-expired first, then LCoF
 // or FIFO), admit all-or-none, then work-conserve leftovers per queue.
+//
+//saath:hotpath zero-alloc steady state guarded by TestScheduleAllocGuards
 func (s *Saath) Schedule(snap *sched.Snapshot) *sched.RateVec {
 	alloc := snap.Allocation()
 	if len(snap.Active) == 0 {

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the detcheck-driven fix in Fig9: the baselines used
+// to live in a map literal, so both the series order handed to the
+// renderer and (on failure) which baseline's error surfaced depended
+// on Go's randomized map iteration. Fig9 now walks the fig9Baselines
+// slice; presentation order and repeat-run output must be stable.
+
+func TestFig9BaselineOrderIsPinned(t *testing.T) {
+	want := []string{"varys", "aalo", "uc-tcp"}
+	if len(fig9Baselines) != len(want) {
+		t.Fatalf("fig9Baselines has %d entries, want %d", len(fig9Baselines), len(want))
+	}
+	for i, base := range fig9Baselines {
+		if base.name != want[i] {
+			t.Errorf("fig9Baselines[%d] = %q, want %q", i, base.name, want[i])
+		}
+		if base.label == "" || !strings.HasPrefix(base.label, base.name) {
+			t.Errorf("fig9Baselines[%d] label %q should start with %q", i, base.label, base.name)
+		}
+	}
+}
+
+func TestFig9RowsFollowBaselineOrder(t *testing.T) {
+	e := tinyEnv(t)
+	tables, err := e.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) != len(fig9Baselines) {
+			t.Fatalf("%s: %d rows, want %d", tbl.Title, len(tbl.Rows), len(fig9Baselines))
+		}
+		for i, row := range tbl.Rows {
+			if row[0] != fig9Baselines[i].label {
+				t.Errorf("%s row %d = %q, want %q", tbl.Title, i, row[0], fig9Baselines[i].label)
+			}
+		}
+	}
+}
+
+// TestFig9RepeatRunsIdentical renders Fig9 from two fresh envs. With
+// the old map-literal iteration the series order differed between
+// range executions within a single process; the slice makes repeat
+// runs byte-identical.
+func TestFig9RepeatRunsIdentical(t *testing.T) {
+	render := func() string {
+		e := tinyEnv(t)
+		tables, err := e.Fig9()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderAll(t, tables)
+	}
+	first := render()
+	for i := 0; i < 3; i++ {
+		if again := render(); again != first {
+			t.Fatalf("fig9 output differs across runs:\n--- first ---\n%s\n--- run %d ---\n%s", first, i+2, again)
+		}
+	}
+}

@@ -108,6 +108,17 @@ func (e *Env) Fig3() ([]*report.Table, error) {
 	return append(tables, overall), nil
 }
 
+// fig9Baselines are the Fig. 9 comparison baselines in presentation
+// order. Fig9 iterates this slice — not a map — so both the work
+// order and, when several baselines fail, the error that surfaces
+// are deterministic (detcheck flagged the original map-literal
+// range; experiments_order_test.go pins the fix).
+var fig9Baselines = []struct{ name, label string }{
+	{"varys", "varys (SEBF, offline)"},
+	{"aalo", "aalo (online)"},
+	{"uc-tcp", "uc-tcp (online)"},
+}
+
 // Fig9 is the headline comparison: per-CoFlow CCT speedup using Saath
 // over SEBF (Varys, offline), Aalo and UC-TCP, for both traces, shown
 // as median with P10/P90.
@@ -118,15 +129,14 @@ func (e *Env) Fig9() ([]*report.Table, error) {
 	var tables []*report.Table
 	for _, tr := range []*trace.Trace{e.FB, e.OSP} {
 		series := make(map[string]stats.SpeedupSummary)
-		order := []string{"varys (SEBF, offline)", "aalo (online)", "uc-tcp (online)"}
-		for base, label := range map[string]string{
-			"varys": order[0], "aalo": order[1], "uc-tcp": order[2],
-		} {
-			sp, err := e.SpeedupOver(tr, base, "saath")
+		order := make([]string, 0, len(fig9Baselines))
+		for _, base := range fig9Baselines {
+			sp, err := e.SpeedupOver(tr, base.name, "saath")
 			if err != nil {
 				return nil, err
 			}
-			series[label] = stats.Summarize(sp)
+			series[base.label] = stats.Summarize(sp)
+			order = append(order, base.label)
 		}
 		tables = append(tables, report.SpeedupBar(
 			fmt.Sprintf("Fig 9 — CCT speedup using Saath (%s)", tr.Name), series, order))

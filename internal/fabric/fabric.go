@@ -144,11 +144,13 @@ func (f *Fabric) CoFlowAvailable(c *coflow.CoFlow) bool {
 func (f *Fabric) EqualRateForCoFlow(c *coflow.CoFlow) coflow.Rate {
 	use := c.Use()
 	rate := f.portRate
+	//saath:order-independent min over map values is commutative
 	for p, n := range use.SrcFlows {
 		if share := f.egressFree[p] / coflow.Rate(n); share < rate {
 			rate = share
 		}
 	}
+	//saath:order-independent min over map values is commutative
 	for p, n := range use.DstFlows {
 		if share := f.ingressFree[p] / coflow.Rate(n); share < rate {
 			rate = share

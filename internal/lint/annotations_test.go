@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const annotationSrc = `package p
+
+import "time"
+
+// Elapsed measures wall time for reporting.
+//
+//saath:wallclock reporting only
+func Elapsed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func Inline() time.Time {
+	//saath:wallclock
+	return time.Now()
+}
+
+func Trailing() time.Time {
+	return time.Now() //saath:wallclock with a rationale
+}
+
+func Bare() time.Time {
+	return time.Now()
+}
+
+//saath:hotpath
+func Hot() {}
+
+// not a directive: saath:wallclock must start the comment.
+func Unmarked() {}
+`
+
+func parseAnnotationSrc(t *testing.T) (*token.FileSet, *ast.File, *Annotations) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "anno.go", annotationSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, ParseAnnotations(fset, []*ast.File{f})
+}
+
+func funcNamed(f *ast.File, name string) *ast.FuncDecl {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	return nil
+}
+
+func callPosIn(t *testing.T, fset *token.FileSet, fd *ast.FuncDecl) token.Pos {
+	t.Helper()
+	var pos token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && pos == token.NoPos {
+			pos = c.Pos()
+		}
+		return true
+	})
+	if pos == token.NoPos {
+		t.Fatalf("no call in %s", fd.Name.Name)
+	}
+	return pos
+}
+
+func TestAnnotationsFuncLevel(t *testing.T) {
+	_, f, notes := parseAnnotationSrc(t)
+	if !notes.Func(funcNamed(f, "Elapsed"), NoteWallclock) {
+		t.Error("Elapsed should carry a func-level wallclock note")
+	}
+	if notes.Func(funcNamed(f, "Elapsed"), NoteHotPath) {
+		t.Error("Elapsed should not carry a hotpath note")
+	}
+	if !notes.Func(funcNamed(f, "Hot"), NoteHotPath) {
+		t.Error("Hot should carry a hotpath note")
+	}
+	if notes.Func(funcNamed(f, "Bare"), NoteWallclock) {
+		t.Error("Bare has no annotations")
+	}
+	if notes.Func(funcNamed(f, "Unmarked"), NoteWallclock) {
+		t.Error("a mid-comment mention is not a directive")
+	}
+}
+
+func TestAnnotationsLineLevel(t *testing.T) {
+	fset, f, notes := parseAnnotationSrc(t)
+
+	// Line-above suppression.
+	inline := callPosIn(t, fset, funcNamed(f, "Inline"))
+	if !notes.At(fset, inline, NoteWallclock) {
+		t.Error("line-above //saath:wallclock should suppress the next line")
+	}
+	// Same-line trailing suppression, with trailing rationale text.
+	trailing := callPosIn(t, fset, funcNamed(f, "Trailing"))
+	if !notes.At(fset, trailing, NoteWallclock) {
+		t.Error("trailing //saath:wallclock should suppress its own line")
+	}
+	if notes.At(fset, trailing, NoteAllocOK) {
+		t.Error("wallclock note must not satisfy an alloc-ok query")
+	}
+	// No annotation anywhere near Bare's call.
+	bare := callPosIn(t, fset, funcNamed(f, "Bare"))
+	if notes.At(fset, bare, NoteWallclock) {
+		t.Error("Bare's time.Now has no annotation")
+	}
+}
+
+func TestSuppressedCombinesLineAndFunc(t *testing.T) {
+	fset, f, notes := parseAnnotationSrc(t)
+	elapsed := funcNamed(f, "Elapsed")
+	pos := callPosIn(t, fset, elapsed)
+	if !notes.Suppressed(fset, pos, elapsed, NoteWallclock) {
+		t.Error("func-level note should suppress calls inside the function")
+	}
+	bare := funcNamed(f, "Bare")
+	if notes.Suppressed(fset, callPosIn(t, fset, bare), bare, NoteWallclock) {
+		t.Error("Bare is unsuppressed")
+	}
+}
+
+func TestDirectiveName(t *testing.T) {
+	cases := []struct {
+		in, want string
+		ok       bool
+	}{
+		{"//saath:wallclock", "wallclock", true},
+		{"//saath:wallclock reporting only", "wallclock", true},
+		{"//saath:alloc-ok\tamortized growth", "alloc-ok", true},
+		{"//saath:order-independent", "order-independent", true},
+		{"//saath:", "", false},
+		{"// saath:wallclock", "", false},
+		{"// plain comment", "", false},
+	}
+	for _, c := range cases {
+		got, ok := directiveName(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("directiveName(%q) = %q, %v; want %q, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+// Package obs is a typing stub for analyzer fixtures.
+package obs
+
+type EngineCounters struct {
+	Epochs int64
+	Ticks  int64
+}

@@ -1,0 +1,12 @@
+// Package purefixture exercises obscheck's import rule: packages
+// under saath/internal/sched compute study output and must stay
+// obs-free entirely.
+package purefixture
+
+import (
+	"saath/internal/obs" // want "must not import"
+)
+
+var leaked obs.EngineCounters
+
+func Epochs() int64 { return leaked.Epochs }

@@ -1,0 +1,11 @@
+// Package sim is a typing stub for analyzer fixtures: obscheck
+// recognizes Counters writes through the Config type of any package
+// whose path ends in internal/sim.
+package sim
+
+import "saath/internal/obs"
+
+type Config struct {
+	Delta    int64
+	Counters *obs.EngineCounters
+}

@@ -1,0 +1,29 @@
+// Package obsfixture exercises obscheck's Counters-write rule from a
+// package (under saath/internal/study) that may import obs but is not
+// a sanctioned Counters writer.
+package obsfixture
+
+import (
+	"saath/internal/obs"
+	"saath/internal/sim"
+)
+
+func attach(cfg *sim.Config) {
+	cfg.Counters = &obs.EngineCounters{} // want "sim.Config.Counters may only be attached"
+}
+
+func attachLit() sim.Config {
+	return sim.Config{Counters: &obs.EngineCounters{}} // want "sim.Config.Counters may only be attached"
+}
+
+func attachAccepted(cfg *sim.Config, c *obs.EngineCounters) {
+	cfg.Counters = c //saath:obs-ok deliberate out-of-band plumbing under test
+}
+
+func validate(cfg *sim.Config) bool {
+	return cfg.Counters != nil // reading is fine everywhere
+}
+
+func otherField(cfg *sim.Config) {
+	cfg.Delta = 8 // unrelated Config fields are fine
+}

@@ -74,6 +74,8 @@ func (a *InprocAgent) Deliver(msg *scheduleMsg) error {
 // work a real agent's token-bucket sender does in wall time, collapsed
 // to arithmetic. Progress is pipelined exactly like the prototype: a
 // flow moves bytes at the rate of the previous schedule push.
+//
+//saath:hotpath zero-alloc steady state guarded by TestTestbedLayerGuards
 func (a *InprocAgent) Step(dt time.Duration) {
 	if len(a.flows) == 0 {
 		return
@@ -96,6 +98,8 @@ func (a *InprocAgent) Step(dt time.Duration) {
 // in-process equivalent of the periodic TCP stats message. Completed
 // flows are reported once (done=true) and then dropped from agent
 // state — delivery is synchronous, so the completion cannot be lost.
+//
+//saath:hotpath zero-alloc steady state guarded by TestTestbedLayerGuards
 func (a *InprocAgent) Report() {
 	if len(a.flows) == 0 {
 		return

@@ -73,6 +73,7 @@ func (x *ContentionIndex) Sync(active []*coflow.CoFlow) {
 	// states is a superset of the marked active set, so a departed
 	// CoFlow implies a size mismatch — sweep only then.
 	if len(x.states) > len(active) {
+		//saath:order-independent each stale entry is invalidated and deleted independently
 		for c, occ := range x.states {
 			if occ.seen != x.syncGen {
 				occ.gen++ // invalidate the occ's port memberships
@@ -90,9 +91,13 @@ func (x *ContentionIndex) refresh(occ *cfOcc) {
 	occ.epoch = occ.c.CacheEpoch()
 	occ.ports = occ.ports[:0]
 	u := occ.c.Use()
+	// The membership lists built here are only ever consumed as sets
+	// (K dedups by mark and counts), so their order cannot leak.
+	//saath:order-independent
 	for p := range u.SrcFlows {
 		x.join(occ, occKey{p, false})
 	}
+	//saath:order-independent
 	for p := range u.DstFlows {
 		x.join(occ, occKey{p, true})
 	}

@@ -192,6 +192,7 @@ func (s *ScheduleStats) record(d time.Duration) {
 	}
 	if len(s.samples) < schedSampleCap {
 		if cap(s.samples) < schedSampleCap {
+			//saath:alloc-ok one-time reservoir preallocation
 			s.samples = append(make([]time.Duration, 0, schedSampleCap), s.samples...)
 		}
 		s.samples = append(s.samples, d)
@@ -397,6 +398,7 @@ func (e *engine) releasable(p *pendingSpec, now coflow.Time) bool {
 	if p.released || p.spec.Arrival > now {
 		return false
 	}
+	//saath:order-independent all-deps-done conjunction; any visit order yields the same bool
 	for id := range p.deps {
 		if _, done := e.doneAt[id]; !done {
 			return false
@@ -515,6 +517,7 @@ func (e *engine) nextArrival() coflow.Time {
 		if len(p.deps) > 0 {
 			ready := true
 			var depDone coflow.Time
+			//saath:order-independent max over dep completion times; early not-done exit yields the same bool
 			for id := range p.deps {
 				dt, done := e.doneAt[id]
 				if !done {
@@ -586,6 +589,8 @@ func (e *engine) runTicks() error {
 // is engine-owned scratch; a steady-state tick (no arrivals, no
 // completions, no probes) performs zero heap allocations — guarded by
 // TestEngineTickSteadyStateZeroAlloc.
+//
+//saath:hotpath
 func (e *engine) tick(delta coflow.Time) error {
 	if c := e.cfg.Counters; c != nil {
 		c.Ticks++
@@ -610,9 +615,9 @@ func (e *engine) beginInterval() (*sched.RateVec, error) {
 	e.snap.Active = e.activeSorted()
 	e.snap.FlowCap = e.space.FlowCap()
 	e.snap.CoFlowCap = e.space.CoFlowCap()
-	start := time.Now()
+	start := time.Now() //saath:wallclock schedule-latency measurement, out-of-band counters only
 	alloc := e.sched.Schedule(&e.snap)
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //saath:wallclock
 	e.result.Sched.record(elapsed)
 	e.result.Intervals++
 	if c := e.cfg.Counters; c != nil {
@@ -678,15 +683,16 @@ func (e *engine) observeInterval(alloc *sched.RateVec) {
 func (e *engine) validateAllocation(alloc *sched.RateVec) error {
 	np := e.fab.NumPorts()
 	if len(e.valEgress) < np {
+		//saath:alloc-ok amortized ledger growth, skipped at steady state
 		e.valEgress = make([]float64, np)
-		e.valIngress = make([]float64, np)
+		e.valIngress = make([]float64, np) //saath:alloc-ok
 	}
 	egress, ingress := e.valEgress[:np], e.valIngress[:np]
 	for i := range egress {
 		egress[i], ingress[i] = 0, 0
 	}
 	if len(e.valFlows) < e.snap.FlowCap {
-		e.valFlows = make([]*coflow.Flow, e.snap.FlowCap)
+		e.valFlows = make([]*coflow.Flow, e.snap.FlowCap) //saath:alloc-ok amortized ledger growth
 	}
 	flows := e.valFlows
 	for _, c := range e.active {

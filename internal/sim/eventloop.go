@@ -66,6 +66,8 @@ func (e *engine) pushEvent(ev event) {
 // drained. A steady-state step — the recurring epoch of a busy cluster
 // with no arrivals, completions, or probes — allocates nothing
 // (guarded by TestEngineEventSteadyStateZeroAlloc).
+//
+//saath:hotpath
 func (e *engine) step(delta coflow.Time) (bool, error) {
 	ev, ok := e.evq.pop()
 	if !ok {
@@ -197,6 +199,7 @@ func (e *engine) releaseDependents(c *coflow.CoFlow) {
 		}
 		t := p.spec.Arrival
 		ready := true
+		//saath:order-independent max over dep completion times; early not-done exit yields the same bool
 		for id := range p.deps {
 			dt, done := e.doneAt[id]
 			if !done {

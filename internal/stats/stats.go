@@ -115,6 +115,7 @@ func CDFAt(cdf []CDFPoint, x float64) float64 {
 // skipped.
 func Speedups(base, target map[coflow.CoFlowID]coflow.Time) []float64 {
 	out := make([]float64, 0, len(base))
+	//saath:order-independent the collected ratios are sorted before return
 	for id, b := range base {
 		t, ok := target[id]
 		if !ok || t <= 0 || b <= 0 {

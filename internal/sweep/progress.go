@@ -180,6 +180,7 @@ func (m *ProgressMeter) printLine(done, total int, now time.Time) {
 	}
 	if n := len(m.groupTotal); n > 1 {
 		doneGroups := 0
+		//saath:order-independent counting completed groups is commutative
 		for g, t := range m.groupTotal {
 			if m.groupDone[g] >= t {
 				doneGroups++

@@ -283,7 +283,7 @@ func (r *Result) Completed() int {
 // finish — sim.Run is not interruptible) and marks never-started jobs
 // with the context error. Run never returns nil.
 func Run(ctx context.Context, jobs []Job, opts Options) *Result {
-	start := time.Now()
+	start := time.Now() //saath:wallclock Result.Elapsed is reporting-only, never study bytes
 	workers := opts.Parallel
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -341,7 +341,7 @@ dispatch:
 			deliver(jr)
 		}
 	}
-	return &Result{Jobs: out, Elapsed: time.Since(start)}
+	return &Result{Jobs: out, Elapsed: time.Since(start)} //saath:wallclock
 }
 
 // runJob executes one simulation, deriving deterministic RNG seeds for
@@ -352,8 +352,8 @@ dispatch:
 // all out-of-band, never touching the seeds or results above.
 func runJob(ctx context.Context, j Job, rec *obs.Recorder) JobResult {
 	jr := JobResult{Job: j}
-	start := time.Now()
-	defer func() { jr.Elapsed = time.Since(start) }()
+	start := time.Now()                               //saath:wallclock JobResult.Elapsed is reporting-only, never study bytes
+	defer func() { jr.Elapsed = time.Since(start) }() //saath:wallclock
 	var span *obs.Span
 	var counters *obs.EngineCounters
 	if rec.Enabled() {

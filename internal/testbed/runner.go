@@ -37,7 +37,7 @@ type Runner struct {
 
 // Run implements study.Runner.
 func (r *Runner) Run(ctx context.Context, jobs []sweep.Job, collectors []sweep.Collector) (*sweep.Result, error) {
-	start := time.Now()
+	start := time.Now() //saath:wallclock Result.Elapsed is reporting-only, never study bytes
 	workers := r.Parallel
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -95,15 +95,15 @@ dispatch:
 			deliver(jr)
 		}
 	}
-	return &sweep.Result{Jobs: out, Elapsed: time.Since(start)}, nil
+	return &sweep.Result{Jobs: out, Elapsed: time.Since(start)}, nil //saath:wallclock
 }
 
 // runOne executes one job through the coordinator, timing it and
 // collecting its runtime record.
 func (r *Runner) runOne(ctx context.Context, j sweep.Job) sweep.JobResult {
 	jr := sweep.JobResult{Job: j}
-	start := time.Now()
-	defer func() { jr.Elapsed = time.Since(start) }()
+	start := time.Now()                               //saath:wallclock JobResult.Elapsed is reporting-only, never study bytes
+	defer func() { jr.Elapsed = time.Since(start) }() //saath:wallclock
 	var span *obs.Span
 	if r.Observer.Enabled() {
 		span = obs.StartSpan("testbed:" + j.Key())
